@@ -1,0 +1,46 @@
+// bench_area — regenerates the §6.4 transistor-count area analysis.
+//
+//   Paper: TVE 1536(+24); warp extractor ~50K; extractors 800K;
+//   converters 249,600; tables 98,304; truncators 518,016; CU 6,774
+//   (108,384 total); ~1.8M per SM; ~27M per chip; < 1 % of 3.1B.
+
+#include <cstdio>
+
+#include "rf/area_model.hpp"
+
+using gpurf::rf::AreaConfig;
+using gpurf::rf::compute_area;
+
+int main() {
+  const AreaConfig cfg = AreaConfig::fermi_gtx480();
+  const auto a = compute_area(cfg);
+
+  std::printf("Section 6.4: area overhead (%s)\n", cfg.name.c_str());
+  std::printf("%-38s %12s %12s\n", "Structure", "Transistors", "Paper");
+  std::printf("%-38s %12lld %12s\n", "Thread value extractor (TVE)", a.tve,
+              "1560");
+  std::printf("%-38s %12lld %12s\n", "Warp value extractor (32 TVEs)",
+              a.warp_extractor, "~50K");
+  std::printf("%-38s %12lld %12s\n", "Value extractors (16 banks)",
+              a.extractors_total, "~800K");
+  std::printf("%-38s %12lld %12s\n", "Value converters (6 warp units)",
+              a.converters_total, "249,600");
+  std::printf("%-38s %12lld %12s\n", "Indirection table (one)",
+              a.indirection_table, "49,152");
+  std::printf("%-38s %12lld %12s\n", "Indirection tables (src + dst)",
+              a.tables_total, "98,304");
+  std::printf("%-38s %12lld %12s\n", "Thread value truncator (TVT)", a.tvt,
+              "5,396");
+  std::printf("%-38s %12lld %12s\n", "Value truncators (3 warp units)",
+              a.truncators_total, "518,016");
+  std::printf("%-38s %12lld %12s\n", "Collector-unit extension (one)",
+              a.cu_extension, "6,774");
+  std::printf("%-38s %12lld %12s\n", "Collector-unit extensions (16)",
+              a.cus_total, "108,384");
+  std::printf("%-38s %12lld %12s\n", "Total per SM", a.per_sm, "~1.8M");
+  std::printf("%-38s %12lld %12s\n", "Total per chip (15 SMs)", a.chip_total,
+              "~27M");
+  std::printf("%-38s %11.2f%% %12s\n", "Fraction of chip budget",
+              100.0 * a.fraction_of_chip, "< 1%");
+  return 0;
+}

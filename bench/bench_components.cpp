@@ -1,0 +1,134 @@
+// bench_components — google-benchmark microbenchmarks of the §3.2 datapath
+// models (Value Extractor / Converter / Truncator, indirection table,
+// compressed read/write path) plus the Table-3 format converters.  These
+// measure the simulator's model cost and double as smoke tests of the
+// throughput parameters (§3.2.8: 16 table accesses/cycle, 6 warp
+// conversions/cycle, single-cycle extraction).
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/slice_alloc.hpp"
+#include "common/rng.hpp"
+#include "fp/format.hpp"
+#include "rf/compressed_rf.hpp"
+#include "rf/indirection_table.hpp"
+#include "rf/value_converter.hpp"
+#include "rf/value_extractor.hpp"
+#include "rf/value_truncator.hpp"
+#include "sim/cache.hpp"
+
+namespace rf = gpurf::rf;
+namespace fp = gpurf::fp;
+
+static void BM_FormatQuantize(benchmark::State& state) {
+  const auto fmt = fp::format_for_bits(static_cast<int>(state.range(0)));
+  gpurf::Pcg32 rng(1);
+  float v = rng.next_float(-100.f, 100.f);
+  for (auto _ : state) {
+    v = fp::quantize(v + 1.0f, fmt);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_FormatQuantize)->Arg(28)->Arg(16)->Arg(8);
+
+static void BM_TveExtract(benchmark::State& state) {
+  rf::ExtractSpec spec;
+  spec.mask = 0b01101100;
+  spec.first_slice = 0;
+  spec.data_slices = 4;
+  spec.is_signed = true;
+  uint32_t x = 0x12345678;
+  for (auto _ : state) {
+    x = rf::tve_extract(x + 1, spec);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_TveExtract);
+
+static void BM_WarpExtract(benchmark::State& state) {
+  rf::ExtractSpec spec;
+  spec.mask = 0x3c;
+  spec.first_slice = 0;
+  spec.data_slices = 4;
+  std::array<uint32_t, 32> in{};
+  for (int i = 0; i < 32; ++i) in[i] = 0x01010101u * i;
+  for (auto _ : state) {
+    auto out = rf::warp_extract_piece(in, spec);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WarpExtract);
+
+static void BM_WarpConvert(benchmark::State& state) {
+  const auto fmt = fp::format_for_bits(16);
+  std::array<uint32_t, 32> in{};
+  for (int i = 0; i < 32; ++i)
+    in[i] = fp::encode(0.5f + 0.01f * i, fmt);
+  for (auto _ : state) {
+    auto out = rf::warp_convert(in, fmt);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WarpConvert);
+
+static void BM_TvtTruncate(benchmark::State& state) {
+  rf::TruncateSpec spec;
+  spec.mask0 = 0x0f;
+  spec.mask1 = 0x30;
+  spec.data_slices = 6;
+  spec.is_float = true;
+  spec.float_fmt = fp::format_for_bits(24);
+  float v = 1.0f;
+  for (auto _ : state) {
+    v += 0.25f;
+    auto out = rf::tvt_truncate(gpurf::float_bits(v), spec);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TvtTruncate);
+
+static void BM_IndirectionLookup(benchmark::State& state) {
+  std::vector<gpurf::alloc::IndirectionEntry> table(64);
+  for (uint32_t i = 0; i < 64; ++i) {
+    table[i].valid = true;
+    table[i].r0 = {i, 0xff};
+    table[i].slices = 8;
+  }
+  rf::IndirectionTable it;
+  it.load(table);
+  uint32_t r = 0;
+  for (auto _ : state) {
+    r = (r + 1) % 64;
+    benchmark::DoNotOptimize(it.lookup(r));
+  }
+}
+BENCHMARK(BM_IndirectionLookup);
+
+static void BM_CompressedReadWrite(benchmark::State& state) {
+  // A packed allocation: one 4-slice float + one 3-slice int sharing a
+  // physical register, plus a split operand.
+  std::vector<gpurf::alloc::IndirectionEntry> table(3);
+  table[0] = {true, {0, 0x0f}, {}, false, 4, false, true, 16};
+  table[1] = {true, {0, 0x70}, {}, false, 3, true, false, 32};
+  table[2] = {true, {0, 0x80}, {1, 0x07}, true, 4, false, false, 32};
+  rf::CompressedRegisterFile crf(table, 2, 1);
+
+  rf::WarpRegister vals{};
+  for (int l = 0; l < 32; ++l) vals[l] = gpurf::float_bits(0.5f + l);
+  for (auto _ : state) {
+    crf.write_operand(0, 0, vals);
+    benchmark::DoNotOptimize(crf.read_operand(0, 0));
+  }
+}
+BENCHMARK(BM_CompressedReadWrite);
+
+static void BM_CacheProbe(benchmark::State& state) {
+  gpurf::sim::Cache cache(gpurf::sim::CacheGeom{16 * 1024, 128, 4});
+  gpurf::Pcg32 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next_below(4096)));
+  }
+}
+BENCHMARK(BM_CacheProbe);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// bench_fig10 — regenerates Figure 10: active thread blocks per SM
+// (occupancy) for the original register file and the proposed indirection-
+// table organisation at perfect and high output quality.  Also reports the
+// limiting resource, reproducing the IMGVF shared-memory cap discussion
+// (§6.1).
+
+#include <cstdio>
+
+#include "sim/occupancy.hpp"
+#include "workloads/pipeline.hpp"
+#include "workloads/workload.hpp"
+
+namespace wl = gpurf::workloads;
+namespace sim = gpurf::sim;
+
+namespace {
+const char* limiter_name(sim::Occupancy::Limiter l) {
+  switch (l) {
+    case sim::Occupancy::Limiter::kRegisters: return "regs";
+    case sim::Occupancy::Limiter::kSharedMem: return "smem";
+    case sim::Occupancy::Limiter::kWarps: return "warps";
+    case sim::Occupancy::Limiter::kBlocks: return "blocks";
+    default: return "-";
+  }
+}
+}  // namespace
+
+int main() {
+  const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  std::printf("Figure 10: active thread blocks / SM\n");
+  std::printf("%-11s %18s %24s %24s\n", "Kernel", "Original",
+              "IndirTable(perfect)", "IndirTable(high)");
+  for (const auto& w : wl::make_all_workloads()) {
+    const auto& pr = wl::run_pipeline(*w);
+    const uint32_t wpb = w->spec().warps_per_block;
+    const uint32_t smem = w->kernel().shared_bytes;
+    const auto o0 = compute_occupancy(gpu, pr.pressure.original, wpb, smem);
+    const auto o1 = compute_occupancy(gpu, pr.pressure.both_perfect, wpb, smem);
+    const auto o2 = compute_occupancy(gpu, pr.pressure.both_high, wpb, smem);
+    std::printf("%-11s %10u (%5s) %16u (%5s) %16u (%5s)\n",
+                w->spec().name.c_str(), o0.blocks_per_sm,
+                limiter_name(o0.limiter), o1.blocks_per_sm,
+                limiter_name(o1.limiter), o2.blocks_per_sm,
+                limiter_name(o2.limiter));
+  }
+  std::printf("\n(limiting resource in parentheses)\n");
+  return 0;
+}

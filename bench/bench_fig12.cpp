@@ -1,0 +1,37 @@
+// bench_fig12 — regenerates Figure 12: IPC of the proposed organisation
+// (high output quality) as the writeback delay sweeps over {0, 2, 4, 8}
+// cycles (§6.3).  The paper observes: flat up to 4 cycles for most
+// kernels; Elevated and GICOV deteriorate (scoreboard without forwarding);
+// occasional non-monotonic timing anomalies.
+
+#include <cstdio>
+
+#include "sim/gpu.hpp"
+#include "workloads/pipeline.hpp"
+#include "workloads/workload.hpp"
+
+namespace wl = gpurf::workloads;
+namespace sim = gpurf::sim;
+
+int main() {
+  const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  const uint32_t delays[] = {0, 2, 4, 8};
+
+  std::printf("Figure 12: IPC vs. writeback delay (high output quality)\n");
+  std::printf("%-11s %8s %8s %8s %8s\n", "Kernel", "wb=0", "wb=2", "wb=4",
+              "wb=8");
+  for (const auto& w : wl::make_all_workloads()) {
+    const auto& pr = wl::run_pipeline(*w);
+    std::printf("%-11s", w->spec().name.c_str());
+    for (uint32_t wb : delays) {
+      auto inst = w->make_instance(wl::Scale::kFull, 0);
+      auto spec =
+          wl::make_launch_spec(*w, inst, pr, wl::SimMode::kCompressedHigh);
+      const auto cc = sim::CompressionConfig::with_writeback_delay(wb);
+      const auto res = sim::simulate(gpu, cc, spec);
+      std::printf(" %8.0f", res.stats.ipc());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// bench_fig9 — regenerates Figure 9: per-kernel register pressure under
+// the six framework configurations (original; narrow integers; narrow
+// floats at perfect / high quality; both at perfect / high quality).
+// Every value is computed: range analysis -> precision tuning -> slice
+// allocation.
+
+#include <cstdio>
+
+#include "workloads/pipeline.hpp"
+#include "workloads/workload.hpp"
+
+namespace wl = gpurf::workloads;
+
+int main() {
+  std::printf("Figure 9: register pressure per framework configuration\n");
+  std::printf("%-11s %9s %9s %9s %9s %9s %9s\n", "Kernel", "Original",
+              "NarrowInt", "Float(p)", "Float(h)", "Both(p)", "Both(h)");
+  for (const auto& w : wl::make_all_workloads()) {
+    const auto& pr = wl::run_pipeline(*w);
+    std::printf("%-11s %9u %9u %9u %9u %9u %9u\n", w->spec().name.c_str(),
+                pr.pressure.original, pr.pressure.narrow_int,
+                pr.pressure.narrow_float_perfect,
+                pr.pressure.narrow_float_high, pr.pressure.both_perfect,
+                pr.pressure.both_high);
+  }
+  std::printf("\n(p) = perfect output quality, (h) = high output quality "
+              "(SSIM 0.9 / 10%% deviation / binary-correct)\n");
+  return 0;
+}

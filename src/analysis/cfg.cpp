@@ -1,0 +1,174 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpurf::analysis {
+
+using gpurf::ir::Kernel;
+
+Cfg build_cfg(const Kernel& k) {
+  Cfg cfg;
+  const uint32_t n = static_cast<uint32_t>(k.blocks.size());
+  cfg.succs.resize(n);
+  cfg.preds.resize(n);
+  for (uint32_t b = 0; b < n; ++b) {
+    cfg.succs[b] = k.successors(b);
+    for (uint32_t s : cfg.succs[b]) cfg.preds[s].push_back(b);
+  }
+
+  // Reverse post-order via iterative DFS from block 0.
+  std::vector<uint8_t> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<uint32_t> post;
+  post.reserve(n);
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    if (i < cfg.succs[b].size()) {
+      const uint32_t s = cfg.succs[b][i++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo.assign(post.rbegin(), post.rend());
+  cfg.rpo_index.assign(n, UINT32_MAX);
+  for (uint32_t i = 0; i < cfg.rpo.size(); ++i)
+    cfg.rpo_index[cfg.rpo[i]] = i;
+  return cfg;
+}
+
+namespace {
+
+// Intersection step of the Cooper-Harvey-Kennedy algorithm, operating on
+// RPO indices (smaller index = earlier in RPO = closer to entry).
+uint32_t intersect(uint32_t a, uint32_t b, const std::vector<uint32_t>& idom,
+                   const std::vector<uint32_t>& rpo_index) {
+  while (a != b) {
+    while (rpo_index[a] > rpo_index[b]) a = idom[a];
+    while (rpo_index[b] > rpo_index[a]) b = idom[b];
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<uint32_t> compute_idom(const Cfg& cfg) {
+  const uint32_t n = cfg.num_blocks();
+  std::vector<uint32_t> idom(n, kNoBlock);
+  if (n == 0) return idom;
+  idom[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t b : cfg.rpo) {
+      if (b == 0) continue;
+      uint32_t new_idom = kNoBlock;
+      for (uint32_t p : cfg.preds[b]) {
+        if (idom[p] == kNoBlock) continue;  // not yet processed/unreachable
+        new_idom = (new_idom == kNoBlock)
+                       ? p
+                       : intersect(p, new_idom, idom, cfg.rpo_index);
+      }
+      if (new_idom != kNoBlock && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+std::vector<uint32_t> compute_ipdom(const Cfg& cfg) {
+  const uint32_t n = cfg.num_blocks();
+  // Reverse CFG with virtual exit node `n`.  Exit blocks (no successors)
+  // connect to the virtual exit.
+  const uint32_t vexit = n;
+  std::vector<std::vector<uint32_t>> rsuccs(n + 1), rpreds(n + 1);
+  for (uint32_t b = 0; b < n; ++b) {
+    if (cfg.succs[b].empty()) {
+      rsuccs[vexit].push_back(b);
+      rpreds[b].push_back(vexit);
+    }
+    for (uint32_t s : cfg.succs[b]) {
+      rsuccs[s].push_back(b);
+      rpreds[b].push_back(s);
+    }
+  }
+
+  // RPO of the reverse graph from vexit.
+  std::vector<uint8_t> state(n + 1, 0);
+  std::vector<uint32_t> post;
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  stack.emplace_back(vexit, 0);
+  state[vexit] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    if (i < rsuccs[b].size()) {
+      const uint32_t s = rsuccs[b][i++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::vector<uint32_t> rpo(post.rbegin(), post.rend());
+  std::vector<uint32_t> rpo_index(n + 1, UINT32_MAX);
+  for (uint32_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  std::vector<uint32_t> ipdom(n + 1, kNoBlock);
+  ipdom[vexit] = vexit;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t b : rpo) {
+      if (b == vexit) continue;
+      uint32_t nd = kNoBlock;
+      for (uint32_t p : rpreds[b]) {
+        if (ipdom[p] == kNoBlock) continue;
+        nd = (nd == kNoBlock) ? p : intersect(p, nd, ipdom, rpo_index);
+      }
+      if (nd != kNoBlock && ipdom[b] != nd) {
+        ipdom[b] = nd;
+        changed = true;
+      }
+    }
+  }
+  std::vector<uint32_t> out(n, kNoBlock);
+  for (uint32_t b = 0; b < n; ++b)
+    out[b] = (ipdom[b] == vexit) ? kNoBlock : ipdom[b];
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> compute_dominance_frontiers(
+    const Cfg& cfg, const std::vector<uint32_t>& idom) {
+  const uint32_t n = cfg.num_blocks();
+  std::vector<std::vector<uint32_t>> df(n);
+  for (uint32_t b = 0; b < n; ++b) {
+    if (cfg.preds[b].size() < 2) continue;
+    for (uint32_t p : cfg.preds[b]) {
+      uint32_t runner = p;
+      while (runner != kNoBlock && runner != idom[b]) {
+        auto& v = df[runner];
+        if (std::find(v.begin(), v.end(), b) == v.end()) v.push_back(b);
+        if (runner == idom[runner]) break;  // reached entry
+        runner = idom[runner];
+      }
+    }
+  }
+  return df;
+}
+
+}  // namespace gpurf::analysis

@@ -1,0 +1,39 @@
+#pragma once
+// Control-flow graph utilities: predecessor/successor lists, reverse
+// post-order, dominators, post-dominators (for SIMT reconvergence points)
+// and dominance frontiers (for SSA phi placement).
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace gpurf::analysis {
+
+constexpr uint32_t kNoBlock = gpurf::ir::kNoBlock;
+
+struct Cfg {
+  std::vector<std::vector<uint32_t>> succs;
+  std::vector<std::vector<uint32_t>> preds;
+  std::vector<uint32_t> rpo;        ///< block ids in reverse post-order
+  std::vector<uint32_t> rpo_index;  ///< block id -> position in rpo
+
+  uint32_t num_blocks() const { return static_cast<uint32_t>(succs.size()); }
+};
+
+Cfg build_cfg(const gpurf::ir::Kernel& k);
+
+/// Immediate dominators (Cooper-Harvey-Kennedy).  idom[entry] == entry;
+/// unreachable blocks get kNoBlock.
+std::vector<uint32_t> compute_idom(const Cfg& cfg);
+
+/// Immediate post-dominators over the reverse CFG with a virtual exit node.
+/// ipdom[b] == kNoBlock means the virtual exit (i.e. b post-dominated only
+/// by program exit).  Used as the SIMT reconvergence point of branches in b.
+std::vector<uint32_t> compute_ipdom(const Cfg& cfg);
+
+/// Dominance frontiers, given idom.
+std::vector<std::vector<uint32_t>> compute_dominance_frontiers(
+    const Cfg& cfg, const std::vector<uint32_t>& idom);
+
+}  // namespace gpurf::analysis

@@ -1,0 +1,231 @@
+#include "analysis/interval.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gpurf::analysis {
+
+std::string Interval::str() const {
+  if (is_empty()) return "[]";
+  std::string l = lo_inf() ? "-inf" : std::to_string(lo);
+  std::string h = hi_inf() ? "+inf" : std::to_string(hi);
+  return "[" + l + "," + h + "]";
+}
+
+int64_t sat(int64_t v) {
+  return std::clamp(v, Interval::kNegInf, Interval::kPosInf);
+}
+
+int64_t sat_add(int64_t a, int64_t b) {
+  // Domain values are within +/- 2^62 / 4 so int64 addition cannot overflow
+  // after the operands are saturated.
+  if (a <= Interval::kNegInf || b <= Interval::kNegInf) {
+    GPURF_ASSERT(!(a >= Interval::kPosInf || b >= Interval::kPosInf),
+                 "inf + -inf in interval arithmetic");
+    return Interval::kNegInf;
+  }
+  if (a >= Interval::kPosInf || b >= Interval::kPosInf)
+    return Interval::kPosInf;
+  return sat(a + b);
+}
+
+int64_t sat_mul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const bool neg = (a < 0) != (b < 0);
+  if (a <= Interval::kNegInf || a >= Interval::kPosInf ||
+      b <= Interval::kNegInf || b >= Interval::kPosInf)
+    return neg ? Interval::kNegInf : Interval::kPosInf;
+  // Detect overflow with 128-bit arithmetic.
+  const __int128 p = static_cast<__int128>(a) * static_cast<__int128>(b);
+  if (p >= static_cast<__int128>(Interval::kPosInf)) return Interval::kPosInf;
+  if (p <= static_cast<__int128>(Interval::kNegInf)) return Interval::kNegInf;
+  return static_cast<int64_t>(p);
+}
+
+Interval iv_union(const Interval& a, const Interval& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_intersect(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const int64_t l = std::max(a.lo, b.lo);
+  const int64_t h = std::min(a.hi, b.hi);
+  if (l > h) return Interval::empty();
+  return {l, h};
+}
+
+namespace {
+bool any_empty(const Interval& a, const Interval& b) {
+  return a.is_empty() || b.is_empty();
+}
+}  // namespace
+
+Interval iv_add(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  return {sat_add(a.lo, b.lo), sat_add(a.hi, b.hi)};
+}
+
+Interval iv_sub(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  return {sat_add(a.lo, -sat(b.hi)), sat_add(a.hi, -sat(b.lo))};
+}
+
+Interval iv_mul(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  const int64_t c[4] = {sat_mul(a.lo, b.lo), sat_mul(a.lo, b.hi),
+                        sat_mul(a.hi, b.lo), sat_mul(a.hi, b.hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval iv_div(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  // Remove 0 from the divisor range; if the divisor is exactly {0} the
+  // result is undefined behaviour at run time -> return top conservatively.
+  Interval d = b;
+  if (d.lo == 0 && d.hi == 0) return Interval::top();
+  if (d.lo == 0) d.lo = 1;
+  if (d.hi == 0) d.hi = -1;
+  if (d.lo > d.hi) return Interval::top();  // divisor range was {-k..k}\{0}? keep simple
+  if (d.contains(0)) {
+    // Divisor straddles zero: result magnitude is bounded by |a|.
+    const int64_t m = std::max(std::abs(sat(a.lo)), std::abs(sat(a.hi)));
+    if (a.lo_inf() || a.hi_inf()) return Interval::top();
+    return {-m, m};
+  }
+  auto q = [](int64_t x, int64_t y) -> int64_t {
+    if (x <= Interval::kNegInf)
+      return y > 0 ? Interval::kNegInf : Interval::kPosInf;
+    if (x >= Interval::kPosInf)
+      return y > 0 ? Interval::kPosInf : Interval::kNegInf;
+    return x / y;  // trunc toward zero, matching the ISA
+  };
+  const int64_t c[4] = {q(a.lo, d.lo), q(a.lo, d.hi), q(a.hi, d.lo),
+                        q(a.hi, d.hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval iv_rem(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  // a % b has |result| < max(|b|) and shares a's sign (C semantics).
+  int64_t bmax = std::max(std::abs(sat(b.lo)), std::abs(sat(b.hi)));
+  if (b.lo_inf() || b.hi_inf()) bmax = Interval::kPosInf;
+  int64_t lo = 0, hi = 0;
+  if (a.lo < 0) lo = -sat_add(bmax, -1);
+  if (a.hi > 0) hi = sat_add(bmax, -1);
+  // Additionally bounded by a itself when a is small.
+  if (!a.lo_inf()) lo = std::max(lo, std::min<int64_t>(a.lo, 0));
+  if (!a.hi_inf()) hi = std::min(hi, std::max<int64_t>(a.hi, 0));
+  return {lo, hi};
+}
+
+Interval iv_min(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval iv_max(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_abs(const Interval& a) {
+  if (a.is_empty()) return a;
+  if (a.lo >= 0) return a;
+  if (a.hi <= 0) return {-sat(a.hi), -sat(a.lo)};
+  return {0, std::max(-sat(a.lo), sat(a.hi))};
+}
+
+Interval iv_neg(const Interval& a) {
+  if (a.is_empty()) return a;
+  return {-sat(a.hi), -sat(a.lo)};
+}
+
+namespace {
+// Smallest 2^k - 1 >= v, for nonnegative v (used for or/xor upper bounds).
+int64_t pow2m1_at_least(int64_t v) {
+  if (v <= 0) return 0;
+  if (v >= Interval::kPosInf) return Interval::kPosInf;
+  int64_t m = 1;
+  while (m - 1 < v && m < (int64_t(1) << 62)) m <<= 1;
+  return m - 1;
+}
+}  // namespace
+
+Interval iv_and(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  if (a.lo >= 0 && b.lo >= 0) {
+    // Nonnegative & nonnegative: 0 <= a&b <= min(max a, max b).
+    int64_t hi = std::min(sat(a.hi), sat(b.hi));
+    return {0, hi};
+  }
+  if (b.lo >= 0) return {0, sat(b.hi)};  // mask by nonnegative b
+  if (a.lo >= 0) return {0, sat(a.hi)};
+  return Interval::full_s32();
+}
+
+Interval iv_or(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  if (a.lo >= 0 && b.lo >= 0) {
+    const int64_t hi = pow2m1_at_least(std::max(sat(a.hi), sat(b.hi)));
+    return {std::max(a.lo, b.lo), hi};
+  }
+  return Interval::full_s32();
+}
+
+Interval iv_xor(const Interval& a, const Interval& b) {
+  if (any_empty(a, b)) return Interval::empty();
+  if (a.lo >= 0 && b.lo >= 0) {
+    const int64_t hi = pow2m1_at_least(std::max(sat(a.hi), sat(b.hi)));
+    return {0, hi};
+  }
+  return Interval::full_s32();
+}
+
+Interval iv_not(const Interval& a) {
+  if (a.is_empty()) return a;
+  // ~x == -x - 1
+  return {sat_add(-sat(a.hi), -1), sat_add(-sat(a.lo), -1)};
+}
+
+namespace {
+int64_t shl_one(int64_t v, int64_t s) {
+  if (v <= Interval::kNegInf || v >= Interval::kPosInf)
+    return v;
+  if (s < 0) s = 0;
+  if (s > 31) s = 31;
+  return sat_mul(v, int64_t(1) << s);
+}
+}  // namespace
+
+Interval iv_shl(const Interval& a, const Interval& sh) {
+  if (any_empty(a, sh)) return Interval::empty();
+  const int64_t s_lo = std::clamp<int64_t>(sh.lo, 0, 31);
+  const int64_t s_hi = std::clamp<int64_t>(sh.hi, 0, 31);
+  const int64_t c[4] = {shl_one(a.lo, s_lo), shl_one(a.lo, s_hi),
+                        shl_one(a.hi, s_lo), shl_one(a.hi, s_hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval iv_shr_s(const Interval& a, const Interval& sh) {
+  if (any_empty(a, sh)) return Interval::empty();
+  const int64_t s_lo = std::clamp<int64_t>(sh.lo, 0, 31);
+  const int64_t s_hi = std::clamp<int64_t>(sh.hi, 0, 31);
+  auto shr1 = [](int64_t v, int64_t s) -> int64_t {
+    if (v <= Interval::kNegInf || v >= Interval::kPosInf) return v;
+    return v >> s;
+  };
+  const int64_t c[4] = {shr1(a.lo, s_lo), shr1(a.lo, s_hi),
+                        shr1(a.hi, s_lo), shr1(a.hi, s_hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval iv_shr_u(const Interval& a, const Interval& sh) {
+  if (any_empty(a, sh)) return Interval::empty();
+  if (a.lo < 0) return Interval::full_u32();  // bit pattern reinterpretation
+  return iv_shr_s(a, sh);
+}
+
+}  // namespace gpurf::analysis

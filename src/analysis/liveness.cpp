@@ -1,0 +1,120 @@
+#include "analysis/liveness.hpp"
+
+#include "analysis/uses.hpp"
+#include "common/error.hpp"
+
+namespace gpurf::analysis {
+
+using gpurf::ir::Kernel;
+using gpurf::ir::Type;
+
+Liveness compute_liveness(const Kernel& k, const Cfg& cfg) {
+  const uint32_t nb = cfg.num_blocks();
+  const uint32_t nr = k.num_regs();
+
+  // Per-block use (upward-exposed) and def (fully-defined) sets.
+  std::vector<DynBitset> use(nb, DynBitset(nr)), def(nb, DynBitset(nr));
+  for (uint32_t b = 0; b < nb; ++b) {
+    for (const auto& in : k.blocks[b].insts) {
+      for_each_use(in, [&](uint32_t r) {
+        if (!def[b].test(r)) use[b].set(r);
+      });
+      const uint32_t d = def_of(in);
+      if (d != gpurf::ir::kNoReg) {
+        if (is_partial_def(in) && !def[b].test(d)) use[b].set(d);
+        def[b].set(d);
+      }
+    }
+  }
+
+  Liveness lv;
+  lv.live_in.assign(nb, DynBitset(nr));
+  lv.live_out.assign(nb, DynBitset(nr));
+
+  // Iterate to fixpoint, walking post-order (reverse of RPO) for speed.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
+      const uint32_t b = *it;
+      DynBitset out(nr);
+      for (uint32_t s : cfg.succs[b]) out.merge(lv.live_in[s]);
+      DynBitset in = out;
+      in.and_not(def[b]);
+      in.merge(use[b]);
+      if (!(out == lv.live_out[b])) {
+        lv.live_out[b] = out;
+        changed = true;
+      }
+      if (!(in == lv.live_in[b])) {
+        lv.live_in[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  lv.live_in[0].for_each_set(
+      [&](size_t r) { lv.undefined_uses.push_back(static_cast<uint32_t>(r)); });
+
+  // Pressure: walk each block backward from live_out, tracking the set of
+  // live data registers.
+  auto is_data = [&](uint32_t r) { return k.regs[r].type != Type::PRED; };
+  uint32_t max_pressure = 0;
+  for (uint32_t b = 0; b < nb; ++b) {
+    DynBitset live = lv.live_out[b];
+    auto count_data = [&]() {
+      uint32_t c = 0;
+      live.for_each_set([&](size_t r) {
+        if (is_data(static_cast<uint32_t>(r))) ++c;
+      });
+      return c;
+    };
+    max_pressure = std::max(max_pressure, count_data());
+    for (auto it = k.blocks[b].insts.rbegin(); it != k.blocks[b].insts.rend();
+         ++it) {
+      const auto& in = *it;
+      const uint32_t d = def_of(in);
+      if (d != gpurf::ir::kNoReg && !is_partial_def(in)) live.reset(d);
+      for_each_use(in, [&](uint32_t r) { live.set(r); });
+      if (d != gpurf::ir::kNoReg && is_partial_def(in)) live.set(d);
+      max_pressure = std::max(max_pressure, count_data());
+    }
+  }
+  lv.max_pressure = max_pressure;
+  return lv;
+}
+
+std::vector<DynBitset> build_interference(const Kernel& k, const Cfg& cfg,
+                                          const Liveness& live) {
+  const uint32_t nr = k.num_regs();
+  std::vector<DynBitset> adj(nr, DynBitset(nr));
+  auto is_data = [&](uint32_t r) { return k.regs[r].type != Type::PRED; };
+  auto add_edges_from = [&](uint32_t d, const DynBitset& liveset) {
+    if (!is_data(d)) return;
+    liveset.for_each_set([&](size_t rr) {
+      const uint32_t r = static_cast<uint32_t>(rr);
+      if (r == d || !is_data(r)) return;
+      adj[d].set(r);
+      adj[r].set(d);
+    });
+  };
+
+  for (uint32_t b = 0; b < cfg.num_blocks(); ++b) {
+    DynBitset cur = live.live_out[b];
+    for (auto it = k.blocks[b].insts.rbegin(); it != k.blocks[b].insts.rend();
+         ++it) {
+      const auto& in = *it;
+      const uint32_t d = def_of(in);
+      if (d != gpurf::ir::kNoReg) {
+        if (is_partial_def(in)) cur.set(d);
+        // The def interferes with everything live across it.
+        add_edges_from(d, cur);
+        if (!is_partial_def(in)) cur.reset(d);
+      }
+      for_each_use(in, [&](uint32_t r) { cur.set(r); });
+    }
+  }
+  return adj;
+}
+
+}  // namespace gpurf::analysis

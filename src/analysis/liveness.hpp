@@ -1,0 +1,37 @@
+#pragma once
+// Backward dataflow liveness over virtual registers, register-pressure
+// measurement, and the interference graph used by both allocators.
+//
+// Register pressure is defined as in the paper (§2): the maximum number of
+// live 32-bit data registers at any program point; predicate registers live
+// in a separate predicate file and are not counted.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "common/bitset.hpp"
+#include "ir/kernel.hpp"
+
+namespace gpurf::analysis {
+
+struct Liveness {
+  std::vector<DynBitset> live_in;   ///< per block
+  std::vector<DynBitset> live_out;  ///< per block
+  /// Maximum simultaneous live *data* (non-predicate) registers.
+  uint32_t max_pressure = 0;
+  /// Registers live-in at the entry block — must be empty for well-formed
+  /// kernels (no use of an undefined register).  Exposed for tests.
+  std::vector<uint32_t> undefined_uses;
+};
+
+Liveness compute_liveness(const gpurf::ir::Kernel& k, const Cfg& cfg);
+
+/// Symmetric interference graph over data registers: adj[r] has bit s set if
+/// r and s are simultaneously live (or co-defined).  Predicate registers get
+/// empty rows.
+std::vector<DynBitset> build_interference(const gpurf::ir::Kernel& k,
+                                          const Cfg& cfg,
+                                          const Liveness& live);
+
+}  // namespace gpurf::analysis

@@ -1,0 +1,47 @@
+#pragma once
+// Static integer range analysis in the style of Pereira et al. [CGO'13],
+// the framework the paper adopts in §4.2 to find narrow integer operands.
+//
+// Pipeline:
+//   1. SSA construction (dominance frontiers, pruned phi placement).
+//   2. e-SSA: sigma nodes on the outgoing edges of conditional branches,
+//      capturing the inequality enforced by the branch (Fig. 8b).
+//   3. A constraint graph whose strongly-connected components are solved in
+//      topological order with the classic three phases: growth analysis with
+//      jump-to-infinity widening, future (sigma-bound) resolution, and
+//      narrowing (Fig. 8c).
+//   4. Per-register merge: the union of the ranges of all SSA definitions of
+//      each original register, from which the required bitwidth and
+//      signedness are derived (Fig. 8d).
+//
+// Special registers (%tid, %ctaid, ...) are seeded from the launch
+// configuration; parameters use their declared range contract or the full
+// type range, as ptxas would.
+
+#include <vector>
+
+#include "analysis/interval.hpp"
+#include "ir/kernel.hpp"
+
+namespace gpurf::analysis {
+
+struct IntWidthInfo {
+  Interval range = Interval::full_s32();
+  int bits = 32;          ///< bits that must be stored (1..32)
+  bool is_signed = true;  ///< needs sign extension on read (lo < 0)
+  bool analyzed = false;  ///< true only for integer data registers
+};
+
+struct RangeAnalysisResult {
+  std::vector<IntWidthInfo> regs;  ///< indexed by kernel register id
+  int num_nodes = 0;               ///< constraint-graph size (stats)
+  int num_sccs = 0;
+
+  /// Total 4-bit slices needed by an integer register under this analysis.
+  int slices_for_reg(uint32_t r) const;
+};
+
+RangeAnalysisResult analyze_ranges(const gpurf::ir::Kernel& k,
+                                   const gpurf::ir::LaunchConfig& lc);
+
+}  // namespace gpurf::analysis

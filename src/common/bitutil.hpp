@@ -1,0 +1,78 @@
+#pragma once
+// Bit-manipulation helpers used throughout the register-file models and the
+// static bitwidth analysis.
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace gpurf {
+
+/// Number of bits required to represent the unsigned value `v`
+/// (0 needs 1 bit by convention so every value occupies at least one slice).
+constexpr int bits_for_unsigned(uint64_t v) {
+  return v == 0 ? 1 : 64 - std::countl_zero(v);
+}
+
+/// Number of bits required to hold every integer in the *signed* range
+/// [lo, hi] in two's complement.  Requires lo <= hi.
+constexpr int bits_for_signed_range(int64_t lo, int64_t hi) {
+  // Negative side: value v < 0 needs bits_for_unsigned(~v) + 1 bits
+  // (e.g. -1 -> 1 bit of magnitude-pattern + sign = 1 bit total pattern 1).
+  // Simplest correct formulation: find smallest n with
+  //   -(2^(n-1)) <= lo  and  hi <= 2^(n-1) - 1.
+  for (int n = 1; n <= 64; ++n) {
+    const int64_t min_v = (n == 64) ? INT64_MIN : -(int64_t(1) << (n - 1));
+    const int64_t max_v =
+        (n == 64) ? INT64_MAX : (int64_t(1) << (n - 1)) - 1;
+    if (lo >= min_v && hi <= max_v) return n;
+  }
+  return 64;
+}
+
+/// Number of bits required to hold every integer in the *unsigned* range
+/// [lo, hi]; requires 0 <= lo <= hi.
+constexpr int bits_for_unsigned_range(uint64_t /*lo*/, uint64_t hi) {
+  return bits_for_unsigned(hi);
+}
+
+/// Round a bit count up to whole 4-bit register slices.
+inline int slices_for_bits(int bits) {
+  GPURF_ASSERT(bits >= 1 && bits <= 32, "bit count out of range: " << bits);
+  return (bits + 3) / 4;
+}
+
+/// Sign-extend the low `bits` bits of `v` to a full 32-bit signed integer.
+inline int32_t sign_extend(uint32_t v, int bits) {
+  GPURF_ASSERT(bits >= 1 && bits <= 32, "sign_extend bits " << bits);
+  if (bits == 32) return static_cast<int32_t>(v);
+  const uint32_t m = 1u << (bits - 1);
+  const uint32_t x = v & ((1u << bits) - 1);
+  return static_cast<int32_t>((x ^ m) - m);
+}
+
+/// Zero-extend (mask) the low `bits` bits of `v`.
+inline uint32_t zero_extend(uint32_t v, int bits) {
+  GPURF_ASSERT(bits >= 1 && bits <= 32, "zero_extend bits " << bits);
+  if (bits == 32) return v;
+  return v & ((1u << bits) - 1);
+}
+
+/// Mask with the low `n` bits set (n in [0,32]).
+inline uint32_t low_mask(int n) {
+  GPURF_ASSERT(n >= 0 && n <= 32, "low_mask " << n);
+  return n == 32 ? 0xffffffffu : ((1u << n) - 1);
+}
+
+/// Reinterpret float <-> raw bits (no conversion).
+inline uint32_t float_bits(float f) { return std::bit_cast<uint32_t>(f); }
+inline float bits_float(uint32_t b) { return std::bit_cast<float>(b); }
+
+/// Integer ceiling division for non-negative operands.
+inline uint64_t ceil_div(uint64_t a, uint64_t b) {
+  GPURF_ASSERT(b != 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+}  // namespace gpurf

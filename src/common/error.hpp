@@ -1,0 +1,55 @@
+#pragma once
+// Error-handling primitives shared by every gpurf module.
+//
+// Two tiers, following the C++ Core Guidelines split between programming
+// errors and recoverable conditions:
+//   * GPURF_CHECK  — recoverable / input-dependent condition; throws
+//                    gpurf::Error with a formatted message (used by the
+//                    assembler, verifier and host-facing configuration code).
+//   * GPURF_ASSERT — internal invariant; aborts in all build types so that
+//                    simulator state corruption can never be silently ignored.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpurf {
+
+/// Exception type for recoverable, user-visible failures (bad assembly text,
+/// inconsistent kernel configuration, out-of-range launch parameters, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "gpurf assertion failed: %s\n  at %s:%d\n  %s\n", cond,
+               file, line, msg.c_str());
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace gpurf
+
+#define GPURF_CHECK(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << msg;                                                   \
+      throw ::gpurf::Error(oss_.str());                              \
+    }                                                                \
+  } while (0)
+
+#define GPURF_ASSERT(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << msg;                                                   \
+      ::gpurf::detail::assert_fail(#cond, __FILE__, __LINE__,        \
+                                   oss_.str());                      \
+    }                                                                \
+  } while (0)

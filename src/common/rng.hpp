@@ -1,0 +1,69 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every workload input, texture and sample set in the reproduction is
+// generated from an explicitly seeded generator so that analyses, quality
+// scores and simulator statistics are bit-reproducible across runs and
+// machines.  PCG32 (O'Neill 2014) is used: small state, good quality, and a
+// streaming interface that is cheap enough for per-thread use inside kernels.
+
+#include <cstdint>
+
+namespace gpurf {
+
+/// PCG32: 64-bit state, 32-bit output, period 2^64 per stream.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  uint32_t next_u32() {
+    const uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const uint32_t xorshifted =
+        static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+    const uint32_t rot = static_cast<uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Uniform in [0, bound) without modulo bias.
+  uint32_t next_below(uint32_t bound) {
+    if (bound <= 1) return 0;
+    const uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      const uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + (hi - lo) * next_float();
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// SplitMix64 — used to derive independent seeds from one master seed.
+inline uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace gpurf

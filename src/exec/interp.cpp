@@ -1,0 +1,417 @@
+#include "exec/interp.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "analysis/cfg.hpp"
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace gpurf::exec {
+
+namespace ir = gpurf::ir;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+
+namespace {
+
+int32_t as_s(uint32_t v) { return static_cast<int32_t>(v); }
+float as_f(uint32_t v) { return bits_float(v); }
+uint32_t from_s(int32_t v) { return static_cast<uint32_t>(v); }
+uint32_t from_f(float v) { return float_bits(v); }
+
+/// Wrapping 32-bit multiply (hardware semantics, no UB).
+uint32_t mul32(uint32_t a, uint32_t b) {
+  return static_cast<uint32_t>(
+      static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+}
+
+int32_t sdiv(int32_t a, int32_t b) {
+  if (b == 0) return 0;                      // deterministic, like saturating HW
+  if (a == INT32_MIN && b == -1) return INT32_MIN;
+  return a / b;
+}
+int32_t srem(int32_t a, int32_t b) {
+  if (b == 0) return 0;
+  if (a == INT32_MIN && b == -1) return 0;
+  return a % b;
+}
+
+int32_t f2s(float v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 2147483647.0f) return INT32_MAX;
+  if (v <= -2147483648.0f) return INT32_MIN;
+  return static_cast<int32_t>(v);  // trunc toward zero
+}
+uint32_t f2u(float v) {
+  if (std::isnan(v) || v <= 0.0f) return 0;
+  if (v >= 4294967295.0f) return UINT32_MAX;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+BlockExec::BlockExec(ExecContext& ctx, uint32_t ctaid_x, uint32_t ctaid_y)
+    : ctx_(ctx),
+      k_(*ctx.kernel),
+      ctaid_x_(ctaid_x),
+      ctaid_y_(ctaid_y) {
+  const auto cfg = analysis::build_cfg(k_);
+  ipdom_ = analysis::compute_ipdom(cfg);
+
+  const uint32_t tpb = ctx.launch.threads_per_block();
+  const uint32_t nwarps = ctx.launch.warps_per_block();
+  warps_.reserve(nwarps);
+  for (uint32_t w = 0; w < nwarps; ++w) {
+    const uint32_t first = w * kWarpSize;
+    uint32_t valid = 0;
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+      if (first + l < tpb) valid |= (1u << l);
+    warps_.emplace_back(k_.num_regs(), w, valid);
+  }
+  shared_.assign((k_.shared_bytes + 3) / 4 + 1, 0);
+}
+
+bool BlockExec::all_done() const {
+  for (const auto& w : warps_)
+    if (!w.done()) return false;
+  return true;
+}
+
+const Instruction* BlockExec::peek(uint32_t w) const {
+  const WarpState& ws = warps_[w];
+  if (ws.done()) return nullptr;
+  const StackEntry& tos = ws.stack_.back();
+  return &k_.blocks[tos.blk].insts[tos.inst];
+}
+
+uint32_t BlockExec::special_value(ir::Special s, uint32_t warp_in_block,
+                                  uint32_t lane) const {
+  const uint32_t linear = warp_in_block * kWarpSize + lane;
+  const auto& lc = ctx_.launch;
+  switch (s) {
+    case ir::Special::TID_X: return linear % lc.block_x;
+    case ir::Special::TID_Y: return linear / lc.block_x;
+    case ir::Special::CTAID_X: return ctaid_x_;
+    case ir::Special::CTAID_Y: return ctaid_y_;
+    case ir::Special::NTID_X: return lc.block_x;
+    case ir::Special::NTID_Y: return lc.block_y;
+    case ir::Special::NCTAID_X: return lc.grid_x;
+    case ir::Special::NCTAID_Y: return lc.grid_y;
+  }
+  return 0;
+}
+
+uint32_t BlockExec::read_operand(const WarpState& ws, const ir::Operand& o,
+                                 uint32_t lane) const {
+  switch (o.kind) {
+    case ir::Operand::Kind::REG:
+      return ws.reg(o.index, lane);
+    case ir::Operand::Kind::IMM_I:
+      return static_cast<uint32_t>(static_cast<int64_t>(o.imm_i));
+    case ir::Operand::Kind::IMM_F:
+      return from_f(o.imm_f);
+    case ir::Operand::Kind::SPECIAL:
+      return special_value(static_cast<ir::Special>(o.index),
+                           ws.warp_in_block(), lane);
+    case ir::Operand::Kind::PARAM:
+      return ctx_.params.at(o.index);
+  }
+  return 0;
+}
+
+void BlockExec::write_dst(WarpState& ws, const Instruction& in, uint32_t lane,
+                          uint32_t raw) {
+  const uint32_t d = in.dst;
+  const Type t = k_.regs[d].type;
+
+  // Model the sliced register file: a value stored through a narrow float
+  // format is quantized on every write (§3.2.6, Value Truncator).
+  if (t == Type::F32 && ctx_.precision && ctx_.precision->active()) {
+    const auto& fmt = ctx_.precision->format(d);
+    if (!fmt.is_fp32())
+      raw = from_f(gpurf::fp::quantize(as_f(raw), fmt));
+  }
+
+  // Soundness check: integer values must stay inside the statically
+  // computed range (a violation is a range-analysis bug, not a data bug).
+  if (ctx_.range_check && ir::is_int(t)) {
+    const auto& info = ctx_.range_check->regs[d];
+    if (info.analyzed) {
+      const int64_t v = (t == Type::S32)
+                            ? static_cast<int64_t>(as_s(raw))
+                            : static_cast<int64_t>(raw);
+      GPURF_ASSERT(info.range.contains(v),
+                   "range violation: %" << k_.regs[d].name << " = " << v
+                                        << " outside " << info.range.str());
+    }
+  }
+  ws.set_reg(d, lane, raw);
+}
+
+uint32_t BlockExec::exec_lane(const WarpState& ws, const Instruction& in,
+                              uint32_t lane, StepResult& res) const {
+  auto S = [&](int i) { return read_operand(ws, in.srcs[i], lane); };
+  const Type t = in.type;
+
+  switch (in.op) {
+    case Opcode::ADD:
+      return t == Type::F32 ? from_f(as_f(S(0)) + as_f(S(1)))
+                            : S(0) + S(1);
+    case Opcode::SUB:
+      return t == Type::F32 ? from_f(as_f(S(0)) - as_f(S(1)))
+                            : S(0) - S(1);
+    case Opcode::MUL:
+      return t == Type::F32 ? from_f(as_f(S(0)) * as_f(S(1)))
+                            : mul32(S(0), S(1));
+    case Opcode::MAD:
+      return t == Type::F32
+                 ? from_f(as_f(S(0)) * as_f(S(1)) + as_f(S(2)))
+                 : mul32(S(0), S(1)) + S(2);
+    case Opcode::DIV:
+      if (t == Type::F32) return from_f(as_f(S(0)) / as_f(S(1)));
+      if (t == Type::U32) return S(1) == 0 ? 0u : S(0) / S(1);
+      return from_s(sdiv(as_s(S(0)), as_s(S(1))));
+    case Opcode::REM:
+      if (t == Type::U32) return S(1) == 0 ? 0u : S(0) % S(1);
+      return from_s(srem(as_s(S(0)), as_s(S(1))));
+    case Opcode::MIN:
+      if (t == Type::F32) return from_f(std::fmin(as_f(S(0)), as_f(S(1))));
+      if (t == Type::U32) return std::min(S(0), S(1));
+      return from_s(std::min(as_s(S(0)), as_s(S(1))));
+    case Opcode::MAX:
+      if (t == Type::F32) return from_f(std::fmax(as_f(S(0)), as_f(S(1))));
+      if (t == Type::U32) return std::max(S(0), S(1));
+      return from_s(std::max(as_s(S(0)), as_s(S(1))));
+    case Opcode::ABS:
+      if (t == Type::F32) return from_f(std::fabs(as_f(S(0))));
+      return from_s(as_s(S(0)) < 0 ? -as_s(S(0)) : as_s(S(0)));
+    case Opcode::NEG:
+      if (t == Type::F32) return from_f(-as_f(S(0)));
+      return from_s(-as_s(S(0)));
+    case Opcode::AND: return S(0) & S(1);
+    case Opcode::OR: return S(0) | S(1);
+    case Opcode::XOR: return S(0) ^ S(1);
+    case Opcode::NOT: return ~S(0);
+    case Opcode::SHL: return S(0) << (S(1) & 31);
+    case Opcode::SHR:
+      if (t == Type::S32) return from_s(as_s(S(0)) >> (S(1) & 31));
+      return S(0) >> (S(1) & 31);
+    case Opcode::SIN: return from_f(std::sin(as_f(S(0))));
+    case Opcode::COS: return from_f(std::cos(as_f(S(0))));
+    case Opcode::EX2: return from_f(std::exp2(as_f(S(0))));
+    case Opcode::LG2: return from_f(std::log2(as_f(S(0))));
+    case Opcode::SQRT: return from_f(std::sqrt(as_f(S(0))));
+    case Opcode::RSQRT: return from_f(1.0f / std::sqrt(as_f(S(0))));
+    case Opcode::RCP: return from_f(1.0f / as_f(S(0)));
+    case Opcode::MOV: return S(0);
+    case Opcode::SELP: return S(2) != 0 ? S(0) : S(1);
+    case Opcode::CVT: {
+      const uint32_t v = S(0);
+      if (in.cvt_src_type == Type::F32) {
+        return in.type == Type::S32 ? from_s(f2s(as_f(v))) : f2u(as_f(v));
+      }
+      if (in.type == Type::F32) {
+        return in.cvt_src_type == Type::S32
+                   ? from_f(static_cast<float>(as_s(v)))
+                   : from_f(static_cast<float>(v));
+      }
+      return v;  // s32 <-> u32: raw copy
+    }
+    case Opcode::SETP: {
+      const uint32_t a = S(0), b = S(1);
+      bool r = false;
+      auto cmp3 = [&](auto x, auto y) {
+        switch (in.cmp) {
+          case ir::CmpOp::EQ: return x == y;
+          case ir::CmpOp::NE: return x != y;
+          case ir::CmpOp::LT: return x < y;
+          case ir::CmpOp::LE: return x <= y;
+          case ir::CmpOp::GT: return x > y;
+          case ir::CmpOp::GE: return x >= y;
+        }
+        return false;
+      };
+      if (t == Type::F32) r = cmp3(as_f(a), as_f(b));
+      else if (t == Type::U32) r = cmp3(a, b);
+      else r = cmp3(as_s(a), as_s(b));
+      return r ? 1u : 0u;
+    }
+    case Opcode::LD_GLOBAL: {
+      const int64_t addr = static_cast<int64_t>(S(0)) + in.mem_offset;
+      GPURF_ASSERT(addr >= 0, "negative global address");
+      res.addr[lane] = static_cast<uint32_t>(addr);
+      return ctx_.gmem->read(static_cast<uint32_t>(addr));
+    }
+    case Opcode::LD_SHARED: {
+      const int64_t addr = static_cast<int64_t>(S(0)) + in.mem_offset;
+      GPURF_ASSERT(addr >= 0 &&
+                       addr < static_cast<int64_t>(shared_.size()),
+                   "shared load out of bounds @" << addr);
+      res.addr[lane] = static_cast<uint32_t>(addr);
+      return shared_[static_cast<size_t>(addr)];
+    }
+    case Opcode::TEX2D: {
+      const auto& tex = ctx_.textures->at(in.tex);
+      const int u = as_s(S(0)), v = as_s(S(1));
+      res.addr[lane] = tex.texel_index(u, v);
+      return from_f(tex.fetch(u, v));
+    }
+    default:
+      GPURF_ASSERT(false, "exec_lane: unexpected opcode");
+      return 0;
+  }
+}
+
+StepResult BlockExec::step(uint32_t w) {
+  WarpState& ws = warps_[w];
+  GPURF_ASSERT(!ws.done_, "step() on a finished warp");
+  StackEntry& tos = ws.stack_.back();
+  GPURF_ASSERT(tos.blk < k_.blocks.size() &&
+                   tos.inst < k_.blocks[tos.blk].insts.size(),
+               "pc out of range");
+  const Instruction& in = k_.blocks[tos.blk].insts[tos.inst];
+
+  StepResult res;
+  res.inst = &in;
+
+  // Guard mask.
+  uint32_t exec_mask = tos.mask;
+  if (in.guard != ir::kNoReg) {
+    uint32_t g = 0;
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+      if ((tos.mask >> l) & 1u)
+        if (ws.reg(in.guard, l) != 0) g |= (1u << l);
+    exec_mask &= in.guard_neg ? ~g : g;
+  }
+  res.active_mask = exec_mask;
+  ctx_.thread_insts += std::popcount(exec_mask);
+
+  // Data-path execution (control instructions have no lane effects).
+  if (in.op != Opcode::BRA && in.op != Opcode::RET && in.op != Opcode::BAR) {
+    const bool has_dst = in.info().has_dst;
+    if (in.op == Opcode::ST_GLOBAL || in.op == Opcode::ST_SHARED) {
+      for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        const int64_t addr =
+            static_cast<int64_t>(read_operand(ws, in.srcs[0], l)) +
+            in.mem_offset;
+        GPURF_ASSERT(addr >= 0, "negative store address");
+        res.addr[l] = static_cast<uint32_t>(addr);
+        const uint32_t v = read_operand(ws, in.srcs[1], l);
+        if (in.op == Opcode::ST_GLOBAL) {
+          ctx_.gmem->write(static_cast<uint32_t>(addr), v);
+        } else {
+          GPURF_ASSERT(addr < static_cast<int64_t>(shared_.size()),
+                       "shared store out of bounds @" << addr);
+          shared_[static_cast<size_t>(addr)] = v;
+        }
+      }
+    } else {
+      for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        const uint32_t v = exec_lane(ws, in, l, res);
+        if (has_dst) write_dst(ws, in, l, v);
+      }
+    }
+  }
+
+  advance(ws, in, exec_mask, res);
+  return res;
+}
+
+void BlockExec::advance(WarpState& ws, const Instruction& in,
+                        uint32_t exec_mask, StepResult& res) {
+  StackEntry& tos = ws.stack_.back();
+  const uint32_t b = tos.blk;
+
+  if (in.op == Opcode::RET) {
+    GPURF_ASSERT(ws.stack_.size() == 1 && in.guard == ir::kNoReg,
+                 "divergent or guarded RET is not supported");
+    ws.done_ = true;
+    res.warp_done = true;
+    return;
+  }
+  if (in.op == Opcode::BAR) res.at_barrier = true;
+
+  if (in.op == Opcode::BRA) {
+    const uint32_t taken_blk = in.target;
+    const uint32_t ft_blk = b + 1;
+    const uint32_t taken = exec_mask;
+    const uint32_t nottaken = tos.mask & ~exec_mask;
+    if (nottaken == 0) {
+      tos.blk = taken_blk;
+      tos.inst = 0;
+      pop_reconverged(ws);
+    } else if (taken == 0) {
+      GPURF_ASSERT(ft_blk < k_.blocks.size(), "fallthrough out of range");
+      tos.blk = ft_blk;
+      tos.inst = 0;
+      pop_reconverged(ws);
+    } else {
+      // Divergence: continue at the immediate post-dominator once both
+      // sides reconverge (§3.1 lockstep execution).
+      const uint32_t rpc = ipdom_[b];
+      GPURF_ASSERT(rpc != ir::kNoBlock,
+                   "divergent branch without reconvergence point");
+      tos.blk = rpc;
+      tos.inst = 0;
+      ws.stack_.push_back(StackEntry{ft_blk, 0, rpc, nottaken});
+      ws.stack_.push_back(StackEntry{taken_blk, 0, rpc, taken});
+      // A side whose first block *is* the reconvergence point has nothing
+      // to execute before reconverging (e.g. a loop-exit branch straight to
+      // the join): pop it immediately so it waits in the continuation.
+      pop_reconverged(ws);
+    }
+    return;
+  }
+
+  // Straight-line advance.
+  if (tos.inst + 1 < k_.blocks[b].insts.size()) {
+    ++tos.inst;
+    return;
+  }
+  GPURF_ASSERT(b + 1 < k_.blocks.size(), "control fell off the kernel");
+  tos.blk = b + 1;
+  tos.inst = 0;
+  pop_reconverged(ws);
+}
+
+void BlockExec::pop_reconverged(WarpState& ws) {
+  while (ws.stack_.size() > 1) {
+    const StackEntry& t = ws.stack_.back();
+    if (t.blk == t.rpc_blk && t.inst == 0) {
+      ws.stack_.pop_back();
+    } else {
+      break;
+    }
+  }
+}
+
+void BlockExec::run_to_completion() {
+  while (!all_done()) {
+    bool progress = false;
+    for (uint32_t w = 0; w < num_warps(); ++w) {
+      while (!warps_[w].done()) {
+        const StepResult r = step(w);
+        progress = true;
+        if (r.at_barrier) break;  // rotate to the next warp at barriers
+      }
+    }
+    GPURF_ASSERT(progress, "block deadlocked");
+  }
+}
+
+uint64_t run_functional(ExecContext& ctx) {
+  GPURF_ASSERT(ctx.kernel && ctx.gmem, "incomplete ExecContext");
+  ctx.thread_insts = 0;
+  for (uint32_t by = 0; by < ctx.launch.grid_y; ++by)
+    for (uint32_t bx = 0; bx < ctx.launch.grid_x; ++bx) {
+      BlockExec be(ctx, bx, by);
+      be.run_to_completion();
+    }
+  return ctx.thread_insts;
+}
+
+}  // namespace gpurf::exec

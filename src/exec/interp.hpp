@@ -1,0 +1,124 @@
+#pragma once
+// Functional SIMT interpreter.
+//
+// Threads execute in warps of 32 in lockstep; control-flow divergence is
+// handled with a reconvergence stack whose reconvergence points are the
+// immediate post-dominators of the branching blocks — the same mechanism
+// GPGPU-Sim models for the paper's baseline (§3.1).
+//
+// The interpreter serves two masters:
+//  * standalone functional runs (reference outputs and the precision
+//    tuner's quality probes), via run_functional();
+//  * the cycle-level timing simulator, which drives warps one instruction
+//    at a time through BlockExec::step() and reads back the memory trace
+//    of each instruction for its cache / coalescing model.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/machine.hpp"
+#include "ir/kernel.hpp"
+
+namespace gpurf::exec {
+
+constexpr uint32_t kWarpSize = 32;
+
+/// One reconvergence-stack entry: execute from (blk, inst) with `mask`
+/// until reaching block `rpc_blk` (kNoBlock = kernel exit).
+struct StackEntry {
+  uint32_t blk = 0;
+  uint32_t inst = 0;
+  uint32_t rpc_blk = gpurf::ir::kNoBlock;
+  uint32_t mask = 0;
+};
+
+/// Result of executing one warp instruction; consumed by the timing model.
+struct StepResult {
+  const gpurf::ir::Instruction* inst = nullptr;
+  uint32_t active_mask = 0;  ///< lanes that actually executed
+  bool warp_done = false;
+  bool at_barrier = false;
+  /// Memory trace: per-lane word address (global/shared) or texel index
+  /// (texture); valid for lanes set in active_mask of memory instructions.
+  std::array<uint32_t, kWarpSize> addr{};
+};
+
+class WarpState {
+ public:
+  WarpState(uint32_t num_regs, uint32_t warp_in_block, uint32_t valid_mask)
+      : regs_(size_t(num_regs) * kWarpSize, 0),
+        warp_in_block_(warp_in_block),
+        valid_mask_(valid_mask) {
+    stack_.push_back(
+        StackEntry{0, 0, gpurf::ir::kNoBlock, valid_mask});
+  }
+
+  uint32_t reg(uint32_t r, uint32_t lane) const {
+    return regs_[size_t(r) * kWarpSize + lane];
+  }
+  void set_reg(uint32_t r, uint32_t lane, uint32_t v) {
+    regs_[size_t(r) * kWarpSize + lane] = v;
+  }
+
+  bool done() const { return done_; }
+  uint32_t warp_in_block() const { return warp_in_block_; }
+  uint32_t valid_mask() const { return valid_mask_; }
+  const std::vector<StackEntry>& stack() const { return stack_; }
+
+ private:
+  friend class BlockExec;
+  std::vector<uint32_t> regs_;
+  std::vector<StackEntry> stack_;
+  uint32_t warp_in_block_;
+  uint32_t valid_mask_;
+  bool done_ = false;
+};
+
+/// Execution state of one thread block: its warps plus shared memory.
+class BlockExec {
+ public:
+  BlockExec(ExecContext& ctx, uint32_t ctaid_x, uint32_t ctaid_y);
+
+  uint32_t num_warps() const { return static_cast<uint32_t>(warps_.size()); }
+  const WarpState& warp(uint32_t w) const { return warps_[w]; }
+  bool warp_done(uint32_t w) const { return warps_[w].done(); }
+  bool all_done() const;
+
+  /// The instruction the warp will execute next (nullptr when done).
+  const gpurf::ir::Instruction* peek(uint32_t w) const;
+
+  /// Execute exactly one warp instruction.
+  StepResult step(uint32_t w);
+
+  /// Run the whole block functionally, respecting barriers by rotating
+  /// between warps at barrier boundaries.
+  void run_to_completion();
+
+ private:
+  uint32_t read_operand(const WarpState& ws, const gpurf::ir::Operand& o,
+                        uint32_t lane) const;
+  void write_dst(WarpState& ws, const gpurf::ir::Instruction& in,
+                 uint32_t lane, uint32_t raw);
+  uint32_t special_value(gpurf::ir::Special s, uint32_t warp_in_block,
+                         uint32_t lane) const;
+  uint32_t exec_lane(const WarpState& ws, const gpurf::ir::Instruction& in,
+                     uint32_t lane, StepResult& res) const;
+  void advance(WarpState& ws, const gpurf::ir::Instruction& in,
+               uint32_t exec_mask, StepResult& res);
+  void pop_reconverged(WarpState& ws);
+
+  ExecContext& ctx_;
+  const gpurf::ir::Kernel& k_;
+  uint32_t ctaid_x_, ctaid_y_;
+  std::vector<WarpState> warps_;
+  std::vector<uint32_t> shared_;
+  std::vector<uint32_t> ipdom_;
+};
+
+/// Run the entire grid functionally (block by block).  Returns the total
+/// number of thread instructions executed.
+uint64_t run_functional(ExecContext& ctx);
+
+}  // namespace gpurf::exec

@@ -1,0 +1,127 @@
+#pragma once
+// Machine-level state shared by the functional interpreter and the timing
+// simulator: global memory, textures, launch parameters, and the optional
+// precision / range-check hooks.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/range_analysis.hpp"
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+#include "fp/format.hpp"
+#include "ir/kernel.hpp"
+
+namespace gpurf::exec {
+
+/// Flat word-addressed global memory.  Buffers are bump-allocated; an
+/// address is an index into the word array.  A 128-byte coalescing line is
+/// 32 consecutive words.
+class GlobalMemory {
+ public:
+  /// Allocate `nwords` zero-initialised words; returns the base address.
+  uint32_t alloc(size_t nwords) {
+    const uint32_t base = static_cast<uint32_t>(words_.size());
+    words_.resize(words_.size() + nwords, 0);
+    return base;
+  }
+
+  uint32_t alloc(std::span<const uint32_t> contents) {
+    const uint32_t base = alloc(contents.size());
+    std::copy(contents.begin(), contents.end(), words_.begin() + base);
+    return base;
+  }
+
+  uint32_t alloc_f32(std::span<const float> contents) {
+    const uint32_t base = alloc(contents.size());
+    for (size_t i = 0; i < contents.size(); ++i)
+      words_[base + i] = gpurf::float_bits(contents[i]);
+    return base;
+  }
+
+  uint32_t read(uint32_t addr) const {
+    GPURF_ASSERT(addr < words_.size(), "global load out of bounds @" << addr);
+    return words_[addr];
+  }
+  void write(uint32_t addr, uint32_t v) {
+    GPURF_ASSERT(addr < words_.size(),
+                 "global store out of bounds @" << addr);
+    words_[addr] = v;
+  }
+
+  std::span<const uint32_t> view(uint32_t base, size_t n) const {
+    GPURF_ASSERT(base + n <= words_.size(), "view out of bounds");
+    return {words_.data() + base, n};
+  }
+
+  std::vector<float> read_f32(uint32_t base, size_t n) const {
+    std::vector<float> out(n);
+    for (size_t i = 0; i < n; ++i)
+      out[i] = gpurf::bits_float(read(base + static_cast<uint32_t>(i)));
+    return out;
+  }
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<uint32_t> words_;
+};
+
+/// 2-D float texture with nearest filtering and clamp-to-edge addressing,
+/// fetched through the texture cache in the timing model.
+struct Texture {
+  int width = 0;
+  int height = 0;
+  std::vector<float> texels;
+
+  float fetch(int u, int v) const {
+    u = std::clamp(u, 0, width - 1);
+    v = std::clamp(v, 0, height - 1);
+    return texels[size_t(v) * width + u];
+  }
+  /// Linear texel index after clamping (used as the cache key).
+  uint32_t texel_index(int u, int v) const {
+    u = std::clamp(u, 0, width - 1);
+    v = std::clamp(v, 0, height - 1);
+    return static_cast<uint32_t>(v) * width + static_cast<uint32_t>(u);
+  }
+};
+
+/// Per-f32-register storage format assignment produced by the precision
+/// tuner.  Empty per_reg means "everything is binary32".
+struct PrecisionMap {
+  std::vector<gpurf::fp::FloatFormat> per_reg;
+
+  bool active() const { return !per_reg.empty(); }
+  const gpurf::fp::FloatFormat& format(uint32_t reg) const {
+    return per_reg.at(reg);
+  }
+  /// Total f32 slice count under this assignment (8 slices when inactive).
+  int slices(uint32_t reg) const {
+    return active() ? per_reg.at(reg).slices() : 8;
+  }
+};
+
+/// Everything a kernel launch needs, plus optional instrumentation:
+///  * precision — quantize every f32 register write through its format
+///    (models the sliced register file's storage, §3.2.6),
+///  * range_check — assert every integer register write stays inside the
+///    statically computed range (validates analysis soundness).
+struct ExecContext {
+  const gpurf::ir::Kernel* kernel = nullptr;
+  gpurf::ir::LaunchConfig launch;
+  GlobalMemory* gmem = nullptr;
+  const std::vector<Texture>* textures = nullptr;
+  std::vector<uint32_t> params;
+
+  const PrecisionMap* precision = nullptr;
+  const analysis::RangeAnalysisResult* range_check = nullptr;
+
+  // Statistics accumulated during execution.
+  uint64_t thread_insts = 0;
+};
+
+}  // namespace gpurf::exec

@@ -1,0 +1,114 @@
+#include "fp/format.hpp"
+
+#include <cmath>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace gpurf::fp {
+
+const std::array<FloatFormat, 7>& table3_formats() {
+  static const std::array<FloatFormat, 7> kFormats = {{
+      {32, 8, 23},
+      {28, 7, 20},
+      {24, 6, 17},
+      {20, 5, 14},
+      {16, 5, 10},
+      {12, 4, 7},
+      {8, 3, 4},
+  }};
+  return kFormats;
+}
+
+FloatFormat format_for_bits(int total_bits) {
+  for (const auto& f : table3_formats())
+    if (f.total_bits == total_bits) return f;
+  GPURF_CHECK(false, "no Table-3 float format with " << total_bits << " bits");
+  return {};
+}
+
+uint32_t encode(float v, const FloatFormat& fmt) {
+  const uint32_t raw = float_bits(v);
+  if (fmt.is_fp32()) return raw;
+
+  const uint32_t sign = raw >> 31;
+  const int exp = static_cast<int>((raw >> 23) & 0xff);
+  const uint32_t man = raw & 0x7fffff;
+
+  const int mb = fmt.man_bits;
+  const uint32_t sign_shifted = sign << (fmt.total_bits - 1);
+  const uint32_t exp_mask_target = static_cast<uint32_t>(fmt.max_exp_field());
+
+  if (exp == 0xff) {
+    // Inf / NaN: all-ones exponent in the target too.
+    uint32_t out = sign_shifted | (exp_mask_target << mb);
+    if (man != 0) out |= (1u << (mb - 1));  // canonical quiet NaN
+    return out;
+  }
+  if (exp == 0) {
+    // binary32 denormal (or zero): flush to signed zero.
+    return sign_shifted;
+  }
+
+  // Normal number: re-bias the exponent, round the mantissa (RNE).
+  int e_target = exp - 127 + fmt.bias();
+  uint32_t m = man;
+  const int drop = 23 - mb;
+  uint32_t m_hi = m >> drop;
+  const uint32_t round_bit = (m >> (drop - 1)) & 1u;
+  const uint32_t sticky = m & low_mask(drop - 1);
+  if (round_bit && (sticky != 0 || (m_hi & 1u))) {
+    ++m_hi;
+    if (m_hi == (1u << mb)) {  // mantissa overflow: 1.111.. -> 10.000..
+      m_hi = 0;
+      ++e_target;
+    }
+  }
+
+  if (e_target >= fmt.max_exp_field()) {
+    // Overflow: saturate to infinity.
+    return sign_shifted | (exp_mask_target << mb);
+  }
+  if (e_target <= 0) {
+    // Would be a target denormal: flush to zero.
+    return sign_shifted;
+  }
+  return sign_shifted | (static_cast<uint32_t>(e_target) << mb) | m_hi;
+}
+
+float decode(uint32_t bits, const FloatFormat& fmt) {
+  if (fmt.is_fp32()) return bits_float(bits);
+
+  const int mb = fmt.man_bits;
+  const uint32_t sign = (bits >> (fmt.total_bits - 1)) & 1u;
+  const uint32_t e = (bits >> mb) & static_cast<uint32_t>(fmt.max_exp_field());
+  const uint32_t m = bits & low_mask(mb);
+
+  if (e == 0) {
+    // Zero (denormals are never produced by encode).
+    return bits_float(sign << 31);
+  }
+  if (e == static_cast<uint32_t>(fmt.max_exp_field())) {
+    if (m == 0) return bits_float((sign << 31) | 0x7f800000u);  // inf
+    return bits_float((sign << 31) | 0x7fc00000u);              // quiet NaN
+  }
+  const int exp32 = static_cast<int>(e) - fmt.bias() + 127;
+  GPURF_ASSERT(exp32 > 0 && exp32 < 255,
+               "re-biased exponent escaped binary32 range");
+  const uint32_t man32 = m << (23 - mb);
+  return bits_float((sign << 31) | (static_cast<uint32_t>(exp32) << 23) |
+                    man32);
+}
+
+float quantize(float v, const FloatFormat& fmt) {
+  if (fmt.is_fp32()) return v;
+  return decode(encode(v, fmt), fmt);
+}
+
+bool exactly_representable(float v, const FloatFormat& fmt) {
+  const float q = quantize(v, fmt);
+  if (std::isnan(v)) return std::isnan(q);
+  return float_bits(q) == float_bits(v);
+}
+
+}  // namespace gpurf::fp

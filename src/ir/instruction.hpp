@@ -1,0 +1,98 @@
+#pragma once
+// Instruction representation of the PTX-like virtual ISA.
+//
+// Design notes
+// ------------
+// * Registers are *virtual* (unbounded count, typed).  The slice allocator
+//   later maps them to physical registers + slice masks, mirroring the
+//   paper's PTX-level workflow (§5.1).
+// * Memory is word-addressed: addresses and load/store offsets count 32-bit
+//   words.  A 128-byte coalescing line therefore spans 32 consecutive words.
+// * Every instruction may be guarded by a predicate (`@%p` / `@!%p`), which
+//   the interpreter folds into the active mask.
+
+#include <array>
+#include <cstdint>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace gpurf::ir {
+
+constexpr uint32_t kNoReg = UINT32_MAX;
+constexpr uint32_t kNoBlock = UINT32_MAX;
+
+/// Special read-only hardware registers (PTX %tid etc.).
+enum class Special : uint8_t {
+  TID_X, TID_Y, CTAID_X, CTAID_Y, NTID_X, NTID_Y, NCTAID_X, NCTAID_Y,
+};
+constexpr int kNumSpecials = static_cast<int>(Special::NCTAID_Y) + 1;
+
+std::string_view special_name(Special s);
+
+/// A source operand: virtual register, immediate, special register or
+/// kernel parameter.
+struct Operand {
+  enum class Kind : uint8_t { REG, IMM_I, IMM_F, SPECIAL, PARAM };
+
+  Kind kind = Kind::IMM_I;
+  uint32_t index = 0;  ///< reg id / param index / Special enum value
+  int64_t imm_i = 0;   ///< integer immediate payload
+  float imm_f = 0.f;   ///< float immediate payload
+
+  static Operand reg(uint32_t id) {
+    Operand o;
+    o.kind = Kind::REG;
+    o.index = id;
+    return o;
+  }
+  static Operand imm(int64_t v) {
+    Operand o;
+    o.kind = Kind::IMM_I;
+    o.imm_i = v;
+    return o;
+  }
+  static Operand immf(float v) {
+    Operand o;
+    o.kind = Kind::IMM_F;
+    o.imm_f = v;
+    return o;
+  }
+  static Operand special(Special s) {
+    Operand o;
+    o.kind = Kind::SPECIAL;
+    o.index = static_cast<uint32_t>(s);
+    return o;
+  }
+  static Operand param(uint32_t idx) {
+    Operand o;
+    o.kind = Kind::PARAM;
+    o.index = idx;
+    return o;
+  }
+
+  bool is_reg() const { return kind == Kind::REG; }
+};
+
+/// One warp-wide instruction.
+struct Instruction {
+  Opcode op = Opcode::MOV;
+  Type type = Type::S32;          ///< operation type (dst type for CVT)
+  Type cvt_src_type = Type::S32;  ///< CVT only: source type
+  CmpOp cmp = CmpOp::EQ;          ///< SETP only
+
+  uint32_t dst = kNoReg;          ///< destination register (or predicate)
+  std::array<Operand, 3> srcs{};
+  uint8_t num_srcs = 0;
+
+  uint32_t guard = kNoReg;        ///< guard predicate register
+  bool guard_neg = false;         ///< @!%p
+
+  uint32_t target = kNoBlock;     ///< BRA: destination block index
+  int32_t mem_offset = 0;         ///< LD/ST: immediate word offset
+  uint32_t tex = 0;               ///< TEX2D: texture slot index
+
+  const OpcodeInfo& info() const { return opcode_info(op); }
+};
+
+}  // namespace gpurf::ir

@@ -1,0 +1,77 @@
+#include "ir/kernel.hpp"
+
+#include "common/error.hpp"
+
+namespace gpurf::ir {
+
+std::string_view special_name(Special s) {
+  switch (s) {
+    case Special::TID_X: return "%tid.x";
+    case Special::TID_Y: return "%tid.y";
+    case Special::CTAID_X: return "%ctaid.x";
+    case Special::CTAID_Y: return "%ctaid.y";
+    case Special::NTID_X: return "%ntid.x";
+    case Special::NTID_Y: return "%ntid.y";
+    case Special::NCTAID_X: return "%nctaid.x";
+    case Special::NCTAID_Y: return "%nctaid.y";
+  }
+  return "?";
+}
+
+uint32_t Kernel::find_reg(std::string_view n) const {
+  for (uint32_t i = 0; i < regs.size(); ++i)
+    if (regs[i].name == n) return i;
+  return kNoReg;
+}
+
+uint32_t Kernel::find_param(std::string_view n) const {
+  for (uint32_t i = 0; i < params.size(); ++i)
+    if (params[i].name == n) return i;
+  return UINT32_MAX;
+}
+
+uint32_t Kernel::find_block(std::string_view label) const {
+  for (uint32_t i = 0; i < blocks.size(); ++i)
+    if (blocks[i].label == label) return i;
+  return kNoBlock;
+}
+
+size_t Kernel::num_insts() const {
+  size_t n = 0;
+  for (const auto& b : blocks) n += b.insts.size();
+  return n;
+}
+
+uint32_t Kernel::num_data_regs() const {
+  uint32_t n = 0;
+  for (const auto& r : regs)
+    if (r.type != Type::PRED) ++n;
+  return n;
+}
+
+std::vector<uint32_t> Kernel::successors(uint32_t b) const {
+  GPURF_ASSERT(b < blocks.size(), "bad block index " << b);
+  const auto& blk = blocks[b];
+  std::vector<uint32_t> out;
+  if (blk.insts.empty()) {
+    if (b + 1 < blocks.size()) out.push_back(b + 1);
+    return out;
+  }
+  const Instruction& last = blk.insts.back();
+  if (last.op == Opcode::RET) return out;
+  if (last.op == Opcode::BRA) {
+    out.push_back(last.target);
+    if (last.guard != kNoReg && b + 1 < blocks.size() &&
+        last.target != b + 1) {
+      out.push_back(b + 1);
+    } else if (last.guard != kNoReg && b + 1 < blocks.size() &&
+               last.target == b + 1) {
+      // Degenerate conditional branch to the fall-through block.
+    }
+    return out;
+  }
+  if (b + 1 < blocks.size()) out.push_back(b + 1);
+  return out;
+}
+
+}  // namespace gpurf::ir

@@ -1,0 +1,88 @@
+#pragma once
+// Kernel container: registers, parameters, textures, basic blocks, and the
+// launch geometry used both by the interpreter and by the static analyses.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+#include "ir/type.hpp"
+
+namespace gpurf::ir {
+
+/// Declared virtual register.
+struct RegInfo {
+  std::string name;  ///< without the leading '%'
+  Type type = Type::S32;
+};
+
+/// Optional static value-range contract on an integer parameter, usable by
+/// the range analysis (e.g. an image width known to be <= 4096).  Parameters
+/// without a contract are treated as full-range, exactly like ptxas would.
+struct ParamRange {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+struct ParamInfo {
+  std::string name;
+  Type type = Type::U32;
+  std::optional<ParamRange> range;  ///< integer params only
+};
+
+struct TexInfo {
+  std::string name;
+};
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Instruction> insts;
+};
+
+/// CUDA-style launch geometry (2-D grid of 2-D blocks).  Threads are
+/// linearised x-major into warps of 32.
+struct LaunchConfig {
+  uint32_t grid_x = 1, grid_y = 1;
+  uint32_t block_x = 32, block_y = 1;
+
+  uint32_t threads_per_block() const { return block_x * block_y; }
+  uint32_t warps_per_block() const {
+    return (threads_per_block() + 31) / 32;
+  }
+  uint32_t num_blocks() const { return grid_x * grid_y; }
+};
+
+class Kernel {
+ public:
+  std::string name;
+  std::vector<RegInfo> regs;
+  std::vector<ParamInfo> params;
+  std::vector<TexInfo> textures;
+  std::vector<BasicBlock> blocks;
+  uint32_t shared_bytes = 0;  ///< static shared memory per block
+
+  uint32_t num_regs() const { return static_cast<uint32_t>(regs.size()); }
+
+  /// Find a register id by name; returns kNoReg if absent.
+  uint32_t find_reg(std::string_view n) const;
+  /// Find a parameter index by name; returns UINT32_MAX if absent.
+  uint32_t find_param(std::string_view n) const;
+  /// Find a block index by label; returns kNoBlock if absent.
+  uint32_t find_block(std::string_view label) const;
+
+  /// Total number of instructions across all blocks.
+  size_t num_insts() const;
+
+  /// Number of non-predicate (32-bit data) registers — the quantity that
+  /// occupies register-file space and is reported as register pressure.
+  uint32_t num_data_regs() const;
+
+  /// Successor block indices of block `b`, derived from its terminator
+  /// (fall-through to b+1 when the last instruction is not an unconditional
+  /// terminator).
+  std::vector<uint32_t> successors(uint32_t b) const;
+};
+
+}  // namespace gpurf::ir

@@ -1,0 +1,73 @@
+#include "ir/opcode.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace gpurf::ir {
+
+namespace {
+
+constexpr OpcodeInfo kInfo[] = {
+    // name      srcs dst  dpred unit               mem    term
+    {"add",      2, true,  false, UnitClass::SPU,   false, false},
+    {"sub",      2, true,  false, UnitClass::SPU,   false, false},
+    {"mul",      2, true,  false, UnitClass::SPU,   false, false},
+    {"mad",      3, true,  false, UnitClass::SPU,   false, false},
+    {"div",      2, true,  false, UnitClass::SFU,   false, false},
+    {"rem",      2, true,  false, UnitClass::SFU,   false, false},
+    {"min",      2, true,  false, UnitClass::SPU,   false, false},
+    {"max",      2, true,  false, UnitClass::SPU,   false, false},
+    {"abs",      1, true,  false, UnitClass::SPU,   false, false},
+    {"neg",      1, true,  false, UnitClass::SPU,   false, false},
+    {"and",      2, true,  false, UnitClass::SPU,   false, false},
+    {"or",       2, true,  false, UnitClass::SPU,   false, false},
+    {"xor",      2, true,  false, UnitClass::SPU,   false, false},
+    {"not",      1, true,  false, UnitClass::SPU,   false, false},
+    {"shl",      2, true,  false, UnitClass::SPU,   false, false},
+    {"shr",      2, true,  false, UnitClass::SPU,   false, false},
+    {"sin",      1, true,  false, UnitClass::SFU,   false, false},
+    {"cos",      1, true,  false, UnitClass::SFU,   false, false},
+    {"ex2",      1, true,  false, UnitClass::SFU,   false, false},
+    {"lg2",      1, true,  false, UnitClass::SFU,   false, false},
+    {"sqrt",     1, true,  false, UnitClass::SFU,   false, false},
+    {"rsqrt",    1, true,  false, UnitClass::SFU,   false, false},
+    {"rcp",      1, true,  false, UnitClass::SFU,   false, false},
+    {"cvt",      1, true,  false, UnitClass::SPU,   false, false},
+    {"mov",      1, true,  false, UnitClass::SPU,   false, false},
+    {"selp",     3, true,  false, UnitClass::SPU,   false, false},
+    {"setp",     2, true,  true,  UnitClass::SPU,   false, false},
+    {"ld.global",  1, true,  false, UnitClass::LDST, true,  false},
+    {"st.global",  2, false, false, UnitClass::LDST, true,  false},
+    {"ld.shared",  1, true,  false, UnitClass::LDST, true,  false},
+    {"st.shared",  2, false, false, UnitClass::LDST, true,  false},
+    {"tex.2d",     2, true,  false, UnitClass::LDST, true,  false},
+    {"bra",      0, false, false, UnitClass::CONTROL, false, true},
+    {"ret",      0, false, false, UnitClass::CONTROL, false, true},
+    {"bar.sync", 0, false, false, UnitClass::CONTROL, false, false},
+};
+
+static_assert(sizeof(kInfo) / sizeof(kInfo[0]) == kNumOpcodes,
+              "opcode info table out of sync with Opcode enum");
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  const auto idx = static_cast<size_t>(op);
+  GPURF_ASSERT(idx < static_cast<size_t>(kNumOpcodes), "bad opcode " << idx);
+  return kInfo[idx];
+}
+
+std::string_view cmp_name(CmpOp c) {
+  switch (c) {
+    case CmpOp::EQ: return "eq";
+    case CmpOp::NE: return "ne";
+    case CmpOp::LT: return "lt";
+    case CmpOp::LE: return "le";
+    case CmpOp::GT: return "gt";
+    case CmpOp::GE: return "ge";
+  }
+  return "?";
+}
+
+}  // namespace gpurf::ir

@@ -1,0 +1,47 @@
+#pragma once
+// Opcode set and static per-opcode metadata for the virtual ISA.
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpurf::ir {
+
+enum class Opcode : uint8_t {
+  // Integer & float arithmetic (type field selects variant).
+  ADD, SUB, MUL, MAD, DIV, REM, MIN, MAX, ABS, NEG,
+  // Bitwise / shifts (integer only; SHR is arithmetic for S32, logical U32).
+  AND, OR, XOR, NOT, SHL, SHR,
+  // Transcendentals executed by the Special Function Unit.
+  SIN, COS, EX2, LG2, SQRT, RSQRT, RCP,
+  // Data movement and conversion.
+  CVT, MOV, SELP,
+  // Comparison -> predicate.
+  SETP,
+  // Memory.
+  LD_GLOBAL, ST_GLOBAL, LD_SHARED, ST_SHARED, TEX2D,
+  // Control.
+  BRA, RET, BAR,
+};
+
+enum class CmpOp : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Execution-unit class used by the timing simulator (§3.1: SPU, SFU, LD/ST).
+enum class UnitClass : uint8_t { SPU, SFU, LDST, CONTROL };
+
+struct OpcodeInfo {
+  std::string_view name;    ///< assembly mnemonic
+  int num_srcs;             ///< number of register/immediate source operands
+  bool has_dst;             ///< writes a destination register
+  bool dst_is_pred;         ///< destination is a predicate (SETP)
+  UnitClass unit;           ///< which pipeline executes it
+  bool is_memory;           ///< touches a memory space
+  bool is_terminator;       ///< ends a basic block (BRA/RET)
+};
+
+const OpcodeInfo& opcode_info(Opcode op);
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::BAR) + 1;
+
+std::string_view cmp_name(CmpOp c);
+
+}  // namespace gpurf::ir

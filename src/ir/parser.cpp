@@ -1,0 +1,459 @@
+#include "ir/parser.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strutil.hpp"
+
+namespace gpurf::ir {
+
+namespace {
+
+struct PendingBranch {
+  uint32_t block;
+  uint32_t inst;
+  std::string label;
+  int line;
+};
+
+const std::map<std::string_view, Opcode>& mnemonic_map() {
+  static const std::map<std::string_view, Opcode> m = {
+      {"add", Opcode::ADD},       {"sub", Opcode::SUB},
+      {"mul", Opcode::MUL},       {"mad", Opcode::MAD},
+      {"div", Opcode::DIV},       {"rem", Opcode::REM},
+      {"min", Opcode::MIN},       {"max", Opcode::MAX},
+      {"abs", Opcode::ABS},       {"neg", Opcode::NEG},
+      {"and", Opcode::AND},       {"or", Opcode::OR},
+      {"xor", Opcode::XOR},       {"not", Opcode::NOT},
+      {"shl", Opcode::SHL},       {"shr", Opcode::SHR},
+      {"sin", Opcode::SIN},       {"cos", Opcode::COS},
+      {"ex2", Opcode::EX2},       {"lg2", Opcode::LG2},
+      {"sqrt", Opcode::SQRT},     {"rsqrt", Opcode::RSQRT},
+      {"rcp", Opcode::RCP},       {"cvt", Opcode::CVT},
+      {"mov", Opcode::MOV},       {"selp", Opcode::SELP},
+      {"setp", Opcode::SETP},     {"ld.global", Opcode::LD_GLOBAL},
+      {"st.global", Opcode::ST_GLOBAL}, {"ld.shared", Opcode::LD_SHARED},
+      {"st.shared", Opcode::ST_SHARED}, {"tex.2d", Opcode::TEX2D},
+      {"bra", Opcode::BRA},       {"ret", Opcode::RET},
+      {"bar.sync", Opcode::BAR},
+  };
+  return m;
+}
+
+std::optional<Type> parse_type(std::string_view s) {
+  if (s == "s32") return Type::S32;
+  if (s == "u32") return Type::U32;
+  if (s == "f32") return Type::F32;
+  if (s == "pred") return Type::PRED;
+  return std::nullopt;
+}
+
+std::optional<CmpOp> parse_cmp(std::string_view s) {
+  if (s == "eq") return CmpOp::EQ;
+  if (s == "ne") return CmpOp::NE;
+  if (s == "lt") return CmpOp::LT;
+  if (s == "le") return CmpOp::LE;
+  if (s == "gt") return CmpOp::GT;
+  if (s == "ge") return CmpOp::GE;
+  return std::nullopt;
+}
+
+std::optional<Special> parse_special(std::string_view s) {
+  static const std::map<std::string_view, Special> m = {
+      {"%tid.x", Special::TID_X},       {"%tid.y", Special::TID_Y},
+      {"%ctaid.x", Special::CTAID_X},   {"%ctaid.y", Special::CTAID_Y},
+      {"%ntid.x", Special::NTID_X},     {"%ntid.y", Special::NTID_Y},
+      {"%nctaid.x", Special::NCTAID_X}, {"%nctaid.y", Special::NCTAID_Y},
+  };
+  auto it = m.find(s);
+  if (it == m.end()) return std::nullopt;
+  return it->second;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Kernel run() {
+    int line_no = 0;
+    for (std::string_view raw : split(text_, '\n')) {
+      ++line_no;
+      line_ = line_no;
+      std::string_view line = strip_comment(raw);
+      line = trim(line);
+      if (line.empty()) continue;
+      if (line[0] == '.') {
+        directive(line);
+      } else if (line.back() == ':' && line.find(' ') == line.npos) {
+        start_block(std::string(line.substr(0, line.size() - 1)));
+      } else {
+        instruction(line);
+      }
+    }
+    resolve_branches();
+    GPURF_CHECK(!k_.blocks.empty(), "kernel has no instructions");
+    GPURF_CHECK(!k_.name.empty(), "missing .kernel directive");
+    return std::move(k_);
+  }
+
+ private:
+  static std::string_view strip_comment(std::string_view s) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == ';') return s.substr(0, i);
+      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/')
+        return s.substr(0, i);
+    }
+    return s;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("line " + std::to_string(line_) + ": " + msg);
+  }
+
+  void directive(std::string_view line) {
+    auto tok = split_ws(line);
+    if (tok[0] == ".kernel") {
+      if (tok.size() != 2) fail(".kernel expects a name");
+      k_.name = std::string(tok[1]);
+    } else if (tok[0] == ".param") {
+      if (tok.size() < 3) fail(".param expects: .param TYPE NAME [range(..)]");
+      auto t = parse_type(tok[1]);
+      if (!t || *t == Type::PRED) fail("bad param type");
+      ParamInfo p;
+      p.type = *t;
+      p.name = std::string(tok[2]);
+      if (tok.size() >= 4) p.range = parse_range(tok[3]);
+      if (k_.find_param(p.name) != UINT32_MAX)
+        fail("duplicate param " + p.name);
+      k_.params.push_back(std::move(p));
+    } else if (tok[0] == ".reg") {
+      if (tok.size() != 3) fail(".reg expects: .reg TYPE %NAME[<N>]");
+      auto t = parse_type(tok[1]);
+      if (!t) fail("bad register type");
+      declare_regs(tok[2], *t);
+    } else if (tok[0] == ".shared") {
+      if (tok.size() != 2) fail(".shared expects a byte count");
+      k_.shared_bytes = parse_u32(tok[1]);
+    } else if (tok[0] == ".tex") {
+      if (tok.size() != 2) fail(".tex expects a name");
+      k_.textures.push_back(TexInfo{std::string(tok[1])});
+    } else {
+      fail("unknown directive " + std::string(tok[0]));
+    }
+  }
+
+  ParamRange parse_range(std::string_view s) {
+    // range(LO,HI)
+    if (!starts_with(s, "range(") || s.back() != ')')
+      fail("bad range annotation, expected range(LO,HI)");
+    auto body = s.substr(6, s.size() - 7);
+    auto parts = split(body, ',');
+    if (parts.size() != 2) fail("range needs two bounds");
+    ParamRange r;
+    r.lo = parse_i64(trim(parts[0]));
+    r.hi = parse_i64(trim(parts[1]));
+    if (r.lo > r.hi) fail("range lo > hi");
+    return r;
+  }
+
+  void declare_regs(std::string_view spec, Type t) {
+    if (spec.empty() || spec[0] != '%') fail("register name must start with %");
+    spec.remove_prefix(1);
+    auto lt = spec.find('<');
+    if (lt == spec.npos) {
+      add_reg(std::string(spec), t);
+      return;
+    }
+    if (spec.back() != '>') fail("bad register group syntax");
+    const std::string base(spec.substr(0, lt));
+    const uint32_t n = parse_u32(spec.substr(lt + 1, spec.size() - lt - 2));
+    if (n == 0 || n > 1024) fail("bad register group count");
+    for (uint32_t i = 0; i < n; ++i) add_reg(base + std::to_string(i), t);
+  }
+
+  void add_reg(std::string name, Type t) {
+    if (k_.find_reg(name) != kNoReg) fail("duplicate register %" + name);
+    k_.regs.push_back(RegInfo{std::move(name), t});
+  }
+
+  void start_block(std::string label) {
+    if (k_.find_block(label) != kNoBlock) fail("duplicate label " + label);
+    // Merge an empty trailing block (label directly after a label).
+    k_.blocks.push_back(BasicBlock{std::move(label), {}});
+  }
+
+  BasicBlock& current_block() {
+    if (k_.blocks.empty()) k_.blocks.push_back(BasicBlock{"entry", {}});
+    return k_.blocks.back();
+  }
+
+  void instruction(std::string_view line) {
+    Instruction in;
+    auto tok = split_ws(line);
+    size_t ti = 0;
+
+    // Guard predicate.
+    if (!tok.empty() && tok[0][0] == '@') {
+      std::string_view g = tok[0].substr(1);
+      if (!g.empty() && g[0] == '!') {
+        in.guard_neg = true;
+        g.remove_prefix(1);
+      }
+      if (g.empty() || g[0] != '%') fail("guard must name a predicate reg");
+      in.guard = reg_id(g);
+      ++ti;
+    }
+    if (ti >= tok.size()) fail("missing mnemonic");
+
+    parse_mnemonic(tok[ti], in);
+    ++ti;
+
+    // Re-join remaining tokens then split on commas so that operands may be
+    // written with or without spaces after commas.
+    std::string rest;
+    for (size_t i = ti; i < tok.size(); ++i) {
+      if (!rest.empty()) rest += ' ';
+      rest += std::string(tok[i]);
+    }
+    std::vector<std::string> ops;
+    for (auto piece : split(rest, ',')) {
+      auto p = trim(piece);
+      if (!p.empty()) ops.emplace_back(p);
+    }
+    parse_operands(in, ops);
+    current_block().insts.push_back(in);
+  }
+
+  void parse_mnemonic(std::string_view m, Instruction& in) {
+    auto parts = split(m, '.');
+    const auto& map = mnemonic_map();
+    size_t consumed = 0;
+    // Longest-prefix match: try two joined parts, then one.
+    if (parts.size() >= 2) {
+      std::string two = std::string(parts[0]) + "." + std::string(parts[1]);
+      if (auto it = map.find(two); it != map.end()) {
+        in.op = it->second;
+        consumed = 2;
+      }
+    }
+    if (consumed == 0) {
+      if (auto it = map.find(parts[0]); it != map.end()) {
+        in.op = it->second;
+        consumed = 1;
+      } else {
+        fail("unknown mnemonic " + std::string(m));
+      }
+    }
+    std::vector<std::string_view> mods(parts.begin() + consumed, parts.end());
+    switch (in.op) {
+      case Opcode::SETP: {
+        if (mods.size() != 2) fail("setp needs .CMP.TYPE");
+        auto c = parse_cmp(mods[0]);
+        auto t = parse_type(mods[1]);
+        if (!c || !t) fail("bad setp modifiers");
+        in.cmp = *c;
+        in.type = *t;
+        break;
+      }
+      case Opcode::CVT: {
+        if (mods.size() != 2) fail("cvt needs .DSTTYPE.SRCTYPE");
+        auto d = parse_type(mods[0]);
+        auto s = parse_type(mods[1]);
+        if (!d || !s) fail("bad cvt types");
+        in.type = *d;
+        in.cvt_src_type = *s;
+        break;
+      }
+      case Opcode::BRA:
+      case Opcode::RET:
+      case Opcode::BAR:
+        if (!mods.empty()) fail("unexpected modifier");
+        break;
+      default: {
+        if (mods.size() != 1) fail("expected exactly one type suffix");
+        auto t = parse_type(mods[0]);
+        if (!t) fail("bad type suffix ." + std::string(mods[0]));
+        in.type = *t;
+        break;
+      }
+    }
+  }
+
+  void parse_operands(Instruction& in, const std::vector<std::string>& ops) {
+    const auto& info = in.info();
+    switch (in.op) {
+      case Opcode::BRA: {
+        if (ops.size() != 1) fail("bra expects a label");
+        pending_.push_back(PendingBranch{
+            static_cast<uint32_t>(k_.blocks.size() - (k_.blocks.empty() ? 0 : 1)),
+            static_cast<uint32_t>(current_block().insts.size()), ops[0],
+            line_});
+        return;
+      }
+      case Opcode::RET:
+      case Opcode::BAR:
+        if (!ops.empty()) fail("unexpected operands");
+        return;
+      case Opcode::LD_GLOBAL:
+      case Opcode::LD_SHARED: {
+        if (ops.size() != 2) fail("ld expects: %dst, [%addr(+off)]");
+        in.dst = reg_id(ops[0]);
+        parse_addr(ops[1], in);
+        in.num_srcs = 1;
+        return;
+      }
+      case Opcode::ST_GLOBAL:
+      case Opcode::ST_SHARED: {
+        if (ops.size() != 2) fail("st expects: [%addr(+off)], %val");
+        parse_addr(ops[0], in);
+        in.srcs[1] = value_operand(ops[1], in.type);
+        in.num_srcs = 2;
+        return;
+      }
+      case Opcode::TEX2D: {
+        if (ops.size() != 4) fail("tex.2d expects: %dst, TEX, %u, %v");
+        in.dst = reg_id(ops[0]);
+        bool found = false;
+        for (uint32_t t = 0; t < k_.textures.size(); ++t) {
+          if (k_.textures[t].name == ops[1]) {
+            in.tex = t;
+            found = true;
+            break;
+          }
+        }
+        if (!found) fail("unknown texture " + ops[1]);
+        in.srcs[0] = value_operand(ops[2], Type::S32);
+        in.srcs[1] = value_operand(ops[3], Type::S32);
+        in.num_srcs = 2;
+        return;
+      }
+      default:
+        break;
+    }
+
+    size_t oi = 0;
+    if (info.has_dst) {
+      if (ops.empty()) fail("missing destination");
+      in.dst = reg_id(ops[0]);
+      oi = 1;
+    }
+    const int want = info.num_srcs;
+    if (static_cast<int>(ops.size() - oi) != want)
+      fail("expected " + std::to_string(want) + " source operands, got " +
+           std::to_string(ops.size() - oi));
+    for (int s = 0; s < want; ++s) {
+      Type expect = in.type;
+      if (in.op == Opcode::CVT) expect = in.cvt_src_type;
+      if (in.op == Opcode::SELP && s == 2) expect = Type::PRED;
+      if ((in.op == Opcode::SHL || in.op == Opcode::SHR) && s == 1)
+        expect = Type::U32;
+      in.srcs[s] = value_operand(ops[oi + s], expect);
+    }
+    in.num_srcs = static_cast<uint8_t>(want);
+  }
+
+  void parse_addr(const std::string& s, Instruction& in) {
+    if (s.size() < 2 || s.front() != '[' || s.back() != ']')
+      fail("memory operand must be bracketed: " + s);
+    std::string_view body = trim(std::string_view(s).substr(1, s.size() - 2));
+    size_t pos = body.find_first_of("+-", 1);
+    std::string_view base = body;
+    if (pos != body.npos) {
+      base = trim(body.substr(0, pos));
+      auto off = trim(body.substr(pos));  // includes sign
+      in.mem_offset = static_cast<int32_t>(parse_i64(off));
+    }
+    in.srcs[0] = value_operand(std::string(base), Type::U32);
+    if (!in.srcs[0].is_reg()) fail("address must be a register");
+  }
+
+  Operand value_operand(const std::string& s, Type expect) {
+    if (s.empty()) fail("empty operand");
+    if (s[0] == '%') {
+      if (auto sp = parse_special(s)) return Operand::special(*sp);
+      return Operand::reg(reg_id(s));
+    }
+    if (s[0] == '$') {
+      const uint32_t p = k_.find_param(s.substr(1));
+      if (p == UINT32_MAX) fail("unknown param " + s);
+      return Operand::param(p);
+    }
+    // Immediate.
+    if (expect == Type::F32) return Operand::immf(parse_f32(s));
+    return Operand::imm(parse_i64(s));
+  }
+
+  uint32_t reg_id(std::string_view s) {
+    if (s.empty() || s[0] != '%') fail("expected register, got " + std::string(s));
+    const uint32_t id = k_.find_reg(s.substr(1));
+    if (id == kNoReg) fail("undeclared register " + std::string(s));
+    return id;
+  }
+
+  uint32_t parse_u32(std::string_view s) {
+    const int64_t v = parse_i64(s);
+    if (v < 0 || v > UINT32_MAX) fail("value out of u32 range");
+    return static_cast<uint32_t>(v);
+  }
+
+  int64_t parse_i64(std::string_view s) {
+    int64_t v = 0;
+    bool neg = false;
+    size_t i = 0;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+      neg = s[i] == '-';
+      ++i;
+    }
+    std::string_view digits = s.substr(i);
+    int base = 10;
+    if (starts_with(digits, "0x") || starts_with(digits, "0X")) {
+      base = 16;
+      digits.remove_prefix(2);
+    }
+    auto [p, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), v, base);
+    if (ec != std::errc() || p != digits.data() + digits.size())
+      fail("bad integer literal " + std::string(s));
+    return neg ? -v : v;
+  }
+
+  float parse_f32(std::string_view s) {
+    std::string tmp(s);
+    char* end = nullptr;
+    const float f = std::strtof(tmp.c_str(), &end);
+    if (end != tmp.c_str() + tmp.size())
+      fail("bad float literal " + std::string(s));
+    return f;
+  }
+
+  void resolve_branches() {
+    for (const auto& pb : pending_) {
+      const uint32_t t = k_.find_block(pb.label);
+      if (t == kNoBlock)
+        throw Error("line " + std::to_string(pb.line) + ": unknown label " +
+                    pb.label);
+      // Find the instruction again: it was appended to the block that was
+      // current at parse time; that block may have grown.
+      GPURF_ASSERT(pb.block < k_.blocks.size(), "branch block vanished");
+      auto& blk = k_.blocks[pb.block];
+      GPURF_ASSERT(pb.inst < blk.insts.size(), "branch inst vanished");
+      blk.insts[pb.inst].target = t;
+    }
+  }
+
+  std::string_view text_;
+  Kernel k_;
+  std::vector<PendingBranch> pending_;
+  int line_ = 0;
+};
+
+}  // namespace
+
+Kernel parse_kernel(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace gpurf::ir

@@ -1,0 +1,36 @@
+#pragma once
+// Assembler for the PTX-like virtual ISA.
+//
+// Grammar (line oriented; `//` and `;` start comments):
+//
+//   .kernel NAME
+//   .param  (s32|u32|f32) NAME [range(LO,HI)]
+//   .reg    (s32|u32|f32|pred) %NAME          -- one register
+//   .reg    (s32|u32|f32|pred) %NAME<N>       -- %NAME0 .. %NAME(N-1)
+//   .shared BYTES
+//   .tex    NAME                              -- slots in declaration order
+//
+//   LABEL:
+//   [@%p | @!%p] MNEMONIC OPERAND, OPERAND, ...
+//
+// Mnemonics carry PTX-style suffixes:
+//   add.s32 / add.u32 / add.f32, setp.lt.s32, cvt.f32.s32,
+//   ld.global.f32 %d, [%addr+OFF], st.shared.u32 [%addr], %v,
+//   tex.2d.f32 %d, TEXNAME, %u, %v, selp.f32 %d, %a, %b, %p,
+//   bra LABEL, ret, bar.sync
+//
+// Memory offsets and addresses are measured in 32-bit words.
+
+#include <string>
+#include <string_view>
+
+#include "ir/kernel.hpp"
+
+namespace gpurf::ir {
+
+/// Assemble `text` into a Kernel.  Throws gpurf::Error with a line-numbered
+/// message on malformed input.  The result is verified structurally (labels
+/// resolved, register kinds consistent); full type checking is `verify()`.
+Kernel parse_kernel(std::string_view text);
+
+}  // namespace gpurf::ir

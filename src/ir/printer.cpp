@@ -1,0 +1,131 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strutil.hpp"
+
+namespace gpurf::ir {
+
+namespace {
+
+std::string operand_str(const Kernel& k, const Operand& o) {
+  switch (o.kind) {
+    case Operand::Kind::REG:
+      return "%" + k.regs.at(o.index).name;
+    case Operand::Kind::IMM_I:
+      return std::to_string(o.imm_i);
+    case Operand::Kind::IMM_F: {
+      std::ostringstream oss;
+      oss.precision(9);
+      oss << o.imm_f;
+      std::string s = oss.str();
+      if (s.find('.') == s.npos && s.find('e') == s.npos &&
+          s.find("inf") == s.npos && s.find("nan") == s.npos)
+        s += ".0";
+      return s;
+    }
+    case Operand::Kind::SPECIAL:
+      return std::string(special_name(static_cast<Special>(o.index)));
+    case Operand::Kind::PARAM:
+      return "$" + k.params.at(o.index).name;
+  }
+  return "?";
+}
+
+std::string addr_str(const Kernel& k, const Instruction& in) {
+  std::string s = "[" + operand_str(k, in.srcs[0]);
+  if (in.mem_offset > 0) s += "+" + std::to_string(in.mem_offset);
+  if (in.mem_offset < 0) s += std::to_string(in.mem_offset);
+  return s + "]";
+}
+
+}  // namespace
+
+std::string print_instruction(const Kernel& k, const Instruction& in) {
+  std::string s;
+  if (in.guard != kNoReg) {
+    s += "@";
+    if (in.guard_neg) s += "!";
+    s += "%" + k.regs.at(in.guard).name + " ";
+  }
+  const auto& info = in.info();
+  s += std::string(info.name);
+  switch (in.op) {
+    case Opcode::SETP:
+      s += "." + std::string(cmp_name(in.cmp)) + "." +
+           std::string(type_name(in.type));
+      break;
+    case Opcode::CVT:
+      s += "." + std::string(type_name(in.type)) + "." +
+           std::string(type_name(in.cvt_src_type));
+      break;
+    case Opcode::BRA:
+    case Opcode::RET:
+    case Opcode::BAR:
+      break;
+    default:
+      s += "." + std::string(type_name(in.type));
+      break;
+  }
+
+  switch (in.op) {
+    case Opcode::BRA:
+      s += " " + k.blocks.at(in.target).label;
+      return s;
+    case Opcode::RET:
+    case Opcode::BAR:
+      return s;
+    case Opcode::LD_GLOBAL:
+    case Opcode::LD_SHARED:
+      s += " %" + k.regs.at(in.dst).name + ", " + addr_str(k, in);
+      return s;
+    case Opcode::ST_GLOBAL:
+    case Opcode::ST_SHARED:
+      s += " " + addr_str(k, in) + ", " + operand_str(k, in.srcs[1]);
+      return s;
+    case Opcode::TEX2D:
+      s += " %" + k.regs.at(in.dst).name + ", " +
+           k.textures.at(in.tex).name + ", " + operand_str(k, in.srcs[0]) +
+           ", " + operand_str(k, in.srcs[1]);
+      return s;
+    default:
+      break;
+  }
+
+  bool first = true;
+  if (info.has_dst) {
+    s += " %" + k.regs.at(in.dst).name;
+    first = false;
+  }
+  for (int i = 0; i < in.num_srcs; ++i) {
+    s += first ? " " : ", ";
+    first = false;
+    s += operand_str(k, in.srcs[i]);
+  }
+  return s;
+}
+
+std::string print_kernel(const Kernel& k) {
+  std::ostringstream out;
+  out << ".kernel " << k.name << "\n";
+  for (const auto& p : k.params) {
+    out << ".param " << type_name(p.type) << " " << p.name;
+    if (p.range)
+      out << " range(" << p.range->lo << "," << p.range->hi << ")";
+    out << "\n";
+  }
+  for (const auto& t : k.textures) out << ".tex " << t.name << "\n";
+  if (k.shared_bytes > 0) out << ".shared " << k.shared_bytes << "\n";
+  for (const auto& r : k.regs)
+    out << ".reg " << type_name(r.type) << " %" << r.name << "\n";
+  out << "\n";
+  for (const auto& b : k.blocks) {
+    out << b.label << ":\n";
+    for (const auto& in : b.insts)
+      out << "  " << print_instruction(k, in) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gpurf::ir

@@ -1,0 +1,14 @@
+#pragma once
+// Disassembler: renders a Kernel back to the assembly syntax accepted by
+// parse_kernel().  print(parse(x)) round-trips modulo whitespace.
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace gpurf::ir {
+
+std::string print_kernel(const Kernel& k);
+std::string print_instruction(const Kernel& k, const Instruction& in);
+
+}  // namespace gpurf::ir

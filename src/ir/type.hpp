@@ -1,0 +1,34 @@
+#pragma once
+// Value types of the PTX-like virtual ISA.
+//
+// The reproduction targets the paper's evaluation space: 32-bit integer and
+// single-precision float operands (none of the paper's benchmarks use double
+// precision, §5.2).  Predicates live in a separate predicate file, exactly as
+// in PTX, and are therefore excluded from register-pressure accounting.
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpurf::ir {
+
+enum class Type : uint8_t {
+  S32,   ///< 32-bit signed integer
+  U32,   ///< 32-bit unsigned integer
+  F32,   ///< IEEE-754 binary32
+  PRED,  ///< 1-bit predicate (separate register file)
+};
+
+constexpr bool is_int(Type t) { return t == Type::S32 || t == Type::U32; }
+constexpr bool is_float(Type t) { return t == Type::F32; }
+
+constexpr std::string_view type_name(Type t) {
+  switch (t) {
+    case Type::S32: return "s32";
+    case Type::U32: return "u32";
+    case Type::F32: return "f32";
+    case Type::PRED: return "pred";
+  }
+  return "?";
+}
+
+}  // namespace gpurf::ir

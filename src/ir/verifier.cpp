@@ -1,0 +1,207 @@
+#include "ir/verifier.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "ir/printer.hpp"
+
+namespace gpurf::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Kernel& k) : k_(k) {}
+
+  void run() {
+    GPURF_CHECK(!k_.name.empty(), "kernel has no name");
+    GPURF_CHECK(!k_.blocks.empty(), "kernel has no blocks");
+    for (uint32_t b = 0; b < k_.blocks.size(); ++b) {
+      for (const auto& in : k_.blocks[b].insts) check_inst(b, in);
+      check_terminator(b);
+    }
+    check_exit_reachable();
+  }
+
+ private:
+  [[noreturn]] void fail(uint32_t block, const Instruction& in,
+                         const std::string& msg) const {
+    throw Error("verify(" + k_.name + "): block '" + k_.blocks[block].label +
+                "': '" + print_instruction(k_, in) + "': " + msg);
+  }
+
+  Type reg_type(uint32_t id) const { return k_.regs.at(id).type; }
+
+  void expect_reg(uint32_t block, const Instruction& in, const Operand& o,
+                  Type t, const char* what) const {
+    if (!o.is_reg()) return;  // immediates/specials/params checked separately
+    if (reg_type(o.index) != t)
+      fail(block, in,
+           std::string(what) + " register has type " +
+               std::string(type_name(reg_type(o.index))) + ", expected " +
+               std::string(type_name(t)));
+  }
+
+  void check_operand(uint32_t block, const Instruction& in, const Operand& o,
+                     Type expect) const {
+    switch (o.kind) {
+      case Operand::Kind::REG:
+        GPURF_CHECK(o.index < k_.regs.size(), "register index out of range");
+        expect_reg(block, in, o, expect, "source");
+        break;
+      case Operand::Kind::IMM_I:
+        if (expect == Type::F32)
+          fail(block, in, "integer immediate used in float context");
+        if (expect == Type::PRED)
+          fail(block, in, "immediate used where predicate expected");
+        if (o.imm_i < INT32_MIN || o.imm_i > static_cast<int64_t>(UINT32_MAX))
+          fail(block, in, "immediate does not fit in 32 bits");
+        break;
+      case Operand::Kind::IMM_F:
+        if (expect != Type::F32)
+          fail(block, in, "float immediate used in non-float context");
+        break;
+      case Operand::Kind::SPECIAL:
+        if (expect == Type::F32 || expect == Type::PRED)
+          fail(block, in, "special register used in non-integer context");
+        break;
+      case Operand::Kind::PARAM: {
+        GPURF_CHECK(o.index < k_.params.size(), "param index out of range");
+        const Type pt = k_.params[o.index].type;
+        const bool ok =
+            (pt == expect) || (is_int(pt) && is_int(expect));
+        if (!ok)
+          fail(block, in, "param type mismatch");
+        break;
+      }
+    }
+  }
+
+  void check_inst(uint32_t block, const Instruction& in) const {
+    const auto& info = in.info();
+    if (in.guard != kNoReg && reg_type(in.guard) != Type::PRED)
+      fail(block, in, "guard is not a predicate register");
+
+    // Destination typing.
+    if (info.has_dst) {
+      GPURF_CHECK(in.dst < k_.regs.size(), "dst register out of range");
+      const Type want = info.dst_is_pred ? Type::PRED : in.type;
+      if (reg_type(in.dst) != want)
+        fail(block, in, "destination type mismatch");
+    }
+
+    // Opcode-specific typing constraints.
+    switch (in.op) {
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR:
+      case Opcode::NOT: case Opcode::SHL: case Opcode::SHR:
+      case Opcode::REM:
+        if (!is_int(in.type))
+          fail(block, in, "bitwise/shift/rem ops are integer-only");
+        break;
+      case Opcode::SIN: case Opcode::COS: case Opcode::EX2:
+      case Opcode::LG2: case Opcode::SQRT: case Opcode::RSQRT:
+      case Opcode::RCP:
+        if (in.type != Type::F32)
+          fail(block, in, "transcendental ops are f32-only");
+        break;
+      case Opcode::CVT: {
+        const bool i2f = is_int(in.cvt_src_type) && in.type == Type::F32;
+        const bool f2i = in.cvt_src_type == Type::F32 && is_int(in.type);
+        const bool ii = is_int(in.cvt_src_type) && is_int(in.type);
+        if (!(i2f || f2i || ii)) fail(block, in, "unsupported cvt combination");
+        break;
+      }
+      case Opcode::SETP:
+        if (in.type == Type::PRED) fail(block, in, "setp on predicates");
+        break;
+      case Opcode::BAR:
+        break;
+      case Opcode::BRA:
+        GPURF_CHECK(in.target < k_.blocks.size(), "branch target out of range");
+        break;
+      default:
+        if (in.type == Type::PRED)
+          fail(block, in, "predicate type not allowed here");
+        break;
+    }
+
+    // Source operand typing.
+    for (int s = 0; s < in.num_srcs; ++s) {
+      Type expect = in.type;
+      if (in.op == Opcode::CVT) expect = in.cvt_src_type;
+      if (in.op == Opcode::SELP && s == 2) expect = Type::PRED;
+      if ((in.op == Opcode::SHL || in.op == Opcode::SHR) && s == 1)
+        expect = Type::U32;
+      if ((in.op == Opcode::LD_GLOBAL || in.op == Opcode::LD_SHARED ||
+           in.op == Opcode::ST_GLOBAL || in.op == Opcode::ST_SHARED) &&
+          s == 0) {
+        // Address operand: any integer register.
+        if (!in.srcs[0].is_reg() || !is_int(reg_type(in.srcs[0].index)))
+          fail(block, in, "address must be an integer register");
+        continue;
+      }
+      if (in.op == Opcode::TEX2D) {
+        if (in.srcs[s].is_reg() && !is_int(reg_type(in.srcs[s].index)))
+          fail(block, in, "texture coordinates must be integer");
+        continue;
+      }
+      check_operand(block, in, in.srcs[s], expect);
+    }
+
+    if (in.op == Opcode::TEX2D) {
+      GPURF_CHECK(in.tex < k_.textures.size(), "texture slot out of range");
+      if (reg_type(in.dst) != Type::F32)
+        fail(block, in, "tex.2d destination must be f32");
+    }
+  }
+
+  void check_terminator(uint32_t b) const {
+    const auto& blk = k_.blocks[b];
+    // Terminators (conditional or not) must end their block — the CFG is
+    // derived from the final instruction only.
+    for (size_t i = 0; i + 1 < blk.insts.size(); ++i) {
+      const auto& in = blk.insts[i];
+      if (in.info().is_terminator)
+        throw Error("verify(" + k_.name + "): terminator in the middle of "
+                    "block '" + blk.label + "'");
+    }
+    // The final block must not fall off the end of the kernel.
+    if (b + 1 == k_.blocks.size()) {
+      if (blk.insts.empty() || (blk.insts.back().op != Opcode::RET &&
+                                !(blk.insts.back().op == Opcode::BRA &&
+                                  blk.insts.back().guard == kNoReg)))
+        throw Error("verify(" + k_.name +
+                    "): control falls off the end of the kernel");
+    }
+  }
+
+  void check_exit_reachable() const {
+    // Every block must be reachable from entry (catches label typos).
+    std::vector<bool> seen(k_.blocks.size(), false);
+    std::vector<uint32_t> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const uint32_t b = stack.back();
+      stack.pop_back();
+      for (uint32_t s : k_.successors(b)) {
+        GPURF_CHECK(s < k_.blocks.size(), "successor out of range");
+        if (!seen[s]) {
+          seen[s] = true;
+          stack.push_back(s);
+        }
+      }
+    }
+    for (uint32_t b = 0; b < k_.blocks.size(); ++b)
+      if (!seen[b])
+        throw Error("verify(" + k_.name + "): unreachable block '" +
+                    k_.blocks[b].label + "'");
+  }
+
+  const Kernel& k_;
+};
+
+}  // namespace
+
+void verify(const Kernel& k) { Verifier(k).run(); }
+
+}  // namespace gpurf::ir

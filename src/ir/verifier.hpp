@@ -1,0 +1,15 @@
+#pragma once
+// Structural + type verification of kernels.
+//
+// The verifier enforces the ISA's typing rules so that downstream analyses
+// (range analysis, precision tuning, allocation) and the interpreter can
+// assume well-formed input.  Throws gpurf::Error describing the first
+// violation.
+
+#include "ir/kernel.hpp"
+
+namespace gpurf::ir {
+
+void verify(const Kernel& k);
+
+}  // namespace gpurf::ir

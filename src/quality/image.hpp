@@ -1,0 +1,45 @@
+#pragma once
+// Grayscale float image container used by the graphics workloads and the
+// SSIM quality metric.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gpurf::quality {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int w, int h) : w_(w), h_(h), data_(size_t(w) * h, 0.f) {
+    GPURF_CHECK(w > 0 && h > 0, "image dimensions must be positive");
+  }
+  Image(int w, int h, std::vector<float> data)
+      : w_(w), h_(h), data_(std::move(data)) {
+    GPURF_CHECK(data_.size() == size_t(w) * h, "image data size mismatch");
+  }
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+
+  float& at(int x, int y) {
+    GPURF_ASSERT(x >= 0 && x < w_ && y >= 0 && y < h_,
+                 "pixel (" << x << "," << y << ") out of range");
+    return data_[size_t(y) * w_ + x];
+  }
+  float at(int x, int y) const {
+    GPURF_ASSERT(x >= 0 && x < w_ && y >= 0 && y < h_,
+                 "pixel (" << x << "," << y << ") out of range");
+    return data_[size_t(y) * w_ + x];
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  int w_ = 0, h_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace gpurf::quality

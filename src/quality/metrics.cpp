@@ -1,0 +1,115 @@
+#include "quality/metrics.hpp"
+
+#include <cmath>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+#include "quality/ssim.hpp"
+
+namespace gpurf::quality {
+
+std::string_view metric_name(MetricKind m) {
+  switch (m) {
+    case MetricKind::kSsim: return "SSIM";
+    case MetricKind::kDeviation: return "% deviation";
+    case MetricKind::kBinary: return "Binary";
+  }
+  return "?";
+}
+
+std::string_view level_name(QualityLevel l) {
+  switch (l) {
+    case QualityLevel::kPerfect: return "perfect";
+    case QualityLevel::kHigh: return "high";
+  }
+  return "?";
+}
+
+namespace {
+
+class SsimMetric final : public QualityMetric {
+ public:
+  SsimMetric(int w, int h) : w_(w), h_(h) {}
+
+  MetricKind kind() const override { return MetricKind::kSsim; }
+
+  double score(std::span<const float> ref,
+               std::span<const float> test) const override {
+    GPURF_CHECK(ref.size() == size_t(w_) * h_ && test.size() == ref.size(),
+                "ssim metric: buffer size mismatch");
+    for (float v : test)
+      if (!std::isfinite(v)) return -1.0;
+    Image ri(w_, h_, {ref.begin(), ref.end()});
+    Image ti(w_, h_, {test.begin(), test.end()});
+    return ssim(ri, ti);
+  }
+
+  bool meets(double s, QualityLevel level) const override {
+    // "Perfect" means no deviation from the original output (§2): the SSIM
+    // of bit-identical images is exactly 1.0 in double arithmetic, so the
+    // comparison needs no tolerance — any lossy format is rejected.
+    return level == QualityLevel::kPerfect ? s >= 1.0 : s >= 0.9;
+  }
+
+ private:
+  int w_, h_;
+};
+
+class DeviationMetric final : public QualityMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kDeviation; }
+
+  double score(std::span<const float> ref,
+               std::span<const float> test) const override {
+    GPURF_CHECK(ref.size() == test.size(),
+                "deviation metric: buffer size mismatch");
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      if (!std::isfinite(test[i])) return 1e9;
+      num += std::abs(double(test[i]) - double(ref[i]));
+      den += std::abs(double(ref[i]));
+    }
+    if (den == 0.0) return num == 0.0 ? 0.0 : 1e9;
+    return 100.0 * num / den;
+  }
+
+  bool meets(double s, QualityLevel level) const override {
+    return level == QualityLevel::kPerfect ? s <= 0.0 : s <= 10.0;
+  }
+};
+
+class BinaryMetric final : public QualityMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kBinary; }
+
+  double score(std::span<const float> ref,
+               std::span<const float> test) const override {
+    GPURF_CHECK(ref.size() == test.size(),
+                "binary metric: buffer size mismatch");
+    for (size_t i = 0; i < ref.size(); ++i)
+      if (float_bits(ref[i]) != float_bits(test[i])) return 0.0;
+    return 1.0;
+  }
+
+  bool meets(double s, QualityLevel /*level*/) const override {
+    // Binary quality has only two states; both levels require correctness
+    // (§6.1: Hybridsort must stay perfect even at the high-quality level).
+    return s >= 1.0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<QualityMetric> make_ssim_metric(int width, int height) {
+  return std::make_unique<SsimMetric>(width, height);
+}
+
+std::unique_ptr<QualityMetric> make_deviation_metric() {
+  return std::make_unique<DeviationMetric>();
+}
+
+std::unique_ptr<QualityMetric> make_binary_metric() {
+  return std::make_unique<BinaryMetric>();
+}
+
+}  // namespace gpurf::quality

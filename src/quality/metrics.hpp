@@ -1,0 +1,50 @@
+#pragma once
+// Quality metrics and thresholds (paper §5.3, §6.1).
+//
+// Three metric families are used by the paper's benchmarks:
+//   * SSIM for the graphics kernels (Group 1),
+//   * percentage deviation from the exact output (Group 2),
+//   * a binary correct/incorrect metric for Hybridsort (Group 3).
+//
+// Two quality levels gate the precision tuner:
+//   * perfect  — SSIM == 1.0 / 0 % deviation / binary-correct,
+//   * high     — SSIM >= 0.9 / <= 10 % deviation / binary-correct.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace gpurf::quality {
+
+enum class QualityLevel { kPerfect, kHigh };
+
+enum class MetricKind { kSsim, kDeviation, kBinary };
+
+std::string_view metric_name(MetricKind m);
+std::string_view level_name(QualityLevel l);
+
+/// Compares a candidate output buffer against the exact reference.
+/// `score()` is metric-specific (SSIM value, % deviation, or 0/1);
+/// `meets()` applies the paper's thresholds for the requested level.
+class QualityMetric {
+ public:
+  virtual ~QualityMetric() = default;
+
+  virtual MetricKind kind() const = 0;
+  virtual double score(std::span<const float> ref,
+                       std::span<const float> test) const = 0;
+  virtual bool meets(double score, QualityLevel level) const = 0;
+};
+
+/// SSIM over a w x h grayscale image stored row-major in the buffers.
+std::unique_ptr<QualityMetric> make_ssim_metric(int width, int height);
+
+/// Percentage deviation: 100 * sum|test-ref| / sum|ref| (normalised L1).
+/// NaN or Inf anywhere in `test` fails every level.
+std::unique_ptr<QualityMetric> make_deviation_metric();
+
+/// Binary: score 1 when every element is bit-identical, else 0.
+std::unique_ptr<QualityMetric> make_binary_metric();
+
+}  // namespace gpurf::quality

@@ -1,0 +1,67 @@
+#include "quality/ssim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gpurf::quality {
+
+double ssim(const Image& ref, const Image& test, const SsimParams& p) {
+  GPURF_CHECK(ref.width() == test.width() && ref.height() == test.height(),
+              "ssim: image dimensions differ");
+  GPURF_CHECK(p.window % 2 == 1 && p.window >= 3, "ssim: bad window size");
+  GPURF_CHECK(ref.width() >= p.window && ref.height() >= p.window,
+              "ssim: image smaller than window");
+
+  // Precompute the normalized 2-D Gaussian kernel.
+  const int n = p.window;
+  const int half = n / 2;
+  std::vector<double> kernel(size_t(n) * n);
+  double ksum = 0.0;
+  for (int dy = -half; dy <= half; ++dy) {
+    for (int dx = -half; dx <= half; ++dx) {
+      const double w =
+          std::exp(-(dx * dx + dy * dy) / (2.0 * p.sigma * p.sigma));
+      kernel[size_t(dy + half) * n + (dx + half)] = w;
+      ksum += w;
+    }
+  }
+  for (double& w : kernel) w /= ksum;
+
+  const double c1 = (p.k1 * p.dynamic_range) * (p.k1 * p.dynamic_range);
+  const double c2 = (p.k2 * p.dynamic_range) * (p.k2 * p.dynamic_range);
+
+  double total = 0.0;
+  long count = 0;
+  for (int y = half; y < ref.height() - half; ++y) {
+    for (int x = half; x < ref.width() - half; ++x) {
+      double mu_r = 0, mu_t = 0;
+      for (int dy = -half; dy <= half; ++dy)
+        for (int dx = -half; dx <= half; ++dx) {
+          const double w = kernel[size_t(dy + half) * n + (dx + half)];
+          mu_r += w * ref.at(x + dx, y + dy);
+          mu_t += w * test.at(x + dx, y + dy);
+        }
+      double var_r = 0, var_t = 0, cov = 0;
+      for (int dy = -half; dy <= half; ++dy)
+        for (int dx = -half; dx <= half; ++dx) {
+          const double w = kernel[size_t(dy + half) * n + (dx + half)];
+          const double a = ref.at(x + dx, y + dy) - mu_r;
+          const double b = test.at(x + dx, y + dy) - mu_t;
+          var_r += w * a * a;
+          var_t += w * b * b;
+          cov += w * a * b;
+        }
+      const double num = (2 * mu_r * mu_t + c1) * (2 * cov + c2);
+      const double den =
+          (mu_r * mu_r + mu_t * mu_t + c1) * (var_r + var_t + c2);
+      total += num / den;
+      ++count;
+    }
+  }
+  GPURF_ASSERT(count > 0, "ssim: no windows evaluated");
+  return total / static_cast<double>(count);
+}
+
+}  // namespace gpurf::quality

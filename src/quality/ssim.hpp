@@ -1,0 +1,23 @@
+#pragma once
+// Structural Similarity Index (Wang, Bovik, Sheikh, Simoncelli 2004),
+// the quality metric the paper uses for its graphics kernels (§5.3).
+
+#include "quality/image.hpp"
+
+namespace gpurf::quality {
+
+struct SsimParams {
+  int window = 11;        ///< Gaussian window size (odd)
+  double sigma = 1.5;     ///< Gaussian std-dev
+  double k1 = 0.01;
+  double k2 = 0.03;
+  double dynamic_range = 1.0;  ///< L: our images are in [0,1]
+};
+
+/// Mean SSIM over all fully-covered windows.  Both images must have equal
+/// dimensions of at least `window` in each direction.  Result is in [-1, 1];
+/// identical images score exactly 1.0.
+double ssim(const Image& ref, const Image& test,
+            const SsimParams& p = SsimParams{});
+
+}  // namespace gpurf::quality

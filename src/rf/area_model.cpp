@@ -1,0 +1,77 @@
+#include "rf/area_model.hpp"
+
+namespace gpurf::rf {
+
+namespace {
+// §6.4 constants.
+constexpr long long kAoiTransistors = 6;
+constexpr long long kMuxesPerTve = 8;          // one 9:1 mux per output slice
+constexpr long long kBitsPerMux = 4;           // nibble-wide
+constexpr long long kAoiCellsPerMuxBit = 8;    // 9:1 mux bit ~= 8 AOI cells
+constexpr long long kPadMuxTransistors = 6 * 4;  // 4-bit 2:1 mux
+constexpr long long kTvcTransistors = 1300;    // synthesised converter
+constexpr long long kTveEquivalentInTvt = 2048;  // §6.4's TVT estimate
+constexpr long long kSramCell = 6;
+constexpr long long kCuOrBits = 1024;
+constexpr long long kCuExtraBitsPerOperand = 35;
+constexpr long long kCuOperands = 3;
+}  // namespace
+
+AreaConfig AreaConfig::fermi_gtx480() {
+  AreaConfig c;
+  c.name = "Fermi GTX 480";
+  c.rf_banks = 16;
+  c.warp_converters = 6;
+  c.warp_truncators = 3;
+  c.collector_units = 16;
+  c.rf_instances_per_sm = 1;
+  c.sms = 15;
+  c.chip_transistors = 3.1e9;
+  return c;
+}
+
+AreaConfig AreaConfig::volta_v100() {
+  AreaConfig c;
+  c.name = "Volta V100";
+  // One register file per processing block; the number of banks scales
+  // with the per-scheduler issue width (§7): half the Fermi extractors.
+  c.rf_banks = 8;
+  c.warp_converters = 6;
+  c.warp_truncators = 3;
+  c.collector_units = 16;
+  c.rf_instances_per_sm = 4;
+  c.sms = 84;
+  c.chip_transistors = 21e9;
+  return c;
+}
+
+AreaBreakdown compute_area(const AreaConfig& cfg) {
+  AreaBreakdown a;
+  a.tve = kMuxesPerTve * kBitsPerMux * kAoiCellsPerMuxBit * kAoiTransistors +
+          kPadMuxTransistors;  // 1536 + 24
+  a.warp_extractor = 32 * a.tve;
+  a.extractors_total = cfg.rf_banks * a.warp_extractor;
+
+  a.tvc = kTvcTransistors;
+  a.converters_total = cfg.warp_converters * 32 * a.tvc;
+
+  a.indirection_table = cfg.indirection_entries * 32 * kSramCell;
+  a.tables_total = cfg.indirection_tables * a.indirection_table;
+
+  a.tvt = kTvcTransistors + 2 * kTveEquivalentInTvt;  // 5396
+  a.truncators_total = cfg.warp_truncators * 32 * a.tvt;
+
+  a.cu_extension = kCuOrBits * kAoiTransistors +
+                   kCuExtraBitsPerOperand * kCuOperands * kAoiTransistors;
+  a.cus_total = cfg.collector_units * a.cu_extension;
+
+  a.per_rf_instance = a.extractors_total + a.converters_total +
+                      a.tables_total + a.truncators_total + a.cus_total;
+  a.per_sm = a.per_rf_instance * cfg.rf_instances_per_sm;
+  a.chip_total = a.per_sm * cfg.sms;
+  a.fraction_of_chip =
+      static_cast<double>(a.chip_total) / cfg.chip_transistors;
+  return a;
+}
+
+}  // namespace gpurf::rf

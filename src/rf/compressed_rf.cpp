@@ -1,0 +1,94 @@
+#include "rf/compressed_rf.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "rf/value_converter.hpp"
+#include "rf/value_extractor.hpp"
+#include "rf/value_truncator.hpp"
+
+namespace gpurf::rf {
+
+using gpurf::alloc::IndirectionEntry;
+
+CompressedRegisterFile::CompressedRegisterFile(
+    const std::vector<IndirectionEntry>& table, uint32_t num_phys_regs,
+    uint32_t warps)
+    : table_(table),
+      num_phys_(num_phys_regs),
+      storage_(RegisterFileGeom{
+          16,
+          static_cast<int>((num_phys_regs * warps + 15) / 16) + 1, 1024}) {
+  src_table_.load(table_);
+  dst_table_.load(table_);  // identical content, separate structure (§3.2.2)
+}
+
+void CompressedRegisterFile::write_operand(uint32_t warp, uint32_t arch_reg,
+                                           const WarpRegister& values) {
+  const IndirectionEntry& e = table_.at(arch_reg);
+  GPURF_ASSERT(e.valid, "write to unallocated register " << arch_reg);
+  // Destination indirection lookup (content equals the packed entry).
+  (void)dst_table_.lookup(arch_reg);
+
+  TruncateSpec spec;
+  spec.mask0 = e.r0.mask;
+  spec.mask1 = e.split ? e.r1.mask : 0;
+  spec.data_slices = e.slices;
+  spec.is_float = e.is_float;
+  if (e.is_float) spec.float_fmt = gpurf::fp::format_for_bits(e.float_bits);
+
+  const auto pieces = warp_truncate(values, spec);
+
+  WarpRegister img0{}, img1{};
+  for (int l = 0; l < 32; ++l) {
+    img0[l] = pieces[l].data0;
+    img1[l] = pieces[l].data1;
+  }
+  storage_.write_masked(phys_index(warp, e.r0.phys_reg), img0,
+                        pieces[0].bitmask0);
+  if (e.split)
+    storage_.write_masked(phys_index(warp, e.r1.phys_reg), img1,
+                          pieces[0].bitmask1);
+}
+
+WarpRegister CompressedRegisterFile::read_operand(uint32_t warp,
+                                                  uint32_t arch_reg) {
+  const IndirectionEntry& e = table_.at(arch_reg);
+  GPURF_ASSERT(e.valid, "read of unallocated register " << arch_reg);
+  const PackedEntry& packed = src_table_.lookup(arch_reg);
+  GPURF_ASSERT(packed.m0() == e.r0.mask, "table content mismatch");
+
+  // Fetch + extract piece 0.
+  ExtractSpec s0;
+  s0.mask = e.r0.mask;
+  s0.first_slice = 0;
+  s0.data_slices = e.slices;
+  s0.is_signed = e.is_signed;
+  const WarpRegister& f0 = storage_.read(phys_index(warp, e.r0.phys_reg));
+  WarpRegister merged = warp_extract_piece(f0, s0);
+  ++stats_.fetches;
+
+  if (e.split) {
+    ExtractSpec s1 = s0;
+    s1.mask = e.r1.mask;
+    s1.first_slice = static_cast<uint8_t>(std::popcount(e.r0.mask));
+    const WarpRegister& f1 = storage_.read(phys_index(warp, e.r1.phys_reg));
+    const WarpRegister part = warp_extract_piece(f1, s1);
+    // 1024-bit OR gate in the collector unit (§3.2.4).
+    for (int l = 0; l < 32; ++l) merged[l] |= part[l];
+    ++stats_.fetches;
+    ++stats_.double_fetches;
+  }
+
+  // Padding / sign extension.
+  for (int l = 0; l < 32; ++l) merged[l] = tve_finalize(merged[l], s0);
+
+  // Narrow floats pass through the Value Converter.
+  if (e.is_float && e.float_bits != 32) {
+    merged = warp_convert(merged, gpurf::fp::format_for_bits(e.float_bits));
+    ++stats_.conversions;
+  }
+  return merged;
+}
+
+}  // namespace gpurf::rf

@@ -1,0 +1,60 @@
+#pragma once
+// Indirection table (paper §3.2.2, Fig. 2).
+//
+// 256 architectural-register entries of 32 bits each, organised in 16 SRAM
+// banks so the table matches the register file's throughput (16 accesses
+// per cycle).  Separate but identical source (read-path) and destination
+// (write-path) tables avoid contention; writeback-side bank conflicts are
+// absorbed by a small buffer (§3.2.1).
+//
+// Entry encoding (32 bits): | r0:8 | m0:8 | r1:8 | m1:8 |
+// The signed/float annotations travel with the instruction (they are
+// properties of the *operand*, produced by the static framework) and are
+// latched into the extended collector-unit fields (§3.2.4).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/slice_alloc.hpp"
+
+namespace gpurf::rf {
+
+constexpr int kIndirectionEntries = 256;
+constexpr int kIndirectionBanks = 16;
+
+/// Packed 32-bit entry.
+struct PackedEntry {
+  uint32_t raw = 0;
+
+  static PackedEntry pack(const gpurf::alloc::IndirectionEntry& e);
+  uint8_t r0() const { return static_cast<uint8_t>(raw >> 24); }
+  uint8_t m0() const { return static_cast<uint8_t>(raw >> 16); }
+  uint8_t r1() const { return static_cast<uint8_t>(raw >> 8); }
+  uint8_t m1() const { return static_cast<uint8_t>(raw); }
+};
+
+class IndirectionTable {
+ public:
+  IndirectionTable();
+
+  /// Upload a kernel's allocation before launch (§3.2: "the configuration
+  /// of the indirection table is different for each kernel").
+  void load(const std::vector<gpurf::alloc::IndirectionEntry>& table);
+
+  /// Architectural register -> bank (entries interleave across banks).
+  static int bank_of(uint32_t arch_reg) {
+    return static_cast<int>(arch_reg % kIndirectionBanks);
+  }
+
+  const PackedEntry& lookup(uint32_t arch_reg) const;
+
+  /// Conflict model: number of cycles to serve a set of simultaneous
+  /// lookups, given one access port per bank (max over per-bank counts).
+  static int cycles_for(const std::vector<uint32_t>& arch_regs);
+
+ private:
+  std::array<PackedEntry, kIndirectionEntries> entries_{};
+};
+
+}  // namespace gpurf::rf

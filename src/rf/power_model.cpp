@@ -1,0 +1,24 @@
+#include "rf/power_model.hpp"
+
+namespace gpurf::rf {
+
+PowerComparison compare_power(const PowerInputs& in, const AreaConfig& cfg) {
+  PowerComparison out;
+  // Compressed design: every read costs one fetch, a double-fetch fraction
+  // costs a second fetch; extraction/conversion logic adds a small term;
+  // the indirection-table read is proportional to its relative size.
+  out.compressed_read_energy = 1.0 + in.double_fetch_fraction +
+                               in.logic_vs_sram_energy +
+                               in.table_vs_rf_size;
+  // Doubling the register file doubles the bitline length and thus the
+  // energy per read (§6.5, [5]).
+  out.doubled_rf_read_energy = 2.0;
+
+  const AreaBreakdown area = compute_area(cfg);
+  out.static_overhead_fraction = area.fraction_of_chip;
+  out.compressed_wins =
+      out.compressed_read_energy < out.doubled_rf_read_energy;
+  return out;
+}
+
+}  // namespace gpurf::rf

@@ -1,0 +1,45 @@
+#pragma once
+// Analytical power model (paper §6.5).
+//
+// The paper argues the compressed design consumes less dynamic power than
+// the alternative of doubling the register file:
+//  * a doubled register file doubles bitline length and therefore roughly
+//    doubles energy per read (bitline charging dominates SRAM dynamic
+//    power);
+//  * the compressed design only pays 2x on reads that need a double fetch
+//    (operand split across two physical registers) — a compiler-controlled
+//    fraction;
+//  * converters/extractors/truncators are an order of magnitude below SRAM
+//    energies, and the indirection tables are tiny SRAMs.
+// Static power scales with the §6.4 area overhead.
+
+#include "rf/area_model.hpp"
+
+namespace gpurf::rf {
+
+struct PowerInputs {
+  /// Fraction of operand reads that require two physical fetches,
+  /// measured by the allocator / simulator for a given kernel.
+  double double_fetch_fraction = 0.0;
+  /// Relative energy of one logic-block activation (extract/convert/
+  /// truncate) vs. one register-file read (order 0.1 per §6.5 / [19]).
+  double logic_vs_sram_energy = 0.1;
+  /// Relative size of one indirection table vs. the register file
+  /// (256x32b vs 16x64x1024b = 1/128).
+  double table_vs_rf_size = 256.0 * 32 / (16.0 * 64 * 1024);
+};
+
+struct PowerComparison {
+  /// Dynamic energy per register read, compressed design, relative to the
+  /// baseline register file (1.0 = baseline).
+  double compressed_read_energy = 1.0;
+  /// Dynamic energy per register read of a 2x-capacity register file.
+  double doubled_rf_read_energy = 2.0;
+  /// Static-power overhead fraction (== area overhead fraction).
+  double static_overhead_fraction = 0.0;
+  bool compressed_wins = false;
+};
+
+PowerComparison compare_power(const PowerInputs& in, const AreaConfig& cfg);
+
+}  // namespace gpurf::rf

@@ -1,0 +1,39 @@
+#include "sim/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace gpurf::sim {
+
+Cache::Cache(const CacheGeom& g) : geom_(g), sets_(g.num_sets()) {
+  GPURF_CHECK(sets_ > 0, "cache must have at least one set");
+  lines_.resize(size_t(sets_) * geom_.assoc);
+}
+
+bool Cache::access(uint64_t line) {
+  ++tick_;
+  ++stats_.accesses;
+  const uint32_t set = static_cast<uint32_t>(line % sets_);
+  const uint64_t tag = line;  // storing the full line id as tag is exact
+  Line* base = &lines_[size_t(set) * geom_.assoc];
+
+  Line* victim = base;
+  for (uint32_t w = 0; w < geom_.assoc; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      return true;
+    }
+    if (!l.valid) {
+      victim = &l;
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+}  // namespace gpurf::sim

@@ -1,0 +1,37 @@
+#pragma once
+// Set-associative LRU cache model.  Tag-only (data comes from the
+// functional interpreter); a probe updates LRU state and fills on miss.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace gpurf::sim {
+
+class Cache {
+ public:
+  explicit Cache(const CacheGeom& g);
+
+  /// Probe line address `line` (already divided by line size).  Returns
+  /// true on hit.  Misses allocate (LRU victim).
+  bool access(uint64_t line);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    bool valid = false;
+    uint64_t lru = 0;
+  };
+  CacheGeom geom_;
+  uint32_t sets_;
+  std::vector<Line> lines_;  // sets_ x assoc
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace gpurf::sim

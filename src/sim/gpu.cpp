@@ -1,0 +1,578 @@
+#include "sim/gpu.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+
+#include "common/error.hpp"
+#include "sim/cache.hpp"
+
+namespace gpurf::sim {
+
+namespace ir = gpurf::ir;
+namespace exec = gpurf::exec;
+using ir::Opcode;
+using ir::UnitClass;
+
+namespace {
+
+constexpr int kNoIndex = -1;
+
+/// Execution latency by instruction class.
+uint32_t latency_of(const GpuConfig& g, const ir::Instruction& in) {
+  switch (in.op) {
+    case Opcode::MUL:
+    case Opcode::MAD:
+      return in.type == ir::Type::F32 ? g.lat_mul : g.lat_mul;
+    case Opcode::SIN: case Opcode::COS: case Opcode::EX2:
+    case Opcode::LG2: case Opcode::SQRT: case Opcode::RSQRT:
+    case Opcode::RCP: case Opcode::DIV: case Opcode::REM:
+      return g.lat_sfu;
+    default:
+      return g.lat_alu;
+  }
+}
+
+struct FetchReq {
+  uint8_t bank = 0;
+  bool served = false;
+};
+
+struct CuEntry {
+  bool valid = false;
+  int warp = kNoIndex;
+  exec::StepResult step;
+  uint64_t active_from = 0;  ///< fetch requests visible from this cycle
+  uint64_t alloc_cycle = 0;  ///< age for arbitration
+  std::vector<FetchReq> fetches;
+  uint32_t conversions_left = 0;
+  bool ready_marked = false;
+  bool dispatch_tried = false;
+
+  bool fetches_done() const {
+    for (const auto& f : fetches)
+      if (!f.served) return false;
+    return true;
+  }
+};
+
+struct WriteBack {
+  uint64_t cycle;
+  int warp;
+  uint32_t reg;
+  bool operator>(const WriteBack& o) const { return cycle > o.cycle; }
+};
+
+struct BlockCtx {
+  std::unique_ptr<exec::BlockExec> exec;
+  uint32_t warps_live = 0;
+  uint32_t barrier_arrived = 0;
+};
+
+struct WarpCtx {
+  int block = kNoIndex;          ///< index into SmCore::blocks_
+  uint32_t warp_in_block = 0;
+  uint32_t gwarp = 0;            ///< global id used for bank hashing
+  bool at_barrier = false;
+  bool active = false;
+  std::vector<uint8_t> pending;  ///< scoreboard flags per register
+  uint64_t last_issued = 0;
+};
+
+class BlockDispatcher {
+ public:
+  explicit BlockDispatcher(const ir::LaunchConfig& lc) : lc_(lc) {}
+  bool empty() const { return next_ >= uint64_t(lc_.num_blocks()); }
+  std::pair<uint32_t, uint32_t> pop() {
+    GPURF_ASSERT(!empty(), "dispatcher empty");
+    const uint32_t bx = static_cast<uint32_t>(next_ % lc_.grid_x);
+    const uint32_t by = static_cast<uint32_t>(next_ / lc_.grid_x);
+    ++next_;
+    return {bx, by};
+  }
+
+ private:
+  const ir::LaunchConfig& lc_;
+  uint64_t next_ = 0;
+};
+
+class SmCore {
+ public:
+  SmCore(const GpuConfig& g, const CompressionConfig& cc,
+         const KernelLaunchSpec& spec, exec::ExecContext& ctx,
+         const Occupancy& occ, BlockDispatcher& dispatcher, Cache& l2,
+         SimStats& stats)
+      : g_(g),
+        cc_(cc),
+        spec_(spec),
+        ctx_(ctx),
+        occ_(occ),
+        dispatcher_(dispatcher),
+        l1_(g.l1),
+        tex_(g.tex),
+        l2_(l2),
+        stats_(stats) {
+    cus_.resize(g.collector_units);
+    const uint32_t wpb = spec.launch.warps_per_block();
+    warps_.resize(size_t(occ.blocks_per_sm) * wpb);
+    for (uint32_t s = 0; s < occ.blocks_per_sm; ++s)
+      for (uint32_t w = 0; w < wpb; ++w) {
+        WarpCtx& wc = warps_[size_t(s) * wpb + w];
+        wc.gwarp = s * wpb + w;
+        wc.warp_in_block = w;
+        wc.pending.assign(spec.kernel->num_regs(), 0);
+      }
+    blocks_.resize(occ.blocks_per_sm);
+    fill_blocks();
+  }
+
+  bool idle() const {
+    for (const auto& b : blocks_)
+      if (b.exec) return false;
+    return true;
+  }
+
+  void tick(uint64_t now) {
+    retire_writebacks(now);
+    dispatch_ready(now);
+    arbitrate_banks(now);
+    run_converters(now);
+    issue(now);
+    fill_blocks();
+  }
+
+  /// L1 / texture miss-rate bookkeeping is merged into the shared stats at
+  /// the end of the run.
+  void flush_cache_stats() {
+    stats_.l1.accesses += l1_.stats().accesses;
+    stats_.l1.misses += l1_.stats().misses;
+    stats_.tex.accesses += tex_.stats().accesses;
+    stats_.tex.misses += tex_.stats().misses;
+  }
+
+ private:
+  uint32_t warps_per_block() const { return spec_.launch.warps_per_block(); }
+
+  void fill_blocks() {
+    for (uint32_t slot = 0; slot < blocks_.size(); ++slot) {
+      if (blocks_[slot].exec || dispatcher_.empty()) continue;
+      auto [bx, by] = dispatcher_.pop();
+      BlockCtx& b = blocks_[slot];
+      b.exec = std::make_unique<exec::BlockExec>(ctx_, bx, by);
+      b.warps_live = warps_per_block();
+      b.barrier_arrived = 0;
+      ++stats_.blocks_run;
+      for (uint32_t w = 0; w < warps_per_block(); ++w) {
+        WarpCtx& wc = warps_[size_t(slot) * warps_per_block() + w];
+        wc.block = static_cast<int>(slot);
+        wc.active = true;
+        wc.at_barrier = false;
+        std::fill(wc.pending.begin(), wc.pending.end(), 0);
+      }
+    }
+  }
+
+  void retire_writebacks(uint64_t now) {
+    while (!wb_.empty() && wb_.top().cycle <= now) {
+      const WriteBack w = wb_.top();
+      wb_.pop();
+      warps_[w.warp].pending[w.reg] = 0;
+    }
+  }
+
+  // ------------------------------------------------------------- dispatch
+  void dispatch_ready(uint64_t now) {
+    spu_used_ = 0;  // both SPUs accept one instruction per cycle
+    // Dispatch ready collector units, oldest first (selection sort over the
+    // small fixed-size CU array keeps this allocation-free).
+    for (;;) {
+      int c = kNoIndex;
+      for (int i = 0; i < int(cus_.size()); ++i)
+        if (cus_[i].valid && cus_[i].ready_marked && !cus_[i].dispatch_tried &&
+            (c == kNoIndex || cus_[i].alloc_cycle < cus_[c].alloc_cycle))
+          c = i;
+      if (c == kNoIndex) break;
+      cus_[c].dispatch_tried = true;
+      CuEntry& cu = cus_[c];
+      const ir::Instruction& in = *cu.step.inst;
+      const UnitClass unit = in.info().unit;
+      uint64_t done_at = 0;
+      if (unit == UnitClass::LDST) {
+        if (now < ldst_free_) continue;
+        const auto [transactions, latency] = memory_access(cu);
+        ldst_free_ = now + transactions;
+        done_at = now + latency;
+      } else if (unit == UnitClass::SFU) {
+        if (now < sfu_free_) continue;
+        sfu_free_ = now + g_.sfu_initiation;
+        done_at = now + latency_of(g_, in);
+      } else {
+        if (spu_used_ >= 2) continue;  // two single-precision units
+        ++spu_used_;
+        done_at = now + latency_of(g_, in);
+      }
+
+      if (in.info().has_dst) {
+        const uint64_t wb_extra = cc_.enabled ? cc_.writeback_delay : 0;
+        wb_.push(WriteBack{done_at + wb_extra, cu.warp, in.dst});
+      }
+      cu.valid = false;
+    }
+    for (auto& cu : cus_) cu.dispatch_tried = false;
+  }
+
+  // ------------------------------------------------------- bank arbitration
+  void arbitrate_banks(uint64_t now) {
+    // One read port per bank: serve the oldest pending request per bank.
+    for (int bank = 0; bank < int(g_.register_banks); ++bank) {
+      int best = kNoIndex;
+      int best_fetch = kNoIndex;
+      for (int c = 0; c < int(cus_.size()); ++c) {
+        CuEntry& cu = cus_[c];
+        if (!cu.valid || cu.ready_marked || cu.active_from > now) continue;
+        for (int f = 0; f < int(cu.fetches.size()); ++f) {
+          if (cu.fetches[f].served || cu.fetches[f].bank != bank) continue;
+          if (best == kNoIndex ||
+              cu.alloc_cycle < cus_[best].alloc_cycle) {
+            best = c;
+            best_fetch = f;
+          }
+          break;
+        }
+      }
+      if (best != kNoIndex) {
+        cus_[best].fetches[best_fetch].served = true;
+        ++stats_.operand_fetches;
+      }
+    }
+    // Mark CUs whose fetches completed and need no conversion.
+    for (auto& cu : cus_) {
+      if (cu.valid && !cu.ready_marked && cu.active_from <= now &&
+          cu.fetches_done() && cu.conversions_left == 0)
+        cu.ready_marked = true;
+    }
+  }
+
+  void run_converters(uint64_t now) {
+    if (!cc_.enabled) return;
+    uint32_t budget = cc_.conversions_per_cycle;
+    for (auto& cu : cus_) {
+      if (budget == 0) break;
+      if (!(cu.valid && !cu.ready_marked && cu.active_from <= now &&
+            cu.fetches_done() && cu.conversions_left > 0))
+        continue;
+      const uint32_t take = std::min(budget, cu.conversions_left);
+      cu.conversions_left -= take;
+      budget -= take;
+      stats_.conversions += take;
+      // Converted operands become ready next cycle (one-cycle VC latency);
+      // leaving ready_marked false until the next arbitrate pass models it.
+    }
+  }
+
+  // ------------------------------------------------------------------ issue
+  void issue(uint64_t now) {
+    for (uint32_t sched = 0; sched < g_.warp_schedulers; ++sched) {
+      bool issued = false;
+      bool saw_scoreboard = false, saw_no_cu = false, saw_barrier = false;
+      // GTO: greedily retry the last-issued warp first, then oldest
+      // (arrival order).  -1 sentinel visits the greedy candidate once.
+      int& greedy = greedy_warp_[sched];
+      for (int idx = -1; idx < int(warps_.size()); ++idx) {
+        int w = idx;
+        if (idx == -1) {
+          if (greedy < 0) continue;
+          w = greedy;
+        } else if (w == greedy) {
+          continue;  // already tried as the greedy candidate
+        }
+        WarpCtx& wc = warps_[w];
+        if (!wc.active || (wc.gwarp % g_.warp_schedulers) != sched)
+          continue;
+        if (wc.at_barrier) {
+          saw_barrier = true;
+          continue;
+        }
+        BlockCtx& blk = blocks_[wc.block];
+        const ir::Instruction* in = blk.exec->peek(wc.warp_in_block);
+        if (!in) continue;
+
+        if (!scoreboard_clear(wc, *in)) {
+          saw_scoreboard = true;
+          continue;
+        }
+        const bool is_control = in->op == Opcode::BRA ||
+                                in->op == Opcode::RET ||
+                                in->op == Opcode::BAR;
+        int cu_slot = kNoIndex;
+        if (!is_control) {
+          for (int c = 0; c < int(cus_.size()); ++c)
+            if (!cus_[c].valid) {
+              cu_slot = c;
+              break;
+            }
+          if (cu_slot == kNoIndex) {
+            saw_no_cu = true;
+            continue;
+          }
+        }
+
+        // Issue: functional execution happens now.
+        const exec::StepResult step = blk.exec->step(wc.warp_in_block);
+        ++stats_.warp_insts;
+        wc.last_issued = now;
+        greedy = wc.active ? w : kNoIndex;
+
+        if (is_control) {
+          handle_control(w, step);
+          if (!wc.active || wc.at_barrier) greedy = kNoIndex;
+        } else {
+          allocate_cu(now, w, cu_slot, step);
+        }
+        issued = true;
+        break;
+      }
+      if (!issued) greedy = kNoIndex;
+      if (!issued) {
+        if (saw_scoreboard) ++stats_.stall_scoreboard;
+        else if (saw_no_cu) ++stats_.stall_no_cu;
+        else if (saw_barrier) ++stats_.stall_barrier;
+        else ++stats_.stall_empty;
+      }
+    }
+  }
+
+  bool scoreboard_clear(const WarpCtx& wc, const ir::Instruction& in) const {
+    bool ok = true;
+    analysis_for_each_reg(in, [&](uint32_t r) {
+      if (wc.pending[r]) ok = false;
+    });
+    return ok;
+  }
+
+  /// All registers an instruction touches (sources, guard, destination).
+  template <typename Fn>
+  static void analysis_for_each_reg(const ir::Instruction& in, Fn&& fn) {
+    for (int i = 0; i < in.num_srcs; ++i)
+      if (in.srcs[i].is_reg()) fn(in.srcs[i].index);
+    if (in.guard != ir::kNoReg) fn(in.guard);
+    if (in.info().has_dst) fn(in.dst);
+  }
+
+  void handle_control(int w, const exec::StepResult& step) {
+    WarpCtx& wc = warps_[w];
+    BlockCtx& blk = blocks_[wc.block];
+    if (step.warp_done) {
+      wc.active = false;
+      GPURF_ASSERT(blk.warps_live > 0, "warp count underflow");
+      if (--blk.warps_live == 0) {
+        blk.exec.reset();  // slot refilled by fill_blocks()
+      }
+      return;
+    }
+    if (step.at_barrier) {
+      wc.at_barrier = true;
+      if (++blk.barrier_arrived == blk.warps_live) {
+        blk.barrier_arrived = 0;
+        const uint32_t base = uint32_t(wc.block) * warps_per_block();
+        for (uint32_t i = 0; i < warps_per_block(); ++i)
+          warps_[base + i].at_barrier = false;
+      }
+    }
+  }
+
+  void allocate_cu(uint64_t now, int w, int cu_slot,
+                   const exec::StepResult& step) {
+    WarpCtx& wc = warps_[w];
+    const ir::Instruction& in = *step.inst;
+    CuEntry& cu = cus_[cu_slot];
+    cu = CuEntry{};
+    cu.valid = true;
+    cu.warp = w;
+    cu.step = step;
+    cu.alloc_cycle = now;
+    cu.active_from =
+        now + 1 + (cc_.enabled ? cc_.indirection_read_cycles : 0);
+
+    // Distinct register source operands -> bank fetch requests.
+    uint32_t seen[3];
+    int nseen = 0;
+    for (int i = 0; i < in.num_srcs; ++i) {
+      if (!in.srcs[i].is_reg()) continue;
+      const uint32_t r = in.srcs[i].index;
+      if (spec_.kernel->regs[r].type == ir::Type::PRED) continue;
+      bool dup = false;
+      for (int s = 0; s < nseen; ++s)
+        if (seen[s] == r) dup = true;
+      if (dup) continue;
+      seen[nseen++] = r;
+
+      if (cc_.enabled && spec_.allocation) {
+        const auto& e = spec_.allocation->table[r];
+        GPURF_ASSERT(e.valid, "operand without allocation");
+        cu.fetches.push_back(FetchReq{
+            static_cast<uint8_t>((e.r0.phys_reg + wc.gwarp) %
+                                 g_.register_banks),
+            false});
+        if (e.split) {
+          cu.fetches.push_back(FetchReq{
+              static_cast<uint8_t>((e.r1.phys_reg + wc.gwarp) %
+                                   g_.register_banks),
+              false});
+          ++stats_.double_fetches;
+        }
+        if (e.is_float && e.float_bits != 32) ++cu.conversions_left;
+      } else {
+        cu.fetches.push_back(FetchReq{
+            static_cast<uint8_t>((r + wc.gwarp) % g_.register_banks),
+            false});
+      }
+    }
+
+    // Scoreboard: destination pends until writeback.
+    if (in.info().has_dst) wc.pending[in.dst] = 1;
+  }
+
+  // ----------------------------------------------------------------- memory
+  /// Returns {transactions, latency}.
+  std::pair<uint32_t, uint32_t> memory_access(const CuEntry& cu) {
+    const ir::Instruction& in = *cu.step.inst;
+    const uint32_t mask = cu.step.active_mask;
+
+    if (in.op == Opcode::LD_SHARED || in.op == Opcode::ST_SHARED) {
+      // 32 word-interleaved banks; conflict degree = max distinct words
+      // mapped to one bank.
+      std::array<std::vector<uint32_t>, 32> per_bank;
+      for (int l = 0; l < 32; ++l) {
+        if (!((mask >> l) & 1u)) continue;
+        const uint32_t a = cu.step.addr[l];
+        auto& v = per_bank[a % 32];
+        if (std::find(v.begin(), v.end(), a) == v.end()) v.push_back(a);
+      }
+      uint32_t degree = 1;
+      for (const auto& v : per_bank)
+        degree = std::max<uint32_t>(degree, uint32_t(v.size()));
+      return {degree, g_.lat_shared + (degree - 1)};
+    }
+
+    if (in.op == Opcode::TEX2D) {
+      std::vector<uint64_t> lines;
+      for (int l = 0; l < 32; ++l) {
+        if (!((mask >> l) & 1u)) continue;
+        const uint64_t line =
+            (uint64_t(in.tex) << 40) | (cu.step.addr[l] / 32);
+        if (std::find(lines.begin(), lines.end(), line) == lines.end())
+          lines.push_back(line);
+      }
+      uint32_t worst = g_.lat_tex_hit;
+      for (uint64_t line : lines) {
+        if (tex_.access(line)) continue;
+        // Texture miss: L2, then DRAM.  Tag texture space into L2.
+        const uint64_t l2line = line | (uint64_t(1) << 60);
+        worst = std::max(worst,
+                         l2_.access(l2line) ? g_.lat_l2_hit : g_.lat_dram);
+      }
+      const uint32_t n = std::max<uint32_t>(1, uint32_t(lines.size()));
+      return {n, worst + n - 1};
+    }
+
+    // Global loads/stores: coalesce into 128-byte (32-word) lines.
+    std::vector<uint64_t> lines;
+    for (int l = 0; l < 32; ++l) {
+      if (!((mask >> l) & 1u)) continue;
+      const uint64_t line = cu.step.addr[l] / 32;
+      if (std::find(lines.begin(), lines.end(), line) == lines.end())
+        lines.push_back(line);
+    }
+    const bool is_store = in.op == Opcode::ST_GLOBAL;
+    uint32_t worst = g_.lat_l1_hit;
+    for (uint64_t line : lines) {
+      if (is_store) {
+        // Write-evict L1 (Fermi global stores): go straight to L2.
+        l2_.access(line);
+        continue;
+      }
+      if (l1_.access(line)) continue;
+      worst =
+          std::max(worst, l2_.access(line) ? g_.lat_l2_hit : g_.lat_dram);
+    }
+    const uint32_t n = std::max<uint32_t>(1, uint32_t(lines.size()));
+    return {n, worst + n - 1};
+  }
+
+  const GpuConfig& g_;
+  const CompressionConfig& cc_;
+  const KernelLaunchSpec& spec_;
+  exec::ExecContext& ctx_;
+  const Occupancy& occ_;
+  BlockDispatcher& dispatcher_;
+
+  Cache l1_;
+  Cache tex_;
+  Cache& l2_;
+  SimStats& stats_;
+
+  std::vector<BlockCtx> blocks_;
+  std::vector<WarpCtx> warps_;
+  std::vector<CuEntry> cus_;
+  std::priority_queue<WriteBack, std::vector<WriteBack>,
+                      std::greater<WriteBack>>
+      wb_;
+  uint64_t ldst_free_ = 0;
+  uint64_t sfu_free_ = 0;
+  uint32_t spu_used_ = 0;
+  std::array<int, 8> greedy_warp_{kNoIndex, kNoIndex, kNoIndex, kNoIndex,
+                                  kNoIndex, kNoIndex, kNoIndex, kNoIndex};
+};
+
+}  // namespace
+
+SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
+                   const KernelLaunchSpec& spec) {
+  GPURF_CHECK(spec.kernel && spec.gmem, "incomplete launch spec");
+  GPURF_CHECK(spec.regs_per_thread > 0, "regs_per_thread must be set");
+
+  SimResult res;
+  res.occupancy = compute_occupancy(gpu, spec.regs_per_thread,
+                                    spec.launch.warps_per_block(),
+                                    spec.kernel->shared_bytes);
+  GPURF_CHECK(res.occupancy.blocks_per_sm > 0,
+              "kernel does not fit on the SM (register pressure "
+                  << spec.regs_per_thread << ")");
+
+  exec::ExecContext ctx;
+  ctx.kernel = spec.kernel;
+  ctx.launch = spec.launch;
+  ctx.gmem = spec.gmem;
+  ctx.textures = spec.textures;
+  ctx.params = spec.params;
+  ctx.precision = spec.precision;
+
+  BlockDispatcher dispatcher(spec.launch);
+  Cache l2(gpu.l2);
+
+  std::vector<std::unique_ptr<SmCore>> sms;
+  for (uint32_t s = 0; s < gpu.num_sms; ++s)
+    sms.push_back(std::make_unique<SmCore>(gpu, comp, spec, ctx,
+                                           res.occupancy, dispatcher, l2,
+                                           res.stats));
+
+  uint64_t cycle = 0;
+  for (;; ++cycle) {
+    GPURF_CHECK(cycle < gpu.max_cycles, "simulation exceeded max_cycles");
+    bool all_idle = dispatcher.empty();
+    for (auto& sm : sms) {
+      sm->tick(cycle);
+      if (!sm->idle()) all_idle = false;
+    }
+    if (all_idle && dispatcher.empty()) break;
+  }
+
+  res.stats.cycles = cycle + 1;
+  res.stats.thread_insts = ctx.thread_insts;
+  for (auto& sm : sms) sm->flush_cache_stats();
+  res.stats.l2 = l2.stats();
+  return res;
+}
+
+}  // namespace gpurf::sim

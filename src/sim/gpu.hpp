@@ -1,0 +1,64 @@
+#pragma once
+// Cycle-level GPU timing simulator (paper §3.1 baseline + §3.2 proposal).
+//
+// Modelled mechanisms — exactly the ones the paper's results flow from:
+//  * block dispatcher with occupancy limits (registers / shared memory /
+//    max warps / max blocks);
+//  * two GTO warp schedulers per SM, dual issue;
+//  * scoreboard without forwarding (dependent instructions wait for
+//    writeback, §6.3);
+//  * operand collector: 16 collector units, per-bank arbitration over the
+//    16 register banks, bank = (reg + warp) % 16;
+//  * compressed mode adds: source indirection-table read stage, split
+//    operands costing two fetches, Value Converter throughput of six
+//    warp conversions per cycle, and a configurable writeback delay;
+//  * SPU x2 / SFU / LD-ST pipelines with per-class latencies;
+//  * memory coalescing into 128-byte lines, L1 / texture / shared L2 /
+//    DRAM latencies, shared-memory bank conflicts.
+//
+// Execution is functional-at-issue: when a warp instruction issues, the
+// interpreter (exec::BlockExec) executes it and the timing token flows
+// through collection, execution and writeback.  Precision maps quantize
+// f32 writes during compressed runs, so timing results correspond to the
+// same numerics the quality metrics scored.
+
+#include <memory>
+#include <vector>
+
+#include "alloc/slice_alloc.hpp"
+#include "exec/interp.hpp"
+#include "exec/machine.hpp"
+#include "ir/kernel.hpp"
+#include "sim/config.hpp"
+#include "sim/occupancy.hpp"
+#include "sim/stats.hpp"
+
+namespace gpurf::sim {
+
+struct KernelLaunchSpec {
+  const gpurf::ir::Kernel* kernel = nullptr;
+  gpurf::ir::LaunchConfig launch;
+  gpurf::exec::GlobalMemory* gmem = nullptr;
+  const std::vector<gpurf::exec::Texture>* textures = nullptr;
+  std::vector<uint32_t> params;
+
+  /// Register pressure used for occupancy (baseline colouring or the
+  /// compressed physical count from the slice allocator).
+  uint32_t regs_per_thread = 0;
+
+  /// Compressed mode only: quantization of f32 register writes and the
+  /// operand -> physical-register mapping for bank traffic.
+  const gpurf::exec::PrecisionMap* precision = nullptr;
+  const gpurf::alloc::AllocationResult* allocation = nullptr;
+};
+
+struct SimResult {
+  SimStats stats;
+  Occupancy occupancy;
+};
+
+/// Run one kernel launch to completion.
+SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
+                   const KernelLaunchSpec& spec);
+
+}  // namespace gpurf::sim

@@ -1,0 +1,56 @@
+#pragma once
+// CUDA-style occupancy calculation (paper §2): how many thread blocks fit
+// on one SM given register pressure, shared-memory usage and the warp /
+// block limits.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/config.hpp"
+
+namespace gpurf::sim {
+
+struct Occupancy {
+  uint32_t blocks_per_sm = 0;
+  uint32_t warps_per_sm = 0;
+  double percent = 0.0;  ///< active warps / max warps (the paper's metric)
+
+  enum class Limiter { kRegisters, kSharedMem, kWarps, kBlocks, kNone };
+  Limiter limiter = Limiter::kNone;
+};
+
+inline Occupancy compute_occupancy(const GpuConfig& g,
+                                   uint32_t regs_per_thread,
+                                   uint32_t warps_per_block,
+                                   uint32_t shared_bytes_per_block) {
+  Occupancy o;
+  // Register limit at warp granularity: regs/thread x 32 threads x warps.
+  const uint64_t regs_per_block =
+      uint64_t(regs_per_thread) * 32 * warps_per_block;
+  const uint32_t by_regs =
+      regs_per_block == 0
+          ? g.max_blocks_per_sm
+          : static_cast<uint32_t>(g.registers_per_sm / regs_per_block);
+  const uint32_t by_smem =
+      shared_bytes_per_block == 0
+          ? g.max_blocks_per_sm
+          : g.shared_mem_bytes / shared_bytes_per_block;
+  const uint32_t by_warps = g.max_warps_per_sm / warps_per_block;
+  const uint32_t by_blocks = g.max_blocks_per_sm;
+
+  o.blocks_per_sm = std::min({by_regs, by_smem, by_warps, by_blocks});
+  o.warps_per_sm = o.blocks_per_sm * warps_per_block;
+  o.percent = 100.0 * o.warps_per_sm / g.max_warps_per_sm;
+
+  if (o.blocks_per_sm == by_regs && by_regs < by_blocks)
+    o.limiter = Occupancy::Limiter::kRegisters;
+  else if (o.blocks_per_sm == by_smem && by_smem < by_blocks)
+    o.limiter = Occupancy::Limiter::kSharedMem;
+  else if (o.blocks_per_sm == by_warps && by_warps < by_blocks)
+    o.limiter = Occupancy::Limiter::kWarps;
+  else
+    o.limiter = Occupancy::Limiter::kBlocks;
+  return o;
+}
+
+}  // namespace gpurf::sim

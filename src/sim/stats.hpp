@@ -1,0 +1,44 @@
+#pragma once
+// Simulation statistics: IPC plus the secondary counters the paper's
+// discussion relies on (texture miss rates for GICOV/SSAO, stall
+// breakdowns for the writeback-delay sensitivity).
+
+#include <cstdint>
+
+namespace gpurf::sim {
+
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t misses = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : double(misses) / double(accesses);
+  }
+};
+
+struct SimStats {
+  uint64_t cycles = 0;
+  uint64_t thread_insts = 0;  ///< sum of active lanes over issued warp insts
+  uint64_t warp_insts = 0;
+  uint64_t blocks_run = 0;
+
+  CacheStats l1;
+  CacheStats tex;
+  CacheStats l2;
+
+  // Issue-stall breakdown (per scheduler slot with no issue).
+  uint64_t stall_scoreboard = 0;
+  uint64_t stall_no_cu = 0;
+  uint64_t stall_barrier = 0;
+  uint64_t stall_empty = 0;  ///< no resident warp had a fetchable instruction
+
+  uint64_t operand_fetches = 0;
+  uint64_t double_fetches = 0;
+  uint64_t conversions = 0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0 : double(thread_insts) / double(cycles);
+  }
+};
+
+}  // namespace gpurf::sim

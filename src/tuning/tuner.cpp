@@ -1,0 +1,101 @@
+#include "tuning/tuner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpurf::tuning {
+
+namespace ir = gpurf::ir;
+using gpurf::exec::PrecisionMap;
+using gpurf::fp::FloatFormat;
+using gpurf::fp::table3_formats;
+
+namespace {
+
+/// Count static uses of each register — registers with more uses are tuned
+/// first so that high-traffic values settle before low-traffic ones refine
+/// around them (the TACO'17 heuristic orders by estimated impact).
+std::vector<uint32_t> static_use_counts(const ir::Kernel& k) {
+  std::vector<uint32_t> uses(k.num_regs(), 0);
+  for (const auto& b : k.blocks)
+    for (const auto& in : b.insts) {
+      for (int i = 0; i < in.num_srcs; ++i)
+        if (in.srcs[i].is_reg()) ++uses[in.srcs[i].index];
+      if (in.info().has_dst) ++uses[in.dst];
+    }
+  return uses;
+}
+
+}  // namespace
+
+TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
+                          const TunerOptions& opt) {
+  TuneResult res;
+  res.pmap.per_reg.assign(k.num_regs(), gpurf::fp::format_for_bits(32));
+
+  // Registers eligible for tuning: f32 registers that the program defines.
+  const auto uses = static_use_counts(k);
+  std::vector<uint32_t> targets;
+  for (uint32_t r = 0; r < k.num_regs(); ++r)
+    if (k.regs[r].type == ir::Type::F32 && uses[r] > 0) targets.push_back(r);
+  std::sort(targets.begin(), targets.end(), [&](uint32_t a, uint32_t b) {
+    if (uses[a] != uses[b]) return uses[a] > uses[b];
+    return a < b;
+  });
+
+  res.f32_regs = static_cast<int>(targets.size());
+  res.slices_before = 8 * res.f32_regs;
+
+  const auto& formats = table3_formats();  // widest (32) .. narrowest (8)
+
+  // Index of a register's current format in the Table-3 list.
+  auto fmt_index = [&](uint32_t r) {
+    for (size_t i = 0; i < formats.size(); ++i)
+      if (formats[i] == res.pmap.per_reg[r]) return i;
+    GPURF_ASSERT(false, "format escaped Table-3 set");
+    return size_t{0};
+  };
+
+  double last_score = probe.evaluate(res.pmap);
+  ++res.evaluations;
+  GPURF_CHECK(probe.meets(last_score, opt.level),
+              "kernel '" << k.name
+                         << "' fails the quality threshold at full "
+                            "precision; the metric or reference is broken");
+
+  for (int pass = 0; pass < opt.max_passes; ++pass) {
+    bool changed = false;
+    for (uint32_t r : targets) {
+      size_t idx = fmt_index(r);
+      while (idx + 1 < formats.size()) {
+        const FloatFormat trial = formats[idx + 1];
+        const FloatFormat saved = res.pmap.per_reg[r];
+        res.pmap.per_reg[r] = trial;
+        const double score = probe.evaluate(res.pmap);
+        ++res.evaluations;
+        if (probe.meets(score, opt.level)) {
+          last_score = score;
+          ++idx;
+          changed = true;
+        } else {
+          res.pmap.per_reg[r] = saved;
+          break;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final validation of the accepted assignment.
+  res.final_score = probe.evaluate(res.pmap);
+  ++res.evaluations;
+  GPURF_ASSERT(probe.meets(res.final_score, opt.level),
+               "accepted assignment fails validation");
+
+  res.slices_after = 0;
+  for (uint32_t r : targets) res.slices_after += res.pmap.per_reg[r].slices();
+  return res;
+}
+
+}  // namespace gpurf::tuning

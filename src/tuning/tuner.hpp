@@ -1,0 +1,55 @@
+#pragma once
+// Floating-point precision tuning (paper §4.1, adopting Angerd et al.,
+// TACO 2017).
+//
+// The tuner searches, per floating-point register, for the narrowest
+// Table-3 format such that the program still meets a user-selected quality
+// threshold on a set of representative sample inputs.  Like the original
+// heuristic it is data driven: no guarantee is given for inputs outside the
+// sample set (§4.1).
+//
+// Search strategy: greedy monotone descent per register (try the next
+// narrower format while quality holds), iterated over all registers until a
+// fixpoint, followed by a final validation run.  Each candidate assignment
+// is evaluated by actually executing the kernel with writes quantized
+// through the candidate formats (exec::PrecisionMap) and scoring the output
+// against the exact reference.
+
+#include <cstdint>
+#include <functional>
+
+#include "exec/machine.hpp"
+#include "ir/kernel.hpp"
+#include "quality/metrics.hpp"
+
+namespace gpurf::tuning {
+
+/// Evaluates one candidate precision assignment against the quality metric.
+/// Implemented by the workload harness: runs the kernel functionally on the
+/// sample inputs with `pmap` active and scores the output vs. the exact
+/// reference.
+class QualityProbe {
+ public:
+  virtual ~QualityProbe() = default;
+  virtual double evaluate(const exec::PrecisionMap& pmap) = 0;
+  virtual bool meets(double score, quality::QualityLevel level) const = 0;
+};
+
+struct TunerOptions {
+  quality::QualityLevel level = quality::QualityLevel::kPerfect;
+  int max_passes = 4;   ///< fixpoint iteration bound over all registers
+};
+
+struct TuneResult {
+  exec::PrecisionMap pmap;     ///< format per register (f32 regs narrowed)
+  int evaluations = 0;         ///< number of functional quality probes
+  int f32_regs = 0;            ///< number of tuned registers
+  int slices_before = 0;       ///< total f32 slices at 32-bit
+  int slices_after = 0;        ///< total f32 slices after tuning
+  double final_score = 0.0;    ///< quality score of the accepted assignment
+};
+
+TuneResult tune_precision(const gpurf::ir::Kernel& k, QualityProbe& probe,
+                          const TunerOptions& opt);
+
+}  // namespace gpurf::tuning

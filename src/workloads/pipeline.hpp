@@ -1,0 +1,64 @@
+#pragma once
+// The full static compression pipeline of Fig. 7, packaged per workload:
+//
+//   range analysis (§4.2)  ->  integer bitwidths
+//   precision tuning (§4.1) -> float formats, per quality level
+//   slice allocation (§4.3) -> register pressure + indirection table
+//
+// plus helpers to derive simulator launch specs for the paper's
+// experiment configurations (original / compressed / artificial).
+//
+// Results are memoized per workload name inside one process: the tuner
+// runs hundreds of functional probes, and several benches/tests want the
+// same artifacts.
+
+#include <memory>
+
+#include "alloc/slice_alloc.hpp"
+#include "analysis/range_analysis.hpp"
+#include "sim/gpu.hpp"
+#include "tuning/tuner.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpurf::workloads {
+
+/// Register pressure under each framework combination (Fig. 9's six bars).
+struct PressureReport {
+  uint32_t original = 0;
+  uint32_t narrow_int = 0;
+  uint32_t narrow_float_perfect = 0;
+  uint32_t narrow_float_high = 0;
+  uint32_t both_perfect = 0;
+  uint32_t both_high = 0;
+};
+
+struct PipelineResult {
+  analysis::RangeAnalysisResult ranges;
+  gpurf::tuning::TuneResult tune_perfect;
+  gpurf::tuning::TuneResult tune_high;
+  PressureReport pressure;
+  gpurf::alloc::AllocationResult alloc_both_perfect;
+  gpurf::alloc::AllocationResult alloc_both_high;
+};
+
+/// Run (or fetch the memoized) pipeline for a workload.
+const PipelineResult& run_pipeline(const Workload& w);
+
+/// Experiment configurations of §6.
+enum class SimMode {
+  kOriginal,          ///< baseline RF, original pressure
+  kCompressedPerfect, ///< proposed RF, perfect-quality compression
+  kCompressedHigh,    ///< proposed RF, high-quality compression
+};
+
+/// Assemble a timing-simulation launch for a workload instance.  The
+/// instance must outlive the returned spec (it borrows memory/textures).
+gpurf::sim::KernelLaunchSpec make_launch_spec(const Workload& w,
+                                              Workload::Instance& inst,
+                                              const PipelineResult& pr,
+                                              SimMode mode);
+
+/// Compression config matching the mode (baseline vs. paper default).
+gpurf::sim::CompressionConfig make_compression_config(SimMode mode);
+
+}  // namespace gpurf::workloads

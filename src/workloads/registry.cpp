@@ -1,0 +1,21 @@
+#include "workloads/workload.hpp"
+
+namespace gpurf::workloads {
+
+std::vector<std::unique_ptr<Workload>> make_all_workloads() {
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(make_deferred());
+  v.push_back(make_ssao());
+  v.push_back(make_elevated());
+  v.push_back(make_pathtracer());
+  v.push_back(make_cfd());
+  v.push_back(make_dwt2d());
+  v.push_back(make_hotspot());
+  v.push_back(make_hotspot3d());
+  v.push_back(make_imgvf());
+  v.push_back(make_gicov());
+  v.push_back(make_hybridsort());
+  return v;
+}
+
+}  // namespace gpurf::workloads

@@ -1,0 +1,47 @@
+#include "workloads/workload.hpp"
+
+#include "common/error.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+
+namespace gpurf::workloads {
+
+using gpurf::quality::MetricKind;
+
+Workload::Workload(WorkloadSpec spec, std::string_view asm_text)
+    : spec_(std::move(spec)), kernel_(gpurf::ir::parse_kernel(asm_text)) {
+  gpurf::ir::verify(kernel_);
+}
+
+std::unique_ptr<gpurf::quality::QualityMetric> Workload::make_metric(
+    const Instance& inst) const {
+  switch (spec_.metric) {
+    case MetricKind::kSsim:
+      GPURF_CHECK(inst.image_w > 0 && inst.image_h > 0,
+                  "SSIM workload without image dimensions");
+      return gpurf::quality::make_ssim_metric(inst.image_w, inst.image_h);
+    case MetricKind::kDeviation:
+      return gpurf::quality::make_deviation_metric();
+    case MetricKind::kBinary:
+      return gpurf::quality::make_binary_metric();
+  }
+  GPURF_ASSERT(false, "unknown metric kind");
+  return nullptr;
+}
+
+std::vector<float> Workload::run(
+    Instance& inst, const gpurf::exec::PrecisionMap* pmap,
+    const analysis::RangeAnalysisResult* range_check) const {
+  gpurf::exec::ExecContext ctx;
+  ctx.kernel = &kernel_;
+  ctx.launch = inst.launch;
+  ctx.gmem = &inst.gmem;
+  ctx.textures = &inst.textures;
+  ctx.params = inst.params;
+  ctx.precision = pmap;
+  ctx.range_check = range_check;
+  gpurf::exec::run_functional(ctx);
+  return inst.gmem.read_f32(inst.out_base, inst.out_words);
+}
+
+}  // namespace gpurf::workloads

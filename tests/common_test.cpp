@@ -1,0 +1,203 @@
+// Unit tests for the common utilities: bit manipulation, deterministic RNG,
+// dynamic bitset and string helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.hpp"
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strutil.hpp"
+
+namespace gpurf {
+namespace {
+
+TEST(BitUtil, BitsForUnsigned) {
+  EXPECT_EQ(bits_for_unsigned(0), 1);
+  EXPECT_EQ(bits_for_unsigned(1), 1);
+  EXPECT_EQ(bits_for_unsigned(2), 2);
+  EXPECT_EQ(bits_for_unsigned(3), 2);
+  EXPECT_EQ(bits_for_unsigned(255), 8);
+  EXPECT_EQ(bits_for_unsigned(256), 9);
+  EXPECT_EQ(bits_for_unsigned(UINT32_MAX), 32);
+}
+
+TEST(BitUtil, BitsForSignedRange) {
+  EXPECT_EQ(bits_for_signed_range(0, 0), 1);
+  EXPECT_EQ(bits_for_signed_range(-1, 0), 1);
+  EXPECT_EQ(bits_for_signed_range(-1, 1), 2);
+  EXPECT_EQ(bits_for_signed_range(-128, 127), 8);
+  EXPECT_EQ(bits_for_signed_range(-129, 127), 9);
+  EXPECT_EQ(bits_for_signed_range(-128, 128), 9);
+  EXPECT_EQ(bits_for_signed_range(0, 127), 8);
+  EXPECT_EQ(bits_for_signed_range(INT32_MIN, INT32_MAX), 32);
+}
+
+TEST(BitUtil, BitsForSignedRangeIsMinimal) {
+  // Property: the returned n is the smallest width whose two's-complement
+  // range covers [lo, hi].
+  const int64_t cases[][2] = {{-5, 10},   {-1024, 1023}, {7, 7},
+                              {-33, -31}, {0, 4095},     {-2048, 2047}};
+  for (const auto& c : cases) {
+    const int n = bits_for_signed_range(c[0], c[1]);
+    const int64_t min_v = -(int64_t(1) << (n - 1));
+    const int64_t max_v = (int64_t(1) << (n - 1)) - 1;
+    EXPECT_LE(min_v, c[0]);
+    EXPECT_GE(max_v, c[1]);
+    if (n > 1) {
+      const int64_t min2 = -(int64_t(1) << (n - 2));
+      const int64_t max2 = (int64_t(1) << (n - 2)) - 1;
+      EXPECT_TRUE(c[0] < min2 || c[1] > max2)
+          << "width " << n << " not minimal for [" << c[0] << "," << c[1]
+          << "]";
+    }
+  }
+}
+
+TEST(BitUtil, SlicesForBits) {
+  EXPECT_EQ(slices_for_bits(1), 1);
+  EXPECT_EQ(slices_for_bits(4), 1);
+  EXPECT_EQ(slices_for_bits(5), 2);
+  EXPECT_EQ(slices_for_bits(12), 3);
+  EXPECT_EQ(slices_for_bits(13), 4);
+  EXPECT_EQ(slices_for_bits(32), 8);
+}
+
+TEST(BitUtil, SignExtend) {
+  EXPECT_EQ(sign_extend(0xf, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x8, 4), -8);
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xdeadbeef, 32), int32_t(0xdeadbeef));
+}
+
+TEST(BitUtil, SignExtendRoundTrip) {
+  // Property: sign-extending the truncation of any in-range value is
+  // the identity.
+  for (int bits = 2; bits <= 16; ++bits) {
+    const int32_t lo = -(1 << (bits - 1));
+    const int32_t hi = (1 << (bits - 1)) - 1;
+    for (int32_t v = lo; v <= hi; v += std::max(1, (hi - lo) / 37)) {
+      EXPECT_EQ(sign_extend(uint32_t(v), bits), v);
+    }
+  }
+}
+
+TEST(BitUtil, ZeroExtendAndLowMask) {
+  EXPECT_EQ(zero_extend(0xffffffffu, 8), 0xffu);
+  EXPECT_EQ(zero_extend(0x12345678u, 16), 0x5678u);
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(4), 0xfu);
+  EXPECT_EQ(low_mask(32), 0xffffffffu);
+}
+
+TEST(BitUtil, FloatBitsRoundTrip) {
+  const float vals[] = {0.0f, -0.0f, 1.0f, -2.5f, 3.14159f, 1e-20f, 1e20f};
+  for (float v : vals) EXPECT_EQ(bits_float(float_bits(v)), v);
+}
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(Rng, Deterministic) {
+  Pcg32 a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundsRespected) {
+  Pcg32 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Bitset, SetTestReset) {
+  DynBitset b(130);
+  EXPECT_FALSE(b.test(0));
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, MergeAndAndNot) {
+  DynBitset a(70), b(70);
+  a.set(1);
+  b.set(2);
+  b.set(68);
+  EXPECT_TRUE(a.merge(b));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(68));
+  EXPECT_FALSE(a.merge(b));  // no change the second time
+  DynBitset c(70);
+  c.set(2);
+  a.and_not(c);
+  EXPECT_FALSE(a.test(2));
+  EXPECT_TRUE(a.test(1));
+}
+
+TEST(Bitset, ForEachSet) {
+  DynBitset b(100);
+  b.set(3);
+  b.set(64);
+  b.set(99);
+  std::vector<size_t> got;
+  b.for_each_set([&](size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, (std::vector<size_t>{3, 64, 99}));
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrUtil, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtil, SplitWs) {
+  auto parts = split_ws("  add.s32   %a, %b  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "add.s32");
+  EXPECT_EQ(parts[1], "%a,");
+}
+
+TEST(Error, CheckThrows) {
+  EXPECT_THROW(GPURF_CHECK(false, "boom " << 42), Error);
+  EXPECT_NO_THROW(GPURF_CHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace gpurf

@@ -1,0 +1,188 @@
+// Tests for the Table-3 reduced-precision float formats: encoding layout,
+// round-to-nearest-even, special values, denormal flush, and parameterized
+// properties across all seven formats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitutil.hpp"
+#include "common/rng.hpp"
+#include "fp/format.hpp"
+
+namespace gpurf::fp {
+namespace {
+
+TEST(Format, Table3Definitions) {
+  const auto& f = table3_formats();
+  ASSERT_EQ(f.size(), 7u);
+  const int totals[] = {32, 28, 24, 20, 16, 12, 8};
+  const int exps[] = {8, 7, 6, 5, 5, 4, 3};
+  const int mans[] = {23, 20, 17, 14, 10, 7, 4};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(f[i].total_bits, totals[i]);
+    EXPECT_EQ(f[i].exp_bits, exps[i]);
+    EXPECT_EQ(f[i].man_bits, mans[i]);
+    // sign + exponent + mantissa == total (Table 3: "All configurations
+    // also include a sign bit").
+    EXPECT_EQ(1 + f[i].exp_bits + f[i].man_bits, f[i].total_bits);
+    EXPECT_EQ(f[i].slices(), f[i].total_bits / 4);
+  }
+}
+
+TEST(Format, LookupByBits) {
+  EXPECT_EQ(format_for_bits(16).man_bits, 10);
+  EXPECT_THROW(format_for_bits(17), gpurf::Error);
+}
+
+TEST(Format, Fp32IsIdentity) {
+  const auto f32 = format_for_bits(32);
+  const float vals[] = {0.f, -0.f, 1.f, 3.14159f, -1e30f, 1e-40f};
+  for (float v : vals) {
+    EXPECT_EQ(encode(v, f32), float_bits(v));
+    EXPECT_EQ(float_bits(quantize(v, f32)), float_bits(v));
+  }
+}
+
+TEST(Format, HalfPrecisionKnownValues) {
+  const auto h = format_for_bits(16);  // IEEE binary16
+  EXPECT_EQ(encode(1.0f, h), 0x3c00u);
+  EXPECT_EQ(encode(-2.0f, h), 0xc000u);
+  EXPECT_EQ(encode(0.5f, h), 0x3800u);
+  EXPECT_EQ(encode(65504.0f, h), 0x7bffu);  // max half
+  EXPECT_EQ(decode(0x3c00u, h), 1.0f);
+  EXPECT_EQ(decode(0x7c00u, h), std::numeric_limits<float>::infinity());
+}
+
+TEST(Format, RoundToNearestEven) {
+  const auto h = format_for_bits(16);
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half value;
+  // RNE rounds to the even mantissa (1.0).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(quantize(halfway, h), 1.0f);
+  // Slightly above halfway rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -16);
+  EXPECT_EQ(quantize(above, h), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Format, OverflowSaturatesToInfinity) {
+  const auto h = format_for_bits(16);
+  EXPECT_TRUE(std::isinf(quantize(1e6f, h)));
+  EXPECT_TRUE(std::isinf(quantize(-1e6f, h)));
+  EXPECT_LT(quantize(-1e6f, h), 0.f);
+  const auto f8 = format_for_bits(8);
+  // 8-bit: 3 exponent bits, bias 3, max normal = 2^4 * 1.9375 = 15.5.
+  EXPECT_EQ(quantize(15.5f, f8), 15.5f);
+  EXPECT_TRUE(std::isinf(quantize(32.f, f8)));
+}
+
+TEST(Format, DenormalsFlushToZero) {
+  const auto h = format_for_bits(16);
+  // Smallest half normal is 2^-14; below that flushes to (signed) zero.
+  EXPECT_EQ(quantize(std::ldexp(1.0f, -14), h), std::ldexp(1.0f, -14));
+  EXPECT_EQ(quantize(std::ldexp(1.0f, -15), h), 0.0f);
+  EXPECT_EQ(float_bits(quantize(-std::ldexp(1.0f, -15), h)),
+            float_bits(-0.0f));
+  // binary32 denormal inputs also flush.
+  EXPECT_EQ(quantize(std::ldexp(1.0f, -140), format_for_bits(24)), 0.0f);
+}
+
+TEST(Format, NanPropagates) {
+  for (const auto& f : table3_formats()) {
+    const float q = quantize(std::nanf(""), f);
+    EXPECT_TRUE(std::isnan(q)) << f.total_bits;
+  }
+}
+
+TEST(Format, InfinityPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const auto& f : table3_formats()) {
+    EXPECT_EQ(quantize(inf, f), inf) << f.total_bits;
+    EXPECT_EQ(quantize(-inf, f), -inf) << f.total_bits;
+  }
+}
+
+TEST(Format, QuantizedFractionsExact) {
+  // k/256 for k in [0,255] has at most 8 significand bits: exact from
+  // 12-bit (7+1 significand... only k with <= 8 significand bits) upward.
+  const auto f16 = format_for_bits(16);
+  for (int k = 0; k < 256; ++k) {
+    const float v = float(k) / 256.0f;
+    EXPECT_TRUE(exactly_representable(v, f16)) << k;
+  }
+  // 0.3 is not exactly representable anywhere below binary32.
+  for (const auto& f : table3_formats()) {
+    if (f.is_fp32()) continue;
+    EXPECT_FALSE(exactly_representable(0.3f, f)) << f.total_bits;
+  }
+}
+
+// ---------------------------------------------------------------- properties
+
+class FormatProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatProperty, EncodeFitsWidth) {
+  const auto fmt = format_for_bits(GetParam());
+  gpurf::Pcg32 rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const float v = rng.next_float(-1000.f, 1000.f);
+    const uint32_t bits = encode(v, fmt);
+    EXPECT_EQ(bits & ~low_mask(fmt.total_bits), 0u)
+        << "encoded value spills beyond " << fmt.total_bits << " bits";
+  }
+}
+
+TEST_P(FormatProperty, QuantizeIsIdempotent) {
+  const auto fmt = format_for_bits(GetParam());
+  gpurf::Pcg32 rng(GetParam() * 7);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = rng.next_float(-100.f, 100.f);
+    const float q1 = quantize(v, fmt);
+    const float q2 = quantize(q1, fmt);
+    EXPECT_EQ(float_bits(q1), float_bits(q2));
+  }
+}
+
+TEST_P(FormatProperty, QuantizeIsMonotone) {
+  const auto fmt = format_for_bits(GetParam());
+  gpurf::Pcg32 rng(GetParam() * 13);
+  for (int i = 0; i < 2000; ++i) {
+    float a = rng.next_float(-50.f, 50.f);
+    float b = rng.next_float(-50.f, 50.f);
+    if (a > b) std::swap(a, b);
+    const float qa = quantize(a, fmt);
+    const float qb = quantize(b, fmt);
+    EXPECT_LE(qa, qb) << a << " vs " << b;
+  }
+}
+
+TEST_P(FormatProperty, RelativeErrorBounded) {
+  const auto fmt = format_for_bits(GetParam());
+  gpurf::Pcg32 rng(GetParam() * 31);
+  // Values inside the format's normal range: relative error <= 2^-(m+1).
+  const double max_rel = std::ldexp(1.0, -(fmt.man_bits + 1));
+  for (int i = 0; i < 2000; ++i) {
+    const float v = rng.next_float(0.26f, 8.f);  // inside all normal ranges
+    const float q = quantize(v, fmt);
+    EXPECT_LE(std::abs(double(q) - v) / v, max_rel * 1.0000001) << v;
+  }
+}
+
+TEST_P(FormatProperty, SignSymmetry) {
+  const auto fmt = format_for_bits(GetParam());
+  gpurf::Pcg32 rng(GetParam() * 17);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.next_float(0.f, 100.f);
+    EXPECT_EQ(float_bits(quantize(-v, fmt)),
+              float_bits(-quantize(v, fmt)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, FormatProperty,
+                         ::testing::Values(32, 28, 24, 20, 16, 12, 8),
+                         [](const ::testing::TestParamInfo<int>& i) {
+                           return "bits" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace gpurf::fp

@@ -1,0 +1,271 @@
+// Tests for the IR front end: assembler, printer round-trip, verifier.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace gpurf::ir {
+namespace {
+
+constexpr std::string_view kMini = R"(
+.kernel mini
+.param s32 out_base
+.reg s32 %a
+.reg s32 %b
+.reg f32 %f
+.reg pred %p
+
+entry:
+  mov.s32 %a, %tid.x
+  add.s32 %b, %a, 5
+  cvt.f32.s32 %f, %b
+  mul.f32 %f, %f, 0.5
+  setp.lt.s32 %p, %b, 100
+  @%p add.s32 %b, %b, 1
+  st.global.f32 [%a], %f
+  ret
+)";
+
+TEST(Parser, ParsesMiniKernel) {
+  Kernel k = parse_kernel(kMini);
+  EXPECT_EQ(k.name, "mini");
+  EXPECT_EQ(k.num_regs(), 4u);
+  EXPECT_EQ(k.params.size(), 1u);
+  EXPECT_EQ(k.blocks.size(), 1u);
+  EXPECT_EQ(k.blocks[0].insts.size(), 8u);
+  verify(k);
+}
+
+TEST(Parser, GuardParsing) {
+  Kernel k = parse_kernel(kMini);
+  const Instruction& guarded = k.blocks[0].insts[5];
+  EXPECT_EQ(guarded.op, Opcode::ADD);
+  EXPECT_EQ(guarded.guard, k.find_reg("p"));
+  EXPECT_FALSE(guarded.guard_neg);
+}
+
+TEST(Parser, RegisterGroups) {
+  Kernel k = parse_kernel(R"(
+.kernel g
+.reg f32 %acc<4>
+entry:
+  mov.f32 %acc0, 0.0
+  mov.f32 %acc3, 1.0
+  ret
+)");
+  EXPECT_EQ(k.num_regs(), 4u);
+  EXPECT_NE(k.find_reg("acc0"), kNoReg);
+  EXPECT_NE(k.find_reg("acc3"), kNoReg);
+  EXPECT_EQ(k.find_reg("acc4"), kNoReg);
+}
+
+TEST(Parser, MemoryOffsets) {
+  Kernel k = parse_kernel(R"(
+.kernel m
+.reg s32 %a
+.reg f32 %v
+entry:
+  mov.s32 %a, 0
+  ld.global.f32 %v, [%a+12]
+  st.shared.f32 [%a-3], %v
+  ret
+)");
+  EXPECT_EQ(k.blocks[0].insts[1].mem_offset, 12);
+  EXPECT_EQ(k.blocks[0].insts[2].mem_offset, -3);
+}
+
+TEST(Parser, BranchTargetsResolved) {
+  Kernel k = parse_kernel(R"(
+.kernel b
+.reg s32 %i
+.reg pred %p
+entry:
+  mov.s32 %i, 0
+loop:
+  setp.ge.s32 %p, %i, 4
+  @%p bra done
+body:
+  add.s32 %i, %i, 1
+  bra loop
+done:
+  ret
+)");
+  EXPECT_EQ(k.blocks.size(), 4u);
+  EXPECT_EQ(k.blocks[1].insts.back().target, k.find_block("done"));
+  EXPECT_EQ(k.blocks[2].insts.back().target, k.find_block("loop"));
+  verify(k);
+}
+
+TEST(Parser, Errors) {
+  // unknown mnemonic
+  EXPECT_THROW(parse_kernel(".kernel x\n.reg s32 %a\nentry:\n  frob.s32 %a, %a, %a\n  ret\n"),
+               Error);
+  // undeclared register
+  EXPECT_THROW(parse_kernel(".kernel x\nentry:\n  mov.s32 %a, 0\n  ret\n"),
+               Error);
+  // duplicate register
+  EXPECT_THROW(parse_kernel(".kernel x\n.reg s32 %a\n.reg f32 %a\nentry:\n  ret\n"),
+               Error);
+  // unknown label
+  EXPECT_THROW(parse_kernel(".kernel x\nentry:\n  bra nowhere\n"), Error);
+  // bad operand count
+  EXPECT_THROW(parse_kernel(".kernel x\n.reg s32 %a\nentry:\n  add.s32 %a, %a\n  ret\n"),
+               Error);
+  // missing .kernel
+  EXPECT_THROW(parse_kernel(".reg s32 %a\nentry:\n  ret\n"), Error);
+  // bad float literal
+  EXPECT_THROW(parse_kernel(".kernel x\n.reg f32 %f\nentry:\n  mov.f32 %f, abc\n  ret\n"),
+               Error);
+}
+
+TEST(Parser, Comments) {
+  Kernel k = parse_kernel(R"(
+.kernel c  // trailing comment
+.reg s32 %a   ; another style
+entry:
+  mov.s32 %a, 1  // immediate
+  ret
+)");
+  EXPECT_EQ(k.blocks[0].insts.size(), 2u);
+}
+
+TEST(Parser, TextureOperands) {
+  Kernel k = parse_kernel(R"(
+.kernel t
+.tex colors
+.reg s32 %u
+.reg f32 %v
+entry:
+  mov.s32 %u, 3
+  tex.2d.f32 %v, colors, %u, %u
+  ret
+)");
+  EXPECT_EQ(k.textures.size(), 1u);
+  EXPECT_EQ(k.blocks[0].insts[1].tex, 0u);
+  verify(k);
+}
+
+TEST(Parser, ParamRange) {
+  Kernel k = parse_kernel(R"(
+.kernel p
+.param s32 width range(16,4096)
+.param s32 base
+.reg s32 %a
+entry:
+  mov.s32 %a, $width
+  ret
+)");
+  ASSERT_TRUE(k.params[0].range.has_value());
+  EXPECT_EQ(k.params[0].range->lo, 16);
+  EXPECT_EQ(k.params[0].range->hi, 4096);
+  EXPECT_FALSE(k.params[1].range.has_value());
+}
+
+TEST(Printer, RoundTrip) {
+  // print(parse(x)) parses back to a kernel that prints identically.
+  Kernel k1 = parse_kernel(kMini);
+  const std::string text1 = print_kernel(k1);
+  Kernel k2 = parse_kernel(text1);
+  const std::string text2 = print_kernel(k2);
+  EXPECT_EQ(text1, text2);
+  verify(k2);
+}
+
+TEST(Verifier, RejectsTypeMismatch) {
+  // float operand into integer add
+  EXPECT_THROW(
+      {
+        Kernel k = parse_kernel(
+            ".kernel v\n.reg s32 %a\n.reg f32 %f\nentry:\n"
+            "  add.s32 %a, %a, %f\n  ret\n");
+        verify(k);
+      },
+      Error);
+}
+
+TEST(Verifier, RejectsNonPredGuard) {
+  Kernel k = parse_kernel(
+      ".kernel v\n.reg s32 %a\n.reg s32 %b\nentry:\n  mov.s32 %a, 1\n  ret\n");
+  // Forge a guard that is not a predicate.
+  k.blocks[0].insts[0].guard = k.find_reg("b");
+  EXPECT_THROW(verify(k), Error);
+}
+
+TEST(Verifier, RejectsMidBlockTerminator) {
+  Kernel k = parse_kernel(
+      ".kernel v\nentry:\n  ret\n");
+  Instruction extra;
+  extra.op = Opcode::BAR;
+  k.blocks[0].insts.push_back(extra);  // instruction after ret
+  EXPECT_THROW(verify(k), Error);
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  Kernel k = parse_kernel(
+      ".kernel v\n.reg s32 %a\nentry:\n  mov.s32 %a, 1\n  ret\n");
+  k.blocks[0].insts.pop_back();  // remove the ret
+  EXPECT_THROW(verify(k), Error);
+}
+
+TEST(Verifier, RejectsUnreachableBlock) {
+  Kernel k = parse_kernel(R"(
+.kernel v
+entry:
+  ret
+orphan:
+  ret
+)");
+  EXPECT_THROW(verify(k), Error);
+}
+
+TEST(Verifier, RejectsTransOnInt) {
+  EXPECT_THROW(
+      {
+        Kernel k = parse_kernel(
+            ".kernel v\n.reg s32 %a\nentry:\n  sin.s32 %a, %a\n  ret\n");
+        verify(k);
+      },
+      Error);
+}
+
+TEST(Kernel, Successors) {
+  Kernel k = parse_kernel(R"(
+.kernel s
+.reg s32 %i
+.reg pred %p
+entry:
+  mov.s32 %i, 0
+loop:
+  setp.ge.s32 %p, %i, 4
+  @%p bra done
+body:
+  add.s32 %i, %i, 1
+  bra loop
+done:
+  ret
+)");
+  EXPECT_EQ(k.successors(0), (std::vector<uint32_t>{1}));          // fallthrough
+  EXPECT_EQ(k.successors(1), (std::vector<uint32_t>{3, 2}));       // cond
+  EXPECT_EQ(k.successors(2), (std::vector<uint32_t>{1}));          // back edge
+  EXPECT_TRUE(k.successors(3).empty());                            // ret
+}
+
+TEST(Kernel, NumDataRegs) {
+  Kernel k = parse_kernel(kMini);
+  EXPECT_EQ(k.num_data_regs(), 3u);  // %p excluded
+}
+
+TEST(Opcode, InfoTableConsistent) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto& info = opcode_info(static_cast<Opcode>(i));
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_GE(info.num_srcs, 0);
+    EXPECT_LE(info.num_srcs, 3);
+  }
+}
+
+}  // namespace
+}  // namespace gpurf::ir

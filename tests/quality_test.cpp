@@ -1,0 +1,145 @@
+// Tests for the quality metrics (§5.3, §6.1): SSIM, % deviation, binary,
+// and the perfect/high threshold semantics the tuner depends on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "quality/metrics.hpp"
+#include "quality/ssim.hpp"
+
+namespace gpurf::quality {
+namespace {
+
+Image noise_image(int w, int h, uint32_t seed) {
+  Image img(w, h);
+  gpurf::Pcg32 rng(seed);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) img.at(x, y) = rng.next_float();
+  return img;
+}
+
+TEST(Ssim, IdenticalImagesScoreExactlyOne) {
+  const Image a = noise_image(32, 32, 1);
+  EXPECT_EQ(ssim(a, a), 1.0);  // exact — the "perfect" threshold relies on it
+}
+
+TEST(Ssim, PerturbationLowersScore) {
+  const Image a = noise_image(32, 32, 2);
+  Image b = a;
+  b.at(16, 16) += 0.2f;
+  EXPECT_LT(ssim(a, b), 1.0);
+  EXPECT_GT(ssim(a, b), 0.5);
+}
+
+TEST(Ssim, HeavyNoiseScoresLow) {
+  const Image a = noise_image(32, 32, 3);
+  const Image b = noise_image(32, 32, 4);
+  EXPECT_LT(ssim(a, b), 0.3);
+}
+
+TEST(Ssim, Symmetric) {
+  const Image a = noise_image(24, 24, 5);
+  Image b = a;
+  for (int i = 0; i < 24; ++i) b.at(i, i) *= 0.9f;
+  EXPECT_DOUBLE_EQ(ssim(a, b), ssim(b, a));
+}
+
+TEST(Ssim, ConstantImagesIdentical) {
+  Image a(16, 16), b(16, 16);
+  for (auto& v : a.data()) v = 0.5f;
+  for (auto& v : b.data()) v = 0.5f;
+  EXPECT_EQ(ssim(a, b), 1.0);
+}
+
+TEST(Ssim, RejectsMismatchedSizes) {
+  Image a(16, 16), b(16, 17);
+  EXPECT_THROW(ssim(a, b), gpurf::Error);
+}
+
+TEST(Ssim, RejectsTooSmallImages) {
+  Image a(8, 8), b(8, 8);
+  EXPECT_THROW(ssim(a, b), gpurf::Error);  // smaller than the 11x11 window
+}
+
+TEST(SsimMetric, Thresholds) {
+  auto m = make_ssim_metric(16, 16);
+  EXPECT_EQ(m->kind(), MetricKind::kSsim);
+  EXPECT_TRUE(m->meets(1.0, QualityLevel::kPerfect));
+  EXPECT_FALSE(m->meets(0.999999, QualityLevel::kPerfect));
+  EXPECT_TRUE(m->meets(0.95, QualityLevel::kHigh));
+  EXPECT_TRUE(m->meets(0.9, QualityLevel::kHigh));
+  EXPECT_FALSE(m->meets(0.89, QualityLevel::kHigh));
+}
+
+TEST(SsimMetric, NonFiniteOutputFails) {
+  auto m = make_ssim_metric(16, 16);
+  std::vector<float> ref(256, 0.5f), test(256, 0.5f);
+  test[7] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(m->meets(m->score(ref, test), QualityLevel::kHigh));
+}
+
+TEST(DeviationMetric, ExactIsZero) {
+  auto m = make_deviation_metric();
+  std::vector<float> ref = {1.f, -2.f, 3.f};
+  EXPECT_EQ(m->score(ref, ref), 0.0);
+  EXPECT_TRUE(m->meets(0.0, QualityLevel::kPerfect));
+}
+
+TEST(DeviationMetric, NormalisedL1) {
+  auto m = make_deviation_metric();
+  std::vector<float> ref = {1.f, 1.f, 1.f, 1.f};
+  std::vector<float> test = {1.1f, 0.9f, 1.f, 1.f};
+  EXPECT_NEAR(m->score(ref, test), 100.0 * 0.2 / 4.0, 1e-4);
+}
+
+TEST(DeviationMetric, Thresholds) {
+  auto m = make_deviation_metric();
+  EXPECT_FALSE(m->meets(0.0001, QualityLevel::kPerfect));
+  EXPECT_TRUE(m->meets(9.99, QualityLevel::kHigh));
+  EXPECT_FALSE(m->meets(10.01, QualityLevel::kHigh));
+}
+
+TEST(DeviationMetric, NonFiniteFailsBothLevels) {
+  auto m = make_deviation_metric();
+  std::vector<float> ref = {1.f, 2.f};
+  std::vector<float> test = {1.f, std::numeric_limits<float>::infinity()};
+  const double s = m->score(ref, test);
+  EXPECT_FALSE(m->meets(s, QualityLevel::kPerfect));
+  EXPECT_FALSE(m->meets(s, QualityLevel::kHigh));
+}
+
+TEST(DeviationMetric, ZeroReference) {
+  auto m = make_deviation_metric();
+  std::vector<float> zero = {0.f, 0.f};
+  EXPECT_EQ(m->score(zero, zero), 0.0);
+  std::vector<float> off = {0.f, 0.5f};
+  EXPECT_FALSE(m->meets(m->score(zero, off), QualityLevel::kHigh));
+}
+
+TEST(BinaryMetric, BitExactSemantics) {
+  auto m = make_binary_metric();
+  std::vector<float> ref = {1.f, -0.f, 3.f};
+  EXPECT_EQ(m->score(ref, ref), 1.0);
+  std::vector<float> test = ref;
+  test[1] = 0.f;  // +0 vs -0 differ bitwise
+  EXPECT_EQ(m->score(ref, test), 0.0);
+}
+
+TEST(BinaryMetric, BothLevelsRequireCorrectness) {
+  // §6.1: Hybridsort's binary metric stays "perfect" even at high quality.
+  auto m = make_binary_metric();
+  EXPECT_TRUE(m->meets(1.0, QualityLevel::kPerfect));
+  EXPECT_TRUE(m->meets(1.0, QualityLevel::kHigh));
+  EXPECT_FALSE(m->meets(0.0, QualityLevel::kHigh));
+}
+
+TEST(Metrics, Names) {
+  EXPECT_EQ(metric_name(MetricKind::kSsim), "SSIM");
+  EXPECT_EQ(metric_name(MetricKind::kDeviation), "% deviation");
+  EXPECT_EQ(metric_name(MetricKind::kBinary), "Binary");
+  EXPECT_EQ(level_name(QualityLevel::kPerfect), "perfect");
+  EXPECT_EQ(level_name(QualityLevel::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace gpurf::quality

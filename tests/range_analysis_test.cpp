@@ -1,0 +1,396 @@
+// Tests for the static range analysis (§4.2), including the paper's
+// Fig. 8 worked example and the loop/sigma patterns the workloads rely on.
+
+#include <gtest/gtest.h>
+
+#include "analysis/range_analysis.hpp"
+#include "ir/parser.hpp"
+
+namespace gpurf::analysis {
+namespace {
+
+using gpurf::ir::LaunchConfig;
+using gpurf::ir::parse_kernel;
+
+RangeAnalysisResult analyze(std::string_view text,
+                            LaunchConfig lc = LaunchConfig{}) {
+  auto k = parse_kernel(text);
+  return analyze_ranges(k, lc);
+}
+
+/// The paper's Fig. 8 example.  We transcribe the *constraint graph* of
+/// Fig. 8b faithfully: k1 = phi(k0, k2); kt = k1 /\ [-inf,49]; k2 = kt+1,
+/// with the inner i-loop bounded by j0 = kt.  (The paper's figure places a
+/// single k increment on the outer cycle — transcribing the k++ into the
+/// inner loop instead would make k genuinely unbounded at run time.)
+/// Expected (Fig. 8c/d): I[k] = [0,50], I[j] = [0,49], 6-bit widths.
+TEST(RangeAnalysis, PaperFigure8) {
+  auto k = parse_kernel(R"(
+.kernel fig8
+.reg s32 %k
+.reg s32 %i
+.reg s32 %j
+.reg pred %p
+entry:
+  mov.s32 %k, 0
+outer:
+  setp.ge.s32 %p, %k, 50
+  @%p bra done
+outer_body:
+  mov.s32 %i, 0
+  mov.s32 %j, %k
+inner:
+  setp.ge.s32 %p, %i, %j
+  @%p bra inner_done
+inner_body:
+  add.s32 %i, %i, 1
+  bra inner
+inner_done:
+  add.s32 %k, %k, 1
+  bra outer
+done:
+  st.global.s32 [%k], %k
+  ret
+)");
+  auto res = analyze_ranges(k, LaunchConfig{});
+
+  const auto& rk = res.regs[k.find_reg("k")];
+  const auto& ri = res.regs[k.find_reg("i")];
+  const auto& rj = res.regs[k.find_reg("j")];
+
+  EXPECT_EQ(rk.range.lo, 0);
+  EXPECT_EQ(rk.range.hi, 50);
+  EXPECT_EQ(ri.range.lo, 0);
+  EXPECT_EQ(ri.range.hi, 49);
+  EXPECT_EQ(rj.range.lo, 0);
+  EXPECT_EQ(rj.range.hi, 49);
+
+  // Fig. 8d: 6 bits each.
+  EXPECT_EQ(rk.bits, 6);
+  EXPECT_EQ(ri.bits, 6);
+  EXPECT_EQ(rj.bits, 6);
+  EXPECT_FALSE(rk.is_signed);
+}
+
+TEST(RangeAnalysis, SpecialRegisterRanges) {
+  LaunchConfig lc;
+  lc.block_x = 16;
+  lc.block_y = 16;
+  lc.grid_x = 12;
+  lc.grid_y = 12;
+  auto res = analyze(R"(
+.kernel s
+.reg s32 %tx
+.reg s32 %gx
+entry:
+  mov.s32 %tx, %tid.x
+  mov.s32 %gx, %ctaid.x
+  mad.s32 %gx, %gx, 16, %tx
+  st.global.s32 [%gx], %tx
+  ret
+)",
+                     lc);
+  // tid.x in [0,15]; gx = ctaid.x*16 + tid.x in [0, 191].
+  EXPECT_EQ(res.regs[0].range, Interval::make(0, 15));
+  EXPECT_EQ(res.regs[1].range, Interval::make(0, 191));
+  EXPECT_EQ(res.regs[1].bits, 8);
+}
+
+TEST(RangeAnalysis, ParamContractsAndDefaults) {
+  auto res = analyze(R"(
+.kernel p
+.param s32 width range(16,1024)
+.param s32 base
+.reg s32 %w
+.reg s32 %a
+entry:
+  mov.s32 %w, $width
+  mov.s32 %a, $base
+  add.s32 %a, %a, %w
+  st.global.s32 [%a], %w
+  ret
+)");
+  EXPECT_EQ(res.regs[0].range, Interval::make(16, 1024));
+  EXPECT_EQ(res.regs[0].bits, 11);
+  // Unannotated base address: full s32.
+  EXPECT_EQ(res.regs[1].bits, 32);
+}
+
+TEST(RangeAnalysis, ClampViaMinMax) {
+  // The clamped value gets its own register: a register's final range is
+  // the union over every value it ever stores, so reusing %x would keep
+  // the pre-clamp values in its range.
+  auto res = analyze(R"(
+.kernel c
+.reg s32 %x
+.reg s32 %t
+.reg s32 %c
+entry:
+  mov.s32 %x, %tid.x
+  sub.s32 %t, %x, 8
+  max.s32 %t, %t, 0
+  min.s32 %c, %t, 15
+  st.global.s32 [%c], %c
+  ret
+)");
+  EXPECT_EQ(res.regs[2].range, Interval::make(0, 15));
+  EXPECT_EQ(res.regs[2].bits, 4);
+  // %t stores the pre-min values too: union of [-8,23] and [0,23].
+  EXPECT_EQ(res.regs[1].range, Interval::make(-8, 23));
+}
+
+TEST(RangeAnalysis, MaskedLoadIsNarrow) {
+  auto res = analyze(R"(
+.kernel m
+.reg s32 %w
+.reg s32 %px
+entry:
+  mov.s32 %w, 0
+  ld.global.s32 %w, [%w]
+  and.s32 %px, %w, 255
+  st.global.s32 [%px], %px
+  ret
+)");
+  // Loads are unknown, but mask & 255 proves [0,255].
+  EXPECT_EQ(res.regs[1].range, Interval::make(0, 255));
+  EXPECT_EQ(res.regs[1].bits, 8);
+  EXPECT_EQ(res.regs[0].bits, 32);
+}
+
+TEST(RangeAnalysis, LoopCounterBoundedBySigma) {
+  auto res = analyze(R"(
+.kernel l
+.reg s32 %i
+.reg pred %p
+entry:
+  mov.s32 %i, 0
+head:
+  setp.ge.s32 %p, %i, 324
+  @%p bra exit
+body:
+  add.s32 %i, %i, 256
+  bra head
+exit:
+  st.global.s32 [%i], %i
+  ret
+)");
+  // i = 0, 256, 512 (loop exits); range [0, 323+256].
+  EXPECT_EQ(res.regs[0].range, Interval::make(0, 579));
+  EXPECT_EQ(res.regs[0].bits, 10);
+}
+
+TEST(RangeAnalysis, SwapCycleStaysExact) {
+  // cur/nxt ping-pong through a third register must not widen to infinity
+  // (regression test for the ascending-phase fix).
+  auto res = analyze(R"(
+.kernel swap
+.reg s32 %cur
+.reg s32 %nxt
+.reg s32 %swp
+.reg s32 %i
+.reg pred %p
+entry:
+  mov.s32 %cur, 0
+  mov.s32 %nxt, 324
+  mov.s32 %i, 0
+head:
+  setp.ge.s32 %p, %i, 4
+  @%p bra exit
+body:
+  mov.s32 %swp, %cur
+  mov.s32 %cur, %nxt
+  mov.s32 %nxt, %swp
+  add.s32 %i, %i, 1
+  bra head
+exit:
+  st.global.s32 [%cur], %nxt
+  ret
+)");
+  EXPECT_EQ(res.regs[0].range, Interval::make(0, 324));
+  EXPECT_EQ(res.regs[1].range, Interval::make(0, 324));
+  EXPECT_EQ(res.regs[2].range, Interval::make(0, 324));
+  EXPECT_EQ(res.regs[0].bits, 9);
+}
+
+TEST(RangeAnalysis, SigmaAgainstLaterScc) {
+  // The loop bound is defined *after* the loop counter in program order
+  // but referenced by the sigma (future-ordering regression test).
+  auto res = analyze(R"(
+.kernel f
+.param s32 n range(1,8)
+.reg s32 %i
+.reg s32 %bound
+.reg pred %p
+entry:
+  mov.s32 %bound, $n
+  mov.s32 %i, 0
+head:
+  setp.ge.s32 %p, %i, %bound
+  @%p bra exit
+body:
+  add.s32 %i, %i, 1
+  bra head
+exit:
+  st.global.s32 [%i], %i
+  ret
+)");
+  // %i is the first declared register.
+  EXPECT_EQ(res.regs[0].range, Interval::make(0, 8));
+}
+
+TEST(RangeAnalysis, DivRemTransfer) {
+  auto res = analyze(R"(
+.kernel dr
+.reg s32 %i
+.reg s32 %q
+.reg s32 %r
+.reg pred %p
+entry:
+  mov.s32 %i, %tid.x
+head:
+  setp.ge.s32 %p, %i, 324
+  @%p bra exit
+body:
+  div.s32 %q, %i, 18
+  rem.s32 %r, %i, 18
+  st.global.s32 [%q], %r
+  add.s32 %i, %i, 256
+  bra head
+exit:
+  ret
+)",
+                     LaunchConfig{1, 1, 256, 1});
+  EXPECT_EQ(res.regs[1].range, Interval::make(0, 17));  // q = [0,323]/18
+  EXPECT_EQ(res.regs[2].range, Interval::make(0, 17));  // r = i % 18
+  EXPECT_EQ(res.regs[1].bits, 5);
+}
+
+TEST(RangeAnalysis, SaturatingCounterPattern) {
+  // cnt = min(cnt + inc, 15) with inc in {0,1} — bounded by the clamp.
+  auto res = analyze(R"(
+.kernel sat
+.reg s32 %cnt
+.reg s32 %inc
+.reg s32 %i
+.reg pred %p
+.reg pred %q
+entry:
+  mov.s32 %cnt, 0
+  mov.s32 %i, 0
+head:
+  setp.ge.s32 %p, %i, 100
+  @%p bra exit
+body:
+  setp.eq.s32 %q, %i, 3
+  selp.s32 %inc, 1, 0, %q
+  add.s32 %cnt, %cnt, %inc
+  min.s32 %cnt, %cnt, 15
+  add.s32 %i, %i, 1
+  bra head
+exit:
+  st.global.s32 [%cnt], %cnt
+  ret
+)");
+  const auto& cnt = res.regs[0];
+  EXPECT_EQ(cnt.range.lo, 0);
+  EXPECT_EQ(cnt.range.hi, 16);  // transient cnt+inc before the clamp
+  EXPECT_EQ(cnt.bits, 5);
+}
+
+TEST(RangeAnalysis, GuardedDefMergesWithOldValue) {
+  auto res = analyze(R"(
+.kernel g
+.reg s32 %a
+.reg pred %p
+entry:
+  mov.s32 %a, 3
+  setp.lt.s32 %p, %a, 100
+  @%p mov.s32 %a, 200
+  st.global.s32 [%a], %a
+  ret
+)");
+  // Observable values: 3 (guard false) or 200 (guard true).
+  EXPECT_TRUE(res.regs[0].range.contains(3));
+  EXPECT_TRUE(res.regs[0].range.contains(200));
+}
+
+TEST(RangeAnalysis, CvtFloatToIntIsUnknownUntilClamped) {
+  auto res = analyze(R"(
+.kernel cv
+.reg f32 %f
+.reg s32 %b
+.reg s32 %c
+entry:
+  mov.f32 %f, 0.5
+  mul.f32 %f, %f, 16.0
+  cvt.s32.f32 %b, %f
+  max.s32 %c, %b, 0
+  min.s32 %c, %c, 15
+  st.global.s32 [%c], %c
+  ret
+)");
+  // %b itself is statically unknown (came through a float).
+  EXPECT_EQ(res.regs[1].bits, 32);
+  // ... but the clamp bounds %c's lower side; the min() bounds the value
+  // the final store sees.
+  EXPECT_GE(res.regs[2].range.lo, 0);
+}
+
+TEST(RangeAnalysis, XorShiftStaysFullWidth) {
+  auto res = analyze(R"(
+.kernel x
+.reg s32 %seed
+.reg s32 %t
+entry:
+  mov.s32 %seed, %tid.x
+  mad.s32 %seed, %seed, 2654435761, 12345
+  shl.s32 %t, %seed, 13
+  xor.s32 %seed, %seed, %t
+  st.global.s32 [%t], %seed
+  ret
+)",
+                     LaunchConfig{1, 1, 256, 1});
+  // The multiply overflows s32, so the stored value may wrap anywhere:
+  // the register must be treated as full width (soundness).
+  EXPECT_EQ(res.regs[0].bits, 32);
+  EXPECT_EQ(res.regs[0].range, Interval::full_s32());
+}
+
+TEST(RangeAnalysis, UnsignedTypeRange) {
+  auto res = analyze(R"(
+.kernel u
+.reg u32 %a
+.reg u32 %b
+entry:
+  mov.u32 %a, %tid.x
+  shr.u32 %b, %a, 4
+  st.global.u32 [%b], %b
+  ret
+)",
+                     LaunchConfig{1, 1, 256, 1});
+  EXPECT_EQ(res.regs[0].range, Interval::make(0, 255));
+  EXPECT_EQ(res.regs[1].range, Interval::make(0, 15));
+  EXPECT_FALSE(res.regs[1].is_signed);
+}
+
+TEST(RangeAnalysis, NonIntRegsNotAnalyzed) {
+  auto k = parse_kernel(R"(
+.kernel f
+.reg f32 %f
+.reg pred %p
+.reg s32 %i
+entry:
+  mov.s32 %i, 1
+  cvt.f32.s32 %f, %i
+  setp.lt.f32 %p, %f, 2.0
+  st.global.f32 [%i], %f
+  ret
+)");
+  auto res = analyze_ranges(k, LaunchConfig{});
+  EXPECT_FALSE(res.regs[k.find_reg("f")].analyzed);
+  EXPECT_FALSE(res.regs[k.find_reg("p")].analyzed);
+  EXPECT_TRUE(res.regs[k.find_reg("i")].analyzed);
+}
+
+}  // namespace
+}  // namespace gpurf::analysis

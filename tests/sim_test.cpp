@@ -1,0 +1,332 @@
+// Tests for the timing simulator: occupancy calculator (§2 numbers),
+// cache model, and end-to-end simulations of small kernels — including
+// functional equivalence between timed and untimed execution and the
+// basic performance orderings the paper's results rest on.
+
+#include <gtest/gtest.h>
+
+#include "alloc/slice_alloc.hpp"
+#include "analysis/range_analysis.hpp"
+#include "ir/parser.hpp"
+#include "sim/cache.hpp"
+#include "sim/gpu.hpp"
+#include "sim/occupancy.hpp"
+
+namespace gpurf::sim {
+namespace {
+
+using gpurf::ir::LaunchConfig;
+using gpurf::ir::parse_kernel;
+
+// ------------------------------------------------------------- occupancy
+
+TEST(Occupancy, PaperImgvfNumbers) {
+  const GpuConfig g = GpuConfig::fermi_gtx480();
+  // §2: 52 regs x 32 threads x 10 warps = 16,640 -> one block, 10/48 warps.
+  const auto orig = compute_occupancy(g, 52, 10, 14560);
+  EXPECT_EQ(orig.blocks_per_sm, 1u);
+  EXPECT_NEAR(orig.percent, 20.8, 0.1);
+  EXPECT_EQ(orig.limiter, Occupancy::Limiter::kRegisters);
+
+  // §2: at 29 registers three blocks fit -> 30/48 warps = 62.5 %.
+  const auto comp = compute_occupancy(g, 29, 10, 14560);
+  EXPECT_EQ(comp.blocks_per_sm, 3u);
+  EXPECT_NEAR(comp.percent, 62.5, 0.01);
+
+  // §6.1: at 24 registers the 14,560-byte shared memory caps at 3 blocks.
+  const auto high = compute_occupancy(g, 24, 10, 14560);
+  EXPECT_EQ(high.blocks_per_sm, 3u);
+  EXPECT_EQ(high.limiter, Occupancy::Limiter::kSharedMem);
+}
+
+TEST(Occupancy, WarpAndBlockLimits) {
+  const GpuConfig g = GpuConfig::fermi_gtx480();
+  // Tiny pressure: 48 warps / 8 warps-per-block = 6 blocks (warp limit).
+  const auto w = compute_occupancy(g, 4, 8, 0);
+  EXPECT_EQ(w.blocks_per_sm, 6u);
+  EXPECT_EQ(w.limiter, Occupancy::Limiter::kWarps);
+  // 6 warps per block: 8 blocks would need 48 warps exactly; register
+  // pressure 4 allows more than 8 -> block limit.
+  const auto b = compute_occupancy(g, 4, 6, 0);
+  EXPECT_EQ(b.blocks_per_sm, 8u);
+  EXPECT_EQ(b.percent, 100.0);
+}
+
+TEST(Occupancy, RegisterGranularityMatchesPaperMath) {
+  const GpuConfig g = GpuConfig::fermi_gtx480();
+  // 34 regs x 320 threads = 10,880 -> exactly 3 blocks in 32,768.
+  EXPECT_EQ(compute_occupancy(g, 34, 10, 0).blocks_per_sm, 3u);
+  EXPECT_EQ(compute_occupancy(g, 35, 10, 0).blocks_per_sm, 2u);
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(Cache, HitsAfterFill) {
+  Cache c(CacheGeom{1024, 128, 2});
+  EXPECT_FALSE(c.access(1));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_EQ(c.stats().accesses, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(CacheGeom{2 * 128, 128, 2});  // one set, two ways
+  c.access(10);
+  c.access(20);
+  c.access(10);      // refresh 10
+  c.access(30);      // evicts 20
+  EXPECT_TRUE(c.access(10));
+  EXPECT_FALSE(c.access(20));
+}
+
+TEST(Cache, SetIndexing) {
+  Cache c(CacheGeom{4 * 128, 128, 1});  // four direct-mapped sets
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(1));
+  EXPECT_TRUE(c.access(0));  // different sets: no conflict
+  EXPECT_FALSE(c.access(4));  // same set as 0: evicts it
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, CapacityThrashing) {
+  Cache c(CacheGeom{8 * 128, 128, 4});
+  for (int round = 0; round < 3; ++round)
+    for (uint64_t line = 0; line < 64; ++line) c.access(line);
+  EXPECT_GT(c.stats().miss_rate(), 0.9);
+}
+
+// ----------------------------------------------------------- simulation
+
+struct SimRig {
+  gpurf::ir::Kernel k;
+  gpurf::exec::GlobalMemory gmem;
+  std::vector<gpurf::exec::Texture> textures;
+  KernelLaunchSpec spec;
+
+  SimRig(std::string_view text, LaunchConfig lc) : k(parse_kernel(text)) {
+    spec.kernel = &k;
+    spec.launch = lc;
+    spec.gmem = &gmem;
+    spec.textures = &textures;
+  }
+};
+
+constexpr std::string_view kAxpy = R"(
+.kernel axpy
+.param s32 x_base
+.param s32 y_base
+.param s32 n
+.reg s32 %i
+.reg s32 %a
+.reg f32 %x
+.reg f32 %y
+.reg pred %p
+entry:
+  mov.s32 %i, %ctaid.x
+  mad.s32 %i, %i, 128, %tid.x
+  setp.ge.s32 %p, %i, $n
+  @%p bra exit
+body:
+  add.s32 %a, %i, $x_base
+  ld.global.f32 %x, [%a]
+  add.s32 %a, %i, $y_base
+  ld.global.f32 %y, [%a]
+  mad.f32 %y, %x, 2.0, %y
+  st.global.f32 [%a], %y
+exit:
+  ret
+)";
+
+TEST(Simulate, AxpyCompletesAndMatchesFunctional) {
+  const uint32_t n = 128 * 30;
+  SimRig rig(kAxpy, LaunchConfig{30, 1, 128, 1});
+  std::vector<float> x(n, 1.5f), y(n, 0.25f);
+  const uint32_t xb = rig.gmem.alloc_f32(x);
+  const uint32_t yb = rig.gmem.alloc_f32(y);
+  rig.spec.params = {xb, yb, n};
+  rig.spec.regs_per_thread = 8;
+
+  const auto res = simulate(GpuConfig::fermi_gtx480(),
+                            CompressionConfig::baseline(), rig.spec);
+  EXPECT_GT(res.stats.cycles, 0u);
+  EXPECT_GT(res.stats.ipc(), 0.0);
+  EXPECT_EQ(res.stats.blocks_run, 30u);
+  // thread instructions: 30 blocks x 128 threads x 10 instructions
+  EXPECT_EQ(res.stats.thread_insts, 30u * 128u * 10u);
+  for (uint32_t i = 0; i < n; ++i)
+    EXPECT_EQ(rig.gmem.read_f32(yb + i, 1)[0], 1.5f * 2.0f + 0.25f);
+}
+
+TEST(Simulate, TimedOutputsMatchUntimedExecution) {
+  // The timing model must not change functional results.
+  const uint32_t n = 128 * 8;
+  std::vector<float> x(n), y0(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    x[i] = float(i % 32) * 0.125f;
+    y0[i] = float(i % 7);
+  }
+
+  // Untimed reference.
+  SimRig a(kAxpy, LaunchConfig{8, 1, 128, 1});
+  const uint32_t xa = a.gmem.alloc_f32(x);
+  const uint32_t ya = a.gmem.alloc_f32(y0);
+  gpurf::exec::ExecContext ctx;
+  ctx.kernel = &a.k;
+  ctx.launch = a.spec.launch;
+  ctx.gmem = &a.gmem;
+  ctx.textures = &a.textures;
+  ctx.params = {xa, ya, n};
+  gpurf::exec::run_functional(ctx);
+
+  // Timed run.
+  SimRig b(kAxpy, LaunchConfig{8, 1, 128, 1});
+  const uint32_t xb = b.gmem.alloc_f32(x);
+  const uint32_t yb = b.gmem.alloc_f32(y0);
+  b.spec.params = {xb, yb, n};
+  b.spec.regs_per_thread = 8;
+  simulate(GpuConfig::fermi_gtx480(), CompressionConfig::baseline(), b.spec);
+
+  EXPECT_EQ(a.gmem.read_f32(ya, n), b.gmem.read_f32(yb, n));
+}
+
+constexpr std::string_view kChain = R"(
+.kernel chain
+.param s32 out
+.reg s32 %i
+.reg s32 %a
+.reg f32 %v
+.reg pred %p
+entry:
+  mov.s32 %i, 0
+  mov.f32 %v, 1.0
+loop:
+  setp.ge.s32 %p, %i, 64
+  @%p bra done
+body:
+  mad.f32 %v, %v, 0.5, 0.25
+  mad.f32 %v, %v, 0.5, 0.25
+  mad.f32 %v, %v, 0.5, 0.25
+  mad.f32 %v, %v, 0.5, 0.25
+  add.s32 %i, %i, 1
+  bra loop
+done:
+  mov.s32 %a, %tid.x
+  add.s32 %a, %a, $out
+  st.global.f32 [%a], %v
+  ret
+)";
+
+TEST(Simulate, OccupancyImprovesLatencyBoundKernel) {
+  // A pure dependency chain is latency bound: more warps -> higher IPC.
+  auto run = [&](uint32_t regs) {
+    SimRig rig(kChain, LaunchConfig{120, 1, 64, 1});
+    const uint32_t out = rig.gmem.alloc(64 * 120);
+    rig.spec.params = {out};
+    rig.spec.regs_per_thread = regs;
+    return simulate(GpuConfig::fermi_gtx480(),
+                    CompressionConfig::baseline(), rig.spec);
+  };
+  const auto low = run(256);   // 2 warps per SM
+  const auto high = run(32);   // many warps per SM
+  EXPECT_GT(high.occupancy.warps_per_sm, low.occupancy.warps_per_sm);
+  EXPECT_GT(high.stats.ipc(), 1.5 * low.stats.ipc());
+}
+
+TEST(Simulate, WritebackDelayCostsIpc) {
+  // With compression enabled, a longer writeback delay can only slow the
+  // dependency chain down.
+  auto run = [&](uint32_t wb) {
+    SimRig rig(kChain, LaunchConfig{30, 1, 64, 1});
+    const uint32_t out = rig.gmem.alloc(64 * 30);
+    rig.spec.params = {out};
+    rig.spec.regs_per_thread = 64;
+    return simulate(GpuConfig::fermi_gtx480(),
+                    CompressionConfig::with_writeback_delay(wb), rig.spec);
+  };
+  const double ipc0 = run(0).stats.ipc();
+  const double ipc8 = run(8).stats.ipc();
+  EXPECT_GT(ipc0, ipc8);
+}
+
+TEST(Simulate, CompressedPipelineOverheadAtEqualOccupancy) {
+  // Same occupancy, compression on vs. off: the deeper operand-collector
+  // pipeline and writeback delay must not *help* (§6.2 Elevated effect).
+  auto run = [&](bool compressed) {
+    SimRig rig(kChain, LaunchConfig{30, 1, 64, 1});
+    const uint32_t out = rig.gmem.alloc(64 * 30);
+    rig.spec.params = {out};
+    rig.spec.regs_per_thread = 64;
+    return simulate(GpuConfig::fermi_gtx480(),
+                    compressed ? CompressionConfig::paper_default()
+                               : CompressionConfig::baseline(),
+                    rig.spec);
+  };
+  EXPECT_LE(run(true).stats.ipc(), run(false).stats.ipc());
+}
+
+TEST(Simulate, BarrierKernelCompletes) {
+  SimRig rig(R"(
+.kernel barrier
+.param s32 out
+.reg s32 %x
+.reg s32 %r
+.reg s32 %a
+entry:
+  mov.s32 %x, %tid.x
+  st.shared.s32 [%x], %x
+  bar.sync
+  mov.s32 %r, 63
+  sub.s32 %r, %r, %x
+  ld.shared.s32 %r, [%r]
+  add.s32 %a, %x, $out
+  st.global.s32 [%a], %r
+  ret
+)",
+             LaunchConfig{15, 1, 64, 1});
+  rig.k.shared_bytes = 256;
+  const uint32_t out = rig.gmem.alloc(64 * 15);
+  rig.spec.params = {out};
+  rig.spec.regs_per_thread = 8;
+  const auto res = simulate(GpuConfig::fermi_gtx480(),
+                            CompressionConfig::baseline(), rig.spec);
+  EXPECT_EQ(res.stats.blocks_run, 15u);
+  EXPECT_EQ(rig.gmem.read(out + 0), 63u);
+  EXPECT_EQ(rig.gmem.read(out + 63), 0u);
+}
+
+TEST(Simulate, SplitOperandsGenerateDoubleFetches) {
+  // Force a split allocation and verify the bank-traffic statistics see it.
+  SimRig rig(kChain, LaunchConfig{2, 1, 64, 1});
+  const uint32_t out = rig.gmem.alloc(64 * 2);
+  rig.spec.params = {out};
+  rig.spec.regs_per_thread = 8;
+
+  gpurf::alloc::AllocationResult alloc;
+  alloc.table.assign(rig.k.num_regs(), {});
+  for (uint32_t r = 0; r < rig.k.num_regs(); ++r) {
+    auto& e = alloc.table[r];
+    e.valid = true;
+    e.slices = 8;
+    e.r0 = {r, 0xf0};
+    e.r1 = {r + 1, 0x0f};
+    e.split = true;
+  }
+  alloc.num_physical_regs = rig.k.num_regs() + 1;
+  rig.spec.allocation = &alloc;
+
+  const auto res = simulate(GpuConfig::fermi_gtx480(),
+                            CompressionConfig::paper_default(), rig.spec);
+  EXPECT_GT(res.stats.double_fetches, 0u);
+}
+
+TEST(Simulate, RejectsOversizedKernel) {
+  SimRig rig(kChain, LaunchConfig{1, 1, 64, 1});
+  rig.spec.params = {0};
+  rig.spec.regs_per_thread = 2000;  // cannot fit a single block
+  EXPECT_THROW(simulate(GpuConfig::fermi_gtx480(),
+                        CompressionConfig::baseline(), rig.spec),
+               gpurf::Error);
+}
+
+}  // namespace
+}  // namespace gpurf::sim

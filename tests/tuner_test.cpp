@@ -1,0 +1,127 @@
+// Tests for the precision tuner (§4.1) against synthetic quality probes
+// with known answers.
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "tuning/tuner.hpp"
+
+namespace gpurf::tuning {
+namespace {
+
+using gpurf::quality::QualityLevel;
+
+gpurf::ir::Kernel float_kernel() {
+  return gpurf::ir::parse_kernel(R"(
+.kernel t
+.reg f32 %a
+.reg f32 %b
+.reg f32 %c
+.reg f32 %unused
+entry:
+  mov.f32 %a, 1.0
+  mov.f32 %b, 2.0
+  add.f32 %c, %a, %b
+  st.global.f32 [%c], %c
+  ret
+)");
+}
+
+/// Probe with a per-register minimum acceptable width: quality passes iff
+/// every register is at least as wide as its floor.
+class FloorProbe final : public QualityProbe {
+ public:
+  explicit FloorProbe(std::vector<int> floors) : floors_(std::move(floors)) {}
+
+  double evaluate(const gpurf::exec::PrecisionMap& pmap) override {
+    ++evals;
+    for (size_t r = 0; r < floors_.size(); ++r)
+      if (floors_[r] > 0 && pmap.per_reg[r].total_bits < floors_[r])
+        return 0.0;
+    return 1.0;
+  }
+  bool meets(double score, QualityLevel) const override {
+    return score >= 1.0;
+  }
+
+  int evals = 0;
+
+ private:
+  std::vector<int> floors_;
+};
+
+TEST(Tuner, FindsPerRegisterFloors) {
+  auto k = float_kernel();
+  // floors: %a >= 16, %b >= 24, %c >= 8 (anything), %unused ignored.
+  FloorProbe probe({16, 24, 8, 0});
+  TunerOptions opt;
+  const auto res = tune_precision(k, probe, opt);
+  EXPECT_EQ(res.pmap.per_reg[0].total_bits, 16);
+  EXPECT_EQ(res.pmap.per_reg[1].total_bits, 24);
+  EXPECT_EQ(res.pmap.per_reg[2].total_bits, 8);
+  EXPECT_GT(probe.evals, 3);
+}
+
+TEST(Tuner, UnusedRegistersNotTuned) {
+  auto k = float_kernel();
+  FloorProbe probe({8, 8, 8, 0});
+  const auto res = tune_precision(k, probe, TunerOptions{});
+  // %unused never appears in the program: left at 32 bits and excluded
+  // from the slice accounting.
+  EXPECT_EQ(res.pmap.per_reg[3].total_bits, 32);
+  EXPECT_EQ(res.f32_regs, 3);
+  EXPECT_EQ(res.slices_before, 24);
+  EXPECT_EQ(res.slices_after, 6);  // three registers at 8 bits
+}
+
+TEST(Tuner, AllAt32WhenNothingPasses) {
+  auto k = float_kernel();
+  FloorProbe probe({32, 32, 32, 0});
+  const auto res = tune_precision(k, probe, TunerOptions{});
+  for (int r = 0; r < 3; ++r)
+    EXPECT_EQ(res.pmap.per_reg[r].total_bits, 32);
+  EXPECT_EQ(res.slices_after, res.slices_before);
+}
+
+TEST(Tuner, ThrowsWhenFullPrecisionFails) {
+  auto k = float_kernel();
+  class NeverProbe final : public QualityProbe {
+    double evaluate(const gpurf::exec::PrecisionMap&) override { return 0; }
+    bool meets(double, QualityLevel) const override { return false; }
+  } probe;
+  EXPECT_THROW(tune_precision(k, probe, TunerOptions{}), gpurf::Error);
+}
+
+TEST(Tuner, InteractionsResolvedByFixpoint) {
+  // Budget probe: the *sum* of widths must stay >= 56 — the tuner must
+  // stop narrowing once the budget is tight, wherever it started.
+  auto k = float_kernel();
+  class BudgetProbe final : public QualityProbe {
+   public:
+    double evaluate(const gpurf::exec::PrecisionMap& pmap) override {
+      int total = 0;
+      for (int r = 0; r < 3; ++r) total += pmap.per_reg[r].total_bits;
+      return total >= 56 ? 1.0 : 0.0;
+    }
+    bool meets(double s, QualityLevel) const override { return s >= 1.0; }
+  } probe;
+  const auto res = tune_precision(k, probe, TunerOptions{});
+  int total = 0;
+  for (int r = 0; r < 3; ++r) total += res.pmap.per_reg[r].total_bits;
+  EXPECT_GE(total, 56);
+  EXPECT_LT(total, 96);  // meaningfully narrowed
+  EXPECT_GE(res.final_score, 1.0);
+}
+
+TEST(Tuner, ResultFormatsAreTable3) {
+  auto k = float_kernel();
+  FloorProbe probe({14, 9, 21, 0});  // floors between format widths
+  const auto res = tune_precision(k, probe, TunerOptions{});
+  // The tuner only assigns Table-3 widths: floors round up to 16/12/24.
+  EXPECT_EQ(res.pmap.per_reg[0].total_bits, 16);
+  EXPECT_EQ(res.pmap.per_reg[1].total_bits, 12);
+  EXPECT_EQ(res.pmap.per_reg[2].total_bits, 24);
+}
+
+}  // namespace
+}  // namespace gpurf::tuning
