@@ -1,0 +1,118 @@
+// bench_tuner — end-to-end wall-time of the static compression pipeline
+// (range analysis + precision tuning + slice allocation, §4.1–§4.3) under
+// the parallel evaluation engine of ISSUE 1.
+//
+// For each workload the full pipeline is computed fresh (disk cache
+// bypassed) at several engine widths; width 1 forces the original serial
+// greedy descent, wider runs use the speculative-batch tuner plus the
+// parallel sample-variant probe.  The accepted precision maps are
+// bit-identical across widths by construction (see tuner.hpp), which the
+// run cross-checks.
+//
+// Usage: bench_tuner [workload ...]     (default: dwt2d gicov hotspot)
+//        GPURF_BENCH_THREADS="1 4"      thread counts to sweep
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "workloads/pipeline.hpp"
+#include "workloads/workload.hpp"
+
+namespace wl = gpurf::workloads;
+
+namespace {
+
+double run_once(const wl::Workload& w, int threads, wl::PipelineResult* out) {
+  gpurf::common::ThreadPool::instance().resize(threads);
+  wl::PipelineOptions opt;
+  opt.use_disk_cache = false;
+  opt.tuner_batch = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto pr = wl::compute_pipeline(w, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (out) *out = std::move(pr);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool same_pmaps(const wl::PipelineResult& a, const wl::PipelineResult& b) {
+  const auto eq = [](const gpurf::exec::PrecisionMap& x,
+                     const gpurf::exec::PrecisionMap& y) {
+    if (x.per_reg.size() != y.per_reg.size()) return false;
+    for (size_t r = 0; r < x.per_reg.size(); ++r)
+      if (!(x.per_reg[r] == y.per_reg[r])) return false;
+    return true;
+  };
+  return eq(a.tune_perfect.pmap, b.tune_perfect.pmap) &&
+         eq(a.tune_high.pmap, b.tune_high.pmap) &&
+         a.pressure.both_perfect == b.pressure.both_perfect &&
+         a.pressure.both_high == b.pressure.both_high;
+}
+
+std::unique_ptr<wl::Workload> make_by_name(const std::string& name) {
+  for (auto& w : wl::make_all_workloads())
+    if (w->spec().name == name) return std::move(w);
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.push_back(argv[i]);
+  if (names.empty()) names = {"DWT2D", "GICOV", "Hotspot"};
+
+  std::vector<int> threads;
+  {
+    const char* env = std::getenv("GPURF_BENCH_THREADS");
+    std::istringstream ss(env ? env : "");
+    for (int t; ss >> t;)
+      if (t >= 1) threads.push_back(t);
+    if (threads.empty()) {
+      threads = {1, gpurf::common::default_thread_count()};
+      if (threads[1] <= 1) threads[1] = 4;  // still exercise the batch path
+    }
+  }
+
+  std::printf("bench_tuner: end-to-end pipeline wall-time (fresh tuning)\n");
+  std::printf("%-11s", "Kernel");
+  for (int t : threads) std::printf("   T=%-2d [s]", t);
+  std::printf("   speedup   identical\n");
+
+  int failures = 0;
+  for (const auto& name : names) {
+    auto w = make_by_name(name);
+    if (!w) {
+      std::printf("%-11s   unknown workload, skipped\n", name.c_str());
+      continue;
+    }
+    std::vector<double> secs;
+    wl::PipelineResult base, last;
+    for (size_t i = 0; i < threads.size(); ++i) {
+      wl::PipelineResult pr;
+      secs.push_back(run_once(*w, threads[i], &pr));
+      if (i == 0)
+        base = std::move(pr);
+      else
+        last = std::move(pr);
+    }
+    const bool identical = threads.size() < 2 || same_pmaps(base, last);
+    if (!identical) ++failures;
+
+    std::printf("%-11s", name.c_str());
+    for (double s : secs) std::printf("   %8.3f", s);
+    std::printf("   %6.2fx   %s\n", secs.front() / secs.back(),
+                identical ? "yes" : "NO <-- bug");
+  }
+
+  if (failures) {
+    std::printf("\n%d workload(s) diverged between thread counts\n", failures);
+    return 1;
+  }
+  return 0;
+}

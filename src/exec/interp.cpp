@@ -3,7 +3,6 @@
 #include <bit>
 #include <cmath>
 
-#include "analysis/cfg.hpp"
 #include "common/bitutil.hpp"
 #include "common/error.hpp"
 
@@ -55,11 +54,9 @@ uint32_t f2u(float v) {
 BlockExec::BlockExec(ExecContext& ctx, uint32_t ctaid_x, uint32_t ctaid_y)
     : ctx_(ctx),
       k_(*ctx.kernel),
+      ka_(ctx.analysis ? ctx.analysis : analyze_kernel(k_)),
       ctaid_x_(ctaid_x),
       ctaid_y_(ctaid_y) {
-  const auto cfg = analysis::build_cfg(k_);
-  ipdom_ = analysis::compute_ipdom(cfg);
-
   const uint32_t tpb = ctx.launch.threads_per_block();
   const uint32_t nwarps = ctx.launch.warps_per_block();
   warps_.reserve(nwarps);
@@ -83,7 +80,7 @@ const Instruction* BlockExec::peek(uint32_t w) const {
   const WarpState& ws = warps_[w];
   if (ws.done()) return nullptr;
   const StackEntry& tos = ws.stack_.back();
-  return &k_.blocks[tos.blk].insts[tos.inst];
+  return ka_->inst(tos.blk, tos.inst).in;
 }
 
 uint32_t BlockExec::special_value(ir::Special s, uint32_t warp_in_block,
@@ -268,10 +265,11 @@ StepResult BlockExec::step(uint32_t w) {
   WarpState& ws = warps_[w];
   GPURF_ASSERT(!ws.done_, "step() on a finished warp");
   StackEntry& tos = ws.stack_.back();
-  GPURF_ASSERT(tos.blk < k_.blocks.size() &&
-                   tos.inst < k_.blocks[tos.blk].insts.size(),
+  GPURF_ASSERT(tos.blk < ka_->num_blocks() &&
+                   tos.inst < ka_->block_size(tos.blk),
                "pc out of range");
-  const Instruction& in = k_.blocks[tos.blk].insts[tos.inst];
+  const DecodedInst& dec = ka_->inst(tos.blk, tos.inst);
+  const Instruction& in = *dec.in;
 
   StepResult res;
   res.inst = &in;
@@ -288,10 +286,12 @@ StepResult BlockExec::step(uint32_t w) {
   res.active_mask = exec_mask;
   ctx_.thread_insts += std::popcount(exec_mask);
 
-  // Data-path execution (control instructions have no lane effects).
-  if (in.op != Opcode::BRA && in.op != Opcode::RET && in.op != Opcode::BAR) {
-    const bool has_dst = in.info().has_dst;
-    if (in.op == Opcode::ST_GLOBAL || in.op == Opcode::ST_SHARED) {
+  // Data-path execution (control instructions have no lane effects).  The
+  // dispatch flags come predecoded from the kernel analysis, so the hot
+  // loop performs no opcode-table lookups.
+  if (!dec.is_control) {
+    const bool has_dst = dec.has_dst;
+    if (dec.is_store) {
       for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!((exec_mask >> l) & 1u)) continue;
         const int64_t addr =
@@ -345,14 +345,14 @@ void BlockExec::advance(WarpState& ws, const Instruction& in,
       tos.inst = 0;
       pop_reconverged(ws);
     } else if (taken == 0) {
-      GPURF_ASSERT(ft_blk < k_.blocks.size(), "fallthrough out of range");
+      GPURF_ASSERT(ft_blk < ka_->num_blocks(), "fallthrough out of range");
       tos.blk = ft_blk;
       tos.inst = 0;
       pop_reconverged(ws);
     } else {
       // Divergence: continue at the immediate post-dominator once both
       // sides reconverge (§3.1 lockstep execution).
-      const uint32_t rpc = ipdom_[b];
+      const uint32_t rpc = ka_->ipdom()[b];
       GPURF_ASSERT(rpc != ir::kNoBlock,
                    "divergent branch without reconvergence point");
       tos.blk = rpc;
@@ -368,11 +368,11 @@ void BlockExec::advance(WarpState& ws, const Instruction& in,
   }
 
   // Straight-line advance.
-  if (tos.inst + 1 < k_.blocks[b].insts.size()) {
+  if (tos.inst + 1 < ka_->block_size(b)) {
     ++tos.inst;
     return;
   }
-  GPURF_ASSERT(b + 1 < k_.blocks.size(), "control fell off the kernel");
+  GPURF_ASSERT(b + 1 < ka_->num_blocks(), "control fell off the kernel");
   tos.blk = b + 1;
   tos.inst = 0;
   pop_reconverged(ws);
@@ -405,6 +405,9 @@ void BlockExec::run_to_completion() {
 
 uint64_t run_functional(ExecContext& ctx) {
   GPURF_ASSERT(ctx.kernel && ctx.gmem, "incomplete ExecContext");
+  // Hoist the static analysis out of the per-block loop: every BlockExec
+  // of this launch shares one CFG/ipdom/decoded stream.
+  if (!ctx.analysis) ctx.analysis = analyze_kernel(*ctx.kernel);
   ctx.thread_insts = 0;
   for (uint32_t by = 0; by < ctx.launch.grid_y; ++by)
     for (uint32_t bx = 0; bx < ctx.launch.grid_x; ++bx) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/kernel_analysis.hpp"
 #include "exec/machine.hpp"
 #include "ir/kernel.hpp"
 
@@ -111,10 +112,12 @@ class BlockExec {
 
   ExecContext& ctx_;
   const gpurf::ir::Kernel& k_;
+  /// Shared immutable analysis (CFG, ipdoms, decoded instruction stream);
+  /// from ctx.analysis when provided, else the process-wide cache.
+  std::shared_ptr<const KernelAnalysis> ka_;
   uint32_t ctaid_x_, ctaid_y_;
   std::vector<WarpState> warps_;
   std::vector<uint32_t> shared_;
-  std::vector<uint32_t> ipdom_;
 };
 
 /// Run the entire grid functionally (block by block).  Returns the total

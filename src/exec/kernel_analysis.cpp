@@ -1,0 +1,99 @@
+#include "exec/kernel_analysis.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace gpurf::exec {
+
+namespace ir = gpurf::ir;
+
+KernelAnalysis::KernelAnalysis(const ir::Kernel& k)
+    : cfg_(analysis::build_cfg(k)),
+      ipdom_(analysis::compute_ipdom(cfg_)),
+      fingerprint_(fingerprint(k)) {
+  block_first_.reserve(k.blocks.size());
+  block_size_.reserve(k.blocks.size());
+  size_t total = 0;
+  for (const auto& b : k.blocks) total += b.insts.size();
+  decoded_.reserve(total);
+  for (const auto& b : k.blocks) {
+    block_first_.push_back(static_cast<uint32_t>(decoded_.size()));
+    block_size_.push_back(static_cast<uint32_t>(b.insts.size()));
+    for (const auto& in : b.insts) {
+      DecodedInst d;
+      d.in = &in;
+      d.has_dst = in.info().has_dst;
+      d.is_store =
+          in.op == ir::Opcode::ST_GLOBAL || in.op == ir::Opcode::ST_SHARED;
+      d.is_control = in.op == ir::Opcode::BRA || in.op == ir::Opcode::RET ||
+                     in.op == ir::Opcode::BAR;
+      decoded_.push_back(d);
+    }
+  }
+}
+
+uint64_t KernelAnalysis::fingerprint(const ir::Kernel& k) {
+  // FNV-1a over the fields that determine control flow and decoding, AND
+  // over the addresses of the instruction storage itself.  The decoded
+  // stream holds pointers into k.blocks[i].insts; a cache hit is only
+  // sound if the instructions the entry points at are the ones currently
+  // live at those addresses.  Mixing insts.data() in means a re-parsed
+  // kernel at a reused Kernel address cannot alias a stale entry: either
+  // its vectors landed elsewhere (hash differs -> rebuild) or they landed
+  // on the very same storage with the same content (pointers valid).
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(k.num_regs());
+  mix(k.blocks.size());
+  for (const auto& b : k.blocks) {
+    mix(reinterpret_cast<uintptr_t>(b.insts.data()));
+    mix(b.insts.size());
+    for (const auto& in : b.insts) {
+      mix(static_cast<uint64_t>(in.op));
+      mix(static_cast<uint64_t>(in.type));
+      mix(in.dst);
+      mix(in.target);
+      mix(in.guard);
+      mix(static_cast<uint64_t>(in.num_srcs));
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const KernelAnalysis> analyze_kernel(const ir::Kernel& k) {
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const KernelAnalysis> analysis;
+  };
+  static std::mutex mu;
+  static std::unordered_map<const ir::Kernel*, Entry> cache;
+
+  // Bound the cache: a process that churns through many transient kernels
+  // (fuzzers, interactive explorers) must not pin every dead kernel's
+  // analysis forever.  Wholesale reset is fine — entries are shared_ptrs,
+  // so analyses still in use stay alive, and rebuilds are cheap.
+  constexpr size_t kMaxEntries = 1024;
+
+  const uint64_t fp = KernelAnalysis::fingerprint(k);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(&k);
+    if (it != cache.end() && it->second.fingerprint == fp)
+      return it->second.analysis;
+  }
+  // Build outside the lock: analyses of distinct kernels proceed in
+  // parallel, and a racing duplicate build of the same kernel is benign
+  // (last writer wins, both results are equivalent).
+  auto built = std::make_shared<const KernelAnalysis>(k);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cache.size() >= kMaxEntries) cache.clear();
+    cache[&k] = Entry{fp, built};
+  }
+  return built;
+}
+
+}  // namespace gpurf::exec

@@ -1,0 +1,74 @@
+#pragma once
+// Shared per-kernel execution analysis (ISSUE 1 tentpole, exec layer).
+//
+// BlockExec used to rebuild the CFG and recompute immediate post-dominators
+// for every thread block it executed — once per grid block, per functional
+// run, per tuner probe.  For a tuning session that is hundreds of thousands
+// of identical recomputations of the same static facts.
+//
+// KernelAnalysis hoists everything the interpreter needs that depends only
+// on the kernel text into one immutable, shareable object:
+//   * the CFG and the ipdom vector (SIMT reconvergence points),
+//   * a flattened decoded instruction stream: block-major, contiguous,
+//     with per-instruction flags (has_dst, control class) predecoded so
+//     the dispatch loop stops chasing the opcode-info table.
+//
+// analyze_kernel() memoizes instances in a process-wide, thread-safe cache
+// keyed by kernel address and guarded by a structural fingerprint, so the
+// rare address reuse after a kernel is destroyed can never alias a stale
+// entry.  Concurrent tuner probes share one immutable analysis.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "ir/kernel.hpp"
+
+namespace gpurf::exec {
+
+/// One predecoded instruction: the IR instruction plus the hot flags the
+/// dispatch loop consults every step.
+struct DecodedInst {
+  const gpurf::ir::Instruction* in = nullptr;
+  bool has_dst = false;
+  bool is_store = false;    ///< ST_GLOBAL / ST_SHARED
+  bool is_control = false;  ///< BRA / RET / BAR (no lane data path)
+};
+
+class KernelAnalysis {
+ public:
+  explicit KernelAnalysis(const gpurf::ir::Kernel& k);
+
+  const analysis::Cfg& cfg() const { return cfg_; }
+  const std::vector<uint32_t>& ipdom() const { return ipdom_; }
+
+  /// Decoded instruction at (block, index) — contiguous block-major layout.
+  const DecodedInst& inst(uint32_t blk, uint32_t idx) const {
+    return decoded_[block_first_[blk] + idx];
+  }
+  uint32_t block_size(uint32_t blk) const { return block_size_[blk]; }
+  uint32_t num_blocks() const { return static_cast<uint32_t>(block_size_.size()); }
+
+  /// Structural fingerprint of a kernel: cheap, order-sensitive hash over
+  /// the instruction stream.  Used to invalidate cache entries whose
+  /// kernel address was reused by a different kernel.
+  static uint64_t fingerprint(const gpurf::ir::Kernel& k);
+
+  uint64_t source_fingerprint() const { return fingerprint_; }
+
+ private:
+  analysis::Cfg cfg_;
+  std::vector<uint32_t> ipdom_;
+  std::vector<DecodedInst> decoded_;
+  std::vector<uint32_t> block_first_;
+  std::vector<uint32_t> block_size_;
+  uint64_t fingerprint_ = 0;
+};
+
+/// Fetch (or build and memoize) the analysis for `k`.  Thread-safe; the
+/// returned object is immutable and remains valid independently of the
+/// cache.  The caller should hold the shared_ptr for the duration of use.
+std::shared_ptr<const KernelAnalysis> analyze_kernel(const gpurf::ir::Kernel& k);
+
+}  // namespace gpurf::exec

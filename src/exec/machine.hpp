@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "ir/kernel.hpp"
 
 namespace gpurf::exec {
+
+class KernelAnalysis;
 
 /// Flat word-addressed global memory.  Buffers are bump-allocated; an
 /// address is an index into the word array.  A 128-byte coalescing line is
@@ -119,6 +122,11 @@ struct ExecContext {
 
   const PrecisionMap* precision = nullptr;
   const analysis::RangeAnalysisResult* range_check = nullptr;
+
+  /// Optional precomputed kernel analysis (CFG, ipdoms, decoded stream).
+  /// When unset, BlockExec fetches one from the process-wide cache; callers
+  /// that launch many blocks or probes should set it once up front.
+  std::shared_ptr<const KernelAnalysis> analysis;
 
   // Statistics accumulated during execution.
   uint64_t thread_insts = 0;

@@ -80,8 +80,9 @@ WarpRegister CompressedRegisterFile::read_operand(uint32_t warp,
     ++stats_.double_fetches;
   }
 
-  // Padding / sign extension.
-  for (int l = 0; l < 32; ++l) merged[l] = tve_finalize(merged[l], s0);
+  // Padding / sign extension (warp-wide: uniform fill mask, per-lane sign
+  // mux select).
+  merged = warp_finalize(merged, s0);
 
   // Narrow floats pass through the Value Converter.
   if (e.is_float && e.float_bits != 32) {

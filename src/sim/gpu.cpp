@@ -23,7 +23,7 @@ uint32_t latency_of(const GpuConfig& g, const ir::Instruction& in) {
   switch (in.op) {
     case Opcode::MUL:
     case Opcode::MAD:
-      return in.type == ir::Type::F32 ? g.lat_mul : g.lat_mul;
+      return in.type == ir::Type::F32 ? g.lat_mul : g.lat_alu;
     case Opcode::SIN: case Opcode::COS: case Opcode::EX2:
     case Opcode::LG2: case Opcode::SQRT: case Opcode::RSQRT:
     case Opcode::RCP: case Opcode::DIV: case Opcode::REM:
@@ -547,6 +547,7 @@ SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
   ctx.textures = spec.textures;
   ctx.params = spec.params;
   ctx.precision = spec.precision;
+  ctx.analysis = exec::analyze_kernel(*spec.kernel);
 
   BlockDispatcher dispatcher(spec.launch);
   Cache l2(gpu.l2);

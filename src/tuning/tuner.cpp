@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gpurf::tuning {
 
@@ -50,12 +51,13 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
   const auto& formats = table3_formats();  // widest (32) .. narrowest (8)
 
   // Index of a register's current format in the Table-3 list.
-  auto fmt_index = [&](uint32_t r) {
+  auto fmt_index_in = [&](const PrecisionMap& pm, uint32_t r) {
     for (size_t i = 0; i < formats.size(); ++i)
-      if (formats[i] == res.pmap.per_reg[r]) return i;
+      if (formats[i] == pm.per_reg[r]) return i;
     GPURF_ASSERT(false, "format escaped Table-3 set");
     return size_t{0};
   };
+  auto fmt_index = [&](uint32_t r) { return fmt_index_in(res.pmap, r); };
 
   double last_score = probe.evaluate(res.pmap);
   ++res.evaluations;
@@ -66,21 +68,88 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
 
   for (int pass = 0; pass < opt.max_passes; ++pass) {
     bool changed = false;
-    for (uint32_t r : targets) {
-      size_t idx = fmt_index(r);
-      while (idx + 1 < formats.size()) {
-        const FloatFormat trial = formats[idx + 1];
-        const FloatFormat saved = res.pmap.per_reg[r];
-        res.pmap.per_reg[r] = trial;
-        const double score = probe.evaluate(res.pmap);
-        ++res.evaluations;
-        if (probe.meets(score, opt.level)) {
-          last_score = score;
-          ++idx;
+    if (opt.speculate_batch <= 1) {
+      // Original serial greedy descent.
+      for (uint32_t r : targets) {
+        size_t idx = fmt_index(r);
+        while (idx + 1 < formats.size()) {
+          const FloatFormat trial = formats[idx + 1];
+          const FloatFormat saved = res.pmap.per_reg[r];
+          res.pmap.per_reg[r] = trial;
+          const double score = probe.evaluate(res.pmap);
+          ++res.evaluations;
+          if (probe.meets(score, opt.level)) {
+            last_score = score;
+            ++idx;
+            changed = true;
+          } else {
+            res.pmap.per_reg[r] = saved;
+            break;
+          }
+        }
+      }
+    } else {
+      // Speculative batch descent.  The serial loop's candidate sequence
+      // is deterministic along the optimistic all-accept path: narrow the
+      // cursor register one step at a time until it bottoms out, then move
+      // to the next target.  We materialise the next K cumulative
+      // assignments of that path, evaluate them concurrently, and accept
+      // the longest prefix whose probes all pass.  On the first failure
+      // the serial algorithm would restore that register and move past it
+      // — which is exactly how the cursor advances here — so the accepted
+      // assignment matches the serial run bit for bit.
+      const size_t K = static_cast<size_t>(opt.speculate_batch);
+      size_t t = 0;  // cursor into `targets`
+      while (t < targets.size()) {
+        struct Candidate {
+          uint32_t reg = 0;
+          PrecisionMap pmap;  ///< cumulative assignment if all before pass
+        };
+        std::vector<Candidate> chain;
+        chain.reserve(K);
+        {
+          PrecisionMap cur = res.pmap;
+          size_t ct = t;
+          size_t idx = fmt_index_in(cur, targets[ct]);
+          while (chain.size() < K && ct < targets.size()) {
+            if (idx + 1 >= formats.size()) {
+              ++ct;
+              if (ct < targets.size()) idx = fmt_index_in(cur, targets[ct]);
+              continue;
+            }
+            ++idx;
+            cur.per_reg[targets[ct]] = formats[idx];
+            chain.push_back(Candidate{targets[ct], cur});
+          }
+        }
+        if (chain.empty()) break;  // every remaining target is at minimum
+
+        std::vector<double> scores(chain.size(), 0.0);
+        std::vector<char> ok(chain.size(), 0);
+        gpurf::common::parallel_for(chain.size(), [&](size_t i) {
+          scores[i] = probe.evaluate(chain[i].pmap);
+          ok[i] = probe.meets(scores[i], opt.level) ? 1 : 0;
+        });
+        res.evaluations += static_cast<int>(chain.size());
+
+        size_t accepted = 0;
+        while (accepted < chain.size() && ok[accepted]) ++accepted;
+        if (accepted > 0) {
+          res.pmap = chain[accepted - 1].pmap;
+          last_score = scores[accepted - 1];
           changed = true;
+        }
+        if (accepted < chain.size()) {
+          // Serial semantics: the failed register keeps its last accepted
+          // format and the scan moves to the register after it.
+          const uint32_t failed_reg = chain[accepted].reg;
+          while (t < targets.size() && targets[t] != failed_reg) ++t;
+          ++t;
         } else {
-          res.pmap.per_reg[r] = saved;
-          break;
+          // Whole batch accepted: resume from the chain's last register,
+          // which may still have narrower formats to try.
+          const uint32_t tail_reg = chain.back().reg;
+          while (t < targets.size() && targets[t] != tail_reg) ++t;
         }
       }
     }

@@ -28,6 +28,11 @@ namespace gpurf::tuning {
 /// Implemented by the workload harness: runs the kernel functionally on the
 /// sample inputs with `pmap` active and scores the output vs. the exact
 /// reference.
+///
+/// Concurrency contract: when TunerOptions::speculate_batch > 1 the tuner
+/// calls evaluate() from multiple threads at once; implementations must be
+/// safe under concurrent evaluation (evaluate() must behave as a pure
+/// function of `pmap` apart from thread-safe bookkeeping).
 class QualityProbe {
  public:
   virtual ~QualityProbe() = default;
@@ -38,6 +43,12 @@ class QualityProbe {
 struct TunerOptions {
   quality::QualityLevel level = quality::QualityLevel::kPerfect;
   int max_passes = 4;   ///< fixpoint iteration bound over all registers
+  /// Speculative batch width of the greedy descent.  1 = the original
+  /// serial loop.  K > 1 evaluates the next K candidates of the optimistic
+  /// all-accept path concurrently and accepts the longest valid prefix;
+  /// the accepted assignment is bit-for-bit identical to the serial
+  /// result (only `evaluations` grows, counting the wasted speculation).
+  int speculate_batch = 1;
 };
 
 struct TuneResult {

@@ -1,12 +1,15 @@
 #include "workloads/pipeline.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "ir/printer.hpp"
 
 namespace gpurf::workloads {
@@ -20,51 +23,73 @@ using gpurf::quality::QualityLevel;
 /// precision map and combine the per-variant scores pessimistically
 /// (worst case over the sample set, as the tuner must satisfy all
 /// representative inputs).
+///
+/// The pristine sample instances are built once at construction; each
+/// evaluation copies one (memory images only) instead of regenerating it.
+/// evaluate() is safe to call concurrently (required by the tuner's
+/// speculative batch mode) and itself fans the variants out across the
+/// shared thread pool when called from the serial path.
 class WorkloadProbe final : public gpurf::tuning::QualityProbe {
  public:
   explicit WorkloadProbe(const Workload& w) : w_(w) {
-    for (uint32_t v = 0; v < w.num_sample_variants(); ++v) {
-      Workload::Instance inst = w.make_instance(Scale::kSample, v);
-      metric_ = w.make_metric(inst);
+    const uint32_t nv = w.num_sample_variants();
+    protos_.reserve(nv);
+    for (uint32_t v = 0; v < nv; ++v) {
+      protos_.push_back(w.make_instance(Scale::kSample, v));
+      metrics_.push_back(w.make_metric(protos_.back()));
+      Workload::Instance inst = protos_[v];  // run() mutates the memory
       refs_.push_back(w_.run(inst, nullptr));
     }
   }
 
   double evaluate(const gpurf::exec::PrecisionMap& pmap) override {
-    double combined = 0.0;
-    for (uint32_t v = 0; v < w_.num_sample_variants(); ++v) {
-      Workload::Instance inst = w_.make_instance(Scale::kSample, v);
+    const size_t nv = protos_.size();
+    std::vector<double> scores(nv, 0.0);
+    gpurf::common::parallel_for(nv, [&](size_t v) {
+      Workload::Instance inst = protos_[v];  // fresh copy per evaluation
       const auto out = w_.run(inst, &pmap);
-      const double s = metric_->score(refs_[v], out);
-      combined = (v == 0) ? s : worse(combined, s);
-    }
+      scores[v] = metrics_[v]->score(refs_[v], out);
+    });
+    // Ordered pessimistic fold — identical to the serial loop regardless
+    // of which thread scored which variant.
+    double combined = scores[0];
+    for (size_t v = 1; v < nv; ++v) combined = worse(combined, scores[v]);
     return combined;
   }
 
   bool meets(double score, QualityLevel level) const override {
-    return metric_->meets(score, level);
+    return metrics_[0]->meets(score, level);
   }
 
  private:
   double worse(double a, double b) const {
     // Deviation grows with error; SSIM and binary shrink.
-    return metric_->kind() == MetricKind::kDeviation ? std::max(a, b)
-                                                     : std::min(a, b);
+    return metrics_[0]->kind() == MetricKind::kDeviation ? std::max(a, b)
+                                                         : std::min(a, b);
   }
 
   const Workload& w_;
-  std::unique_ptr<gpurf::quality::QualityMetric> metric_;
+  std::vector<Workload::Instance> protos_;
+  std::vector<std::unique_ptr<gpurf::quality::QualityMetric>> metrics_;
   std::vector<std::vector<float>> refs_;
 };
 
 /// Tuned precision maps are the only expensive artifact (hundreds of
 /// functional probes); cache them on disk keyed by a hash of the kernel
-/// text so every bench binary in a session reuses them.  Delete
-/// .gpurf_cache/ to force re-tuning.
+/// text so every bench binary in a session reuses them.  The directory is
+/// $GPURF_CACHE_DIR when set, else ".gpurf_cache"; delete it to force
+/// re-tuning.
+std::string cache_dir() {
+  if (const char* env = std::getenv("GPURF_CACHE_DIR"))
+    if (env[0] != '\0') return env;
+  return ".gpurf_cache";
+}
+
 std::string cache_path(const Workload& w) {
   const std::string text = gpurf::ir::print_kernel(w.kernel());
   const size_t h = std::hash<std::string>{}(text);
-  return ".gpurf_cache/" + w.spec().name + "_" + std::to_string(h) + ".pmap";
+  return cache_dir() + "/" + w.spec().name + "_" + std::to_string(h) +
+         ".pmap";
 }
 
 bool load_pmaps(const Workload& w, gpurf::tuning::TuneResult& perfect,
@@ -89,7 +114,9 @@ bool load_pmaps(const Workload& w, gpurf::tuning::TuneResult& perfect,
 
 void store_pmaps(const Workload& w, const gpurf::tuning::TuneResult& perfect,
                  const gpurf::tuning::TuneResult& high) {
-  (void)std::system("mkdir -p .gpurf_cache");
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir(), ec);
+  if (ec) return;  // cache is best-effort
   std::FILE* f = std::fopen(cache_path(w).c_str(), "w");
   if (!f) return;
   for (uint32_t r = 0; r < w.kernel().num_regs(); ++r)
@@ -98,7 +125,10 @@ void store_pmaps(const Workload& w, const gpurf::tuning::TuneResult& perfect,
   std::fclose(f);
 }
 
-PipelineResult compute_pipeline(const Workload& w) {
+}  // namespace
+
+PipelineResult compute_pipeline(const Workload& w,
+                                const PipelineOptions& opt) {
   PipelineResult pr;
   const auto& k = w.kernel();
 
@@ -110,14 +140,17 @@ PipelineResult compute_pipeline(const Workload& w) {
   pr.ranges = analysis::analyze_ranges(k, inst.launch);
 
   // 2. Float precision tuning (§4.1), two thresholds (§6.1).
-  if (!load_pmaps(w, pr.tune_perfect, pr.tune_high)) {
+  if (!opt.use_disk_cache || !load_pmaps(w, pr.tune_perfect, pr.tune_high)) {
     WorkloadProbe probe(w);
     gpurf::tuning::TunerOptions topt;
+    topt.speculate_batch =
+        opt.tuner_batch > 0 ? opt.tuner_batch
+                            : gpurf::common::ThreadPool::instance().size();
     topt.level = QualityLevel::kPerfect;
     pr.tune_perfect = gpurf::tuning::tune_precision(k, probe, topt);
     topt.level = QualityLevel::kHigh;
     pr.tune_high = gpurf::tuning::tune_precision(k, probe, topt);
-    store_pmaps(w, pr.tune_perfect, pr.tune_high);
+    if (opt.use_disk_cache) store_pmaps(w, pr.tune_perfect, pr.tune_high);
   }
 
   // 3. Slice allocation (§4.3) under each framework combination.
@@ -145,18 +178,26 @@ PipelineResult compute_pipeline(const Workload& w) {
   return pr;
 }
 
-}  // namespace
-
 const PipelineResult& run_pipeline(const Workload& w) {
-  static std::map<std::string, std::unique_ptr<PipelineResult>> cache;
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(w.spec().name);
-  if (it == cache.end()) {
-    auto pr = std::make_unique<PipelineResult>(compute_pipeline(w));
-    it = cache.emplace(w.spec().name, std::move(pr)).first;
+  // Per-workload once-entries instead of one global lock: independent
+  // workloads requested from different threads tune concurrently, while
+  // each workload's pipeline still runs exactly once.
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<PipelineResult> result;
+  };
+  static std::mutex mu;                        // guards the map shape only
+  static std::map<std::string, Entry> cache;   // node-stable addresses
+
+  Entry* e;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    e = &cache[w.spec().name];
   }
-  return *it->second;
+  std::call_once(e->once,
+                 [&] { e->result = std::make_unique<PipelineResult>(
+                           compute_pipeline(w)); });
+  return *e->result;
 }
 
 gpurf::sim::CompressionConfig make_compression_config(SimMode mode) {

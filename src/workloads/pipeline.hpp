@@ -41,8 +41,25 @@ struct PipelineResult {
   gpurf::alloc::AllocationResult alloc_both_high;
 };
 
-/// Run (or fetch the memoized) pipeline for a workload.
+/// Run (or fetch the memoized) pipeline for a workload.  Independent
+/// workloads may be pipelined from different threads concurrently; each
+/// workload's pipeline is computed exactly once per process.
 const PipelineResult& run_pipeline(const Workload& w);
+
+/// Pipeline computation knobs (run_pipeline uses the defaults).
+struct PipelineOptions {
+  /// Load/store tuned precision maps in the on-disk cache (directory from
+  /// $GPURF_CACHE_DIR, default ".gpurf_cache").
+  bool use_disk_cache = true;
+  /// Speculative batch width for the tuner's greedy descent; <= 0 means
+  /// "use the shared thread pool's width".
+  int tuner_batch = 0;
+};
+
+/// Compute a pipeline result directly, bypassing the in-process memo —
+/// for benches and determinism tests that need fresh, controlled runs.
+PipelineResult compute_pipeline(const Workload& w,
+                                const PipelineOptions& opt = {});
 
 /// Experiment configurations of §6.
 enum class SimMode {

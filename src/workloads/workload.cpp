@@ -40,6 +40,9 @@ std::vector<float> Workload::run(
   ctx.params = inst.params;
   ctx.precision = pmap;
   ctx.range_check = range_check;
+  std::call_once(analysis_once_,
+                 [&] { analysis_ = gpurf::exec::analyze_kernel(kernel_); });
+  ctx.analysis = analysis_;
   gpurf::exec::run_functional(ctx);
   return inst.gmem.read_f32(inst.out_base, inst.out_words);
 }

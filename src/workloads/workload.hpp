@@ -11,6 +11,7 @@
 // these programs by the analyses and the simulator, never hard-coded.
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,12 @@ class Workload {
 
   WorkloadSpec spec_;
   gpurf::ir::Kernel kernel_;
+
+ private:
+  /// Kernel analysis shared by every run of this workload (computed once;
+  /// safe under concurrent run() calls from parallel tuner probes).
+  mutable std::shared_ptr<const gpurf::exec::KernelAnalysis> analysis_;
+  mutable std::once_flag analysis_once_;
 };
 
 /// All eleven Table-4 workloads, in the paper's order.

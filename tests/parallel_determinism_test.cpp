@@ -1,0 +1,216 @@
+// Determinism of the parallel tuning/simulation engine (ISSUE 1).
+//
+// The contract of the speculative-batch tuner and the parallel probe is
+// that parallelism is an implementation detail: a multi-threaded pipeline
+// run must produce byte-identical precision maps, scores, and slice
+// allocations to a forced single-thread (GPURF_THREADS=1-equivalent) run.
+// These tests pin that contract in-process by resizing the shared pool and
+// varying the tuner batch width.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "rf/value_extractor.hpp"
+#include "rf/value_truncator.hpp"
+#include "workloads/pipeline.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpurf::workloads {
+namespace {
+
+void expect_same_pmap(const gpurf::exec::PrecisionMap& a,
+                      const gpurf::exec::PrecisionMap& b) {
+  ASSERT_EQ(a.per_reg.size(), b.per_reg.size());
+  for (size_t r = 0; r < a.per_reg.size(); ++r) {
+    EXPECT_EQ(a.per_reg[r].total_bits, b.per_reg[r].total_bits) << "reg " << r;
+    EXPECT_TRUE(a.per_reg[r] == b.per_reg[r]) << "reg " << r;
+  }
+}
+
+void expect_same_alloc(const gpurf::alloc::AllocationResult& a,
+                       const gpurf::alloc::AllocationResult& b) {
+  EXPECT_EQ(a.num_physical_regs, b.num_physical_regs);
+  EXPECT_EQ(a.total_slices, b.total_slices);
+  EXPECT_EQ(a.split_operands, b.split_operands);
+  ASSERT_EQ(a.table.size(), b.table.size());
+  for (size_t r = 0; r < a.table.size(); ++r) {
+    const auto& x = a.table[r];
+    const auto& y = b.table[r];
+    EXPECT_EQ(x.valid, y.valid) << "reg " << r;
+    EXPECT_EQ(x.r0.phys_reg, y.r0.phys_reg) << "reg " << r;
+    EXPECT_EQ(x.r0.mask, y.r0.mask) << "reg " << r;
+    EXPECT_EQ(x.r1.phys_reg, y.r1.phys_reg) << "reg " << r;
+    EXPECT_EQ(x.r1.mask, y.r1.mask) << "reg " << r;
+    EXPECT_EQ(x.split, y.split) << "reg " << r;
+    EXPECT_EQ(x.slices, y.slices) << "reg " << r;
+    EXPECT_EQ(x.is_signed, y.is_signed) << "reg " << r;
+    EXPECT_EQ(x.is_float, y.is_float) << "reg " << r;
+    EXPECT_EQ(x.float_bits, y.float_bits) << "reg " << r;
+  }
+}
+
+void expect_same_pipeline(const PipelineResult& serial,
+                          const PipelineResult& parallel) {
+  expect_same_pmap(serial.tune_perfect.pmap, parallel.tune_perfect.pmap);
+  expect_same_pmap(serial.tune_high.pmap, parallel.tune_high.pmap);
+  EXPECT_EQ(serial.tune_perfect.final_score, parallel.tune_perfect.final_score);
+  EXPECT_EQ(serial.tune_high.final_score, parallel.tune_high.final_score);
+
+  EXPECT_EQ(serial.pressure.original, parallel.pressure.original);
+  EXPECT_EQ(serial.pressure.narrow_int, parallel.pressure.narrow_int);
+  EXPECT_EQ(serial.pressure.narrow_float_perfect,
+            parallel.pressure.narrow_float_perfect);
+  EXPECT_EQ(serial.pressure.narrow_float_high,
+            parallel.pressure.narrow_float_high);
+  EXPECT_EQ(serial.pressure.both_perfect, parallel.pressure.both_perfect);
+  EXPECT_EQ(serial.pressure.both_high, parallel.pressure.both_high);
+
+  expect_same_alloc(serial.alloc_both_perfect, parallel.alloc_both_perfect);
+  expect_same_alloc(serial.alloc_both_high, parallel.alloc_both_high);
+}
+
+/// RAII: resize the shared pool, restore on scope exit.
+class PoolWidth {
+ public:
+  explicit PoolWidth(int n)
+      : saved_(gpurf::common::ThreadPool::instance().size()) {
+    gpurf::common::ThreadPool::instance().resize(n);
+  }
+  ~PoolWidth() { gpurf::common::ThreadPool::instance().resize(saved_); }
+
+ private:
+  int saved_;
+};
+
+PipelineResult pipeline_with_width(const Workload& w, int threads,
+                                   int batch) {
+  PoolWidth width(threads);
+  PipelineOptions opt;
+  opt.use_disk_cache = false;  // force fresh tuning
+  opt.tuner_batch = batch;
+  return compute_pipeline(w, opt);
+}
+
+TEST(ParallelDeterminism, Dwt2dPipelineMatchesSingleThread) {
+  const auto w = make_dwt2d();
+  const auto serial = pipeline_with_width(*w, 1, 1);
+  const auto parallel = pipeline_with_width(*w, 4, 4);
+  expect_same_pipeline(serial, parallel);
+}
+
+TEST(ParallelDeterminism, GicovPipelineMatchesSingleThread) {
+  const auto w = make_gicov();
+  const auto serial = pipeline_with_width(*w, 1, 1);
+  const auto parallel = pipeline_with_width(*w, 4, 4);
+  expect_same_pipeline(serial, parallel);
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreIdentical) {
+  const auto w = make_dwt2d();
+  const auto a = pipeline_with_width(*w, 4, 4);
+  const auto b = pipeline_with_width(*w, 4, 4);
+  expect_same_pipeline(a, b);
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  PoolWidth width(4);
+  std::vector<std::atomic<int>> hits(1000);
+  gpurf::common::parallel_for(hits.size(),
+                              [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  PoolWidth width(4);
+  std::vector<std::atomic<int>> hits(64);
+  gpurf::common::parallel_for(8, [&](size_t i) {
+    gpurf::common::parallel_for(8, [&](size_t j) {
+      hits[i * 8 + j].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  PoolWidth width(4);
+  EXPECT_THROW(
+      gpurf::common::parallel_for(
+          100,
+          [](size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SmallerIterationCountThanThreads) {
+  PoolWidth width(8);
+  std::vector<std::atomic<int>> hits(3);
+  gpurf::common::parallel_for(hits.size(),
+                              [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+// --------------------------------------------- warp-wide RF path equality
+
+TEST(WarpSlicePaths, ExtractMatchesScalarReference) {
+  for (uint32_t mask = 1; mask < 256; mask += 7) {
+    gpurf::rf::ExtractSpec spec;
+    spec.mask = static_cast<uint8_t>(mask);
+    spec.first_slice = 1;
+    spec.data_slices =
+        static_cast<uint8_t>(std::popcount(mask) + spec.first_slice);
+    if (spec.data_slices > 8) continue;
+    spec.is_signed = (mask % 3) == 0;
+
+    std::array<uint32_t, 32> fetched;
+    for (int l = 0; l < 32; ++l)
+      fetched[l] = 0x9e3779b9u * static_cast<uint32_t>(l + 1) + mask;
+
+    const auto warp = gpurf::rf::warp_extract_piece(fetched, spec);
+    const auto padded = gpurf::rf::warp_finalize(warp, spec);
+    const auto whole = gpurf::rf::warp_extract(fetched, spec);
+    for (int l = 0; l < 32; ++l) {
+      EXPECT_EQ(warp[l], gpurf::rf::tve_extract_piece(fetched[l], spec))
+          << "mask " << mask << " lane " << l;
+      EXPECT_EQ(padded[l], gpurf::rf::tve_extract(fetched[l], spec))
+          << "mask " << mask << " lane " << l;
+      EXPECT_EQ(whole[l], padded[l]) << "mask " << mask << " lane " << l;
+    }
+  }
+}
+
+TEST(WarpSlicePaths, TruncateMatchesScalarReference) {
+  for (uint32_t m0 = 1; m0 < 256; m0 += 11) {
+    gpurf::rf::TruncateSpec spec;
+    spec.mask0 = static_cast<uint8_t>(m0);
+    spec.mask1 = static_cast<uint8_t>((m0 * 5) & 0x3u);  // small second piece
+    spec.data_slices =
+        static_cast<uint8_t>(std::popcount(m0) + std::popcount(spec.mask1));
+    if (spec.data_slices > 8) continue;
+    spec.is_float = false;
+
+    std::array<uint32_t, 32> values;
+    for (int l = 0; l < 32; ++l)
+      values[l] = 0x85ebca6bu * static_cast<uint32_t>(l + 3) + m0;
+
+    const auto warp = gpurf::rf::warp_truncate(values, spec);
+    for (int l = 0; l < 32; ++l) {
+      const auto ref = gpurf::rf::tvt_truncate(values[l], spec);
+      EXPECT_EQ(warp[l].data0, ref.data0) << "m0 " << m0 << " lane " << l;
+      EXPECT_EQ(warp[l].bitmask0, ref.bitmask0) << "m0 " << m0;
+      EXPECT_EQ(warp[l].data1, ref.data1) << "m0 " << m0 << " lane " << l;
+      EXPECT_EQ(warp[l].bitmask1, ref.bitmask1) << "m0 " << m0;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpurf::workloads
