@@ -5,7 +5,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sim/gpu.hpp"
 #include "workloads/pipeline.hpp"
 #include "workloads/workload.hpp"
@@ -19,19 +21,34 @@ int main() {
   std::printf("%-11s %10s %12s %12s %14s %14s\n", "Kernel", "BaseIPC",
               "Perfect(%)", "High(%)", "TexMiss(base)", "TexMiss(perf)");
 
-  double geo_p = 0.0, geo_h = 0.0;
-  int n = 0;
-  for (const auto& w : wl::make_all_workloads()) {
+  // One row = one workload's pipeline + its three timing simulations;
+  // rows are independent, so they fan out across the pool and print in
+  // workload order afterwards (identical output to the serial loop).
+  const auto workloads = wl::make_all_workloads();
+  struct Row {
+    sim::SimResult base, perf, high;
+  };
+  std::vector<Row> rows(workloads.size());
+  gpurf::common::parallel_for(workloads.size(), [&](size_t i) {
+    const auto& w = workloads[i];
     const auto& pr = wl::run_pipeline(*w);
-
     auto run = [&](wl::SimMode mode) {
       auto inst = w->make_instance(wl::Scale::kFull, 0);
       auto spec = wl::make_launch_spec(*w, inst, pr, mode);
       return sim::simulate(gpu, wl::make_compression_config(mode), spec);
     };
-    const auto base = run(wl::SimMode::kOriginal);
-    const auto perf = run(wl::SimMode::kCompressedPerfect);
-    const auto high = run(wl::SimMode::kCompressedHigh);
+    rows[i] = Row{run(wl::SimMode::kOriginal),
+                  run(wl::SimMode::kCompressedPerfect),
+                  run(wl::SimMode::kCompressedHigh)};
+  });
+
+  double geo_p = 0.0, geo_h = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const auto& w = workloads[i];
+    const auto& base = rows[i].base;
+    const auto& perf = rows[i].perf;
+    const auto& high = rows[i].high;
 
     const double dp = 100.0 * (perf.stats.ipc() / base.stats.ipc() - 1.0);
     const double dh = 100.0 * (high.stats.ipc() / base.stats.ipc() - 1.0);

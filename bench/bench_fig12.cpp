@@ -5,7 +5,10 @@
 // occasional non-monotonic timing anomalies.
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sim/gpu.hpp"
 #include "workloads/pipeline.hpp"
 #include "workloads/workload.hpp"
@@ -15,22 +18,30 @@ namespace sim = gpurf::sim;
 
 int main() {
   const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
-  const uint32_t delays[] = {0, 2, 4, 8};
+  constexpr uint32_t kDelays[] = {0, 2, 4, 8};
+  constexpr size_t kNumDelays = std::size(kDelays);
 
   std::printf("Figure 12: IPC vs. writeback delay (high output quality)\n");
   std::printf("%-11s %8s %8s %8s %8s\n", "Kernel", "wb=0", "wb=2", "wb=4",
               "wb=8");
-  for (const auto& w : wl::make_all_workloads()) {
+  // Flatten (workload x delay) into one grid of independent simulations so
+  // the sweep fans out across the pool; printed in workload order after.
+  const auto workloads = wl::make_all_workloads();
+  std::vector<double> ipc(workloads.size() * kNumDelays, 0.0);
+  gpurf::common::parallel_for(ipc.size(), [&](size_t i) {
+    const auto& w = workloads[i / kNumDelays];
+    const uint32_t wb = kDelays[i % kNumDelays];
     const auto& pr = wl::run_pipeline(*w);
-    std::printf("%-11s", w->spec().name.c_str());
-    for (uint32_t wb : delays) {
-      auto inst = w->make_instance(wl::Scale::kFull, 0);
-      auto spec =
-          wl::make_launch_spec(*w, inst, pr, wl::SimMode::kCompressedHigh);
-      const auto cc = sim::CompressionConfig::with_writeback_delay(wb);
-      const auto res = sim::simulate(gpu, cc, spec);
-      std::printf(" %8.0f", res.stats.ipc());
-    }
+    auto inst = w->make_instance(wl::Scale::kFull, 0);
+    auto spec =
+        wl::make_launch_spec(*w, inst, pr, wl::SimMode::kCompressedHigh);
+    const auto cc = sim::CompressionConfig::with_writeback_delay(wb);
+    ipc[i] = sim::simulate(gpu, cc, spec).stats.ipc();
+  });
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    std::printf("%-11s", workloads[i]->spec().name.c_str());
+    for (size_t d = 0; d < kNumDelays; ++d)
+      std::printf(" %8.0f", ipc[i * kNumDelays + d]);
     std::printf("\n");
   }
   return 0;

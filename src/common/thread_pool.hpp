@@ -32,6 +32,12 @@ namespace detail {
 inline thread_local bool tl_in_pool_worker = false;
 }  // namespace detail
 
+/// True when the calling thread is executing inside a parallel_for shard.
+/// Parallel facilities that would otherwise fan out (e.g. the interpreter's
+/// block-parallel grid execution) consult this to degrade to their serial
+/// path instead of queueing nested work that runs inline anyway.
+inline bool in_pool_worker() { return detail::tl_in_pool_worker; }
+
 /// Number of threads the pool uses by default: GPURF_THREADS when set,
 /// else hardware concurrency (always >= 1).
 inline int default_thread_count() {

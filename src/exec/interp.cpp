@@ -1,10 +1,12 @@
 #include "exec/interp.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include "common/bitutil.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gpurf::exec {
 
@@ -77,10 +79,15 @@ bool BlockExec::all_done() const {
 }
 
 const Instruction* BlockExec::peek(uint32_t w) const {
+  const DecodedInst* dec = peek_decoded(w);
+  return dec ? dec->in : nullptr;
+}
+
+const DecodedInst* BlockExec::peek_decoded(uint32_t w) const {
   const WarpState& ws = warps_[w];
   if (ws.done()) return nullptr;
   const StackEntry& tos = ws.stack_.back();
-  return ka_->inst(tos.blk, tos.inst).in;
+  return &ka_->inst(tos.blk, tos.inst);
 }
 
 uint32_t BlockExec::special_value(ir::Special s, uint32_t warp_in_block,
@@ -261,6 +268,399 @@ uint32_t BlockExec::exec_lane(const WarpState& ws, const Instruction& in,
   }
 }
 
+void BlockExec::gather_operand(const WarpState& ws, const ir::Operand& o,
+                               uint32_t* out) const {
+  switch (o.kind) {
+    case ir::Operand::Kind::REG: {
+      const uint32_t* src = ws.lanes(o.index);
+      for (uint32_t l = 0; l < kWarpSize; ++l) out[l] = src[l];
+      return;
+    }
+    case ir::Operand::Kind::IMM_I: {
+      const uint32_t v = static_cast<uint32_t>(static_cast<int64_t>(o.imm_i));
+      for (uint32_t l = 0; l < kWarpSize; ++l) out[l] = v;
+      return;
+    }
+    case ir::Operand::Kind::IMM_F: {
+      const uint32_t v = from_f(o.imm_f);
+      for (uint32_t l = 0; l < kWarpSize; ++l) out[l] = v;
+      return;
+    }
+    case ir::Operand::Kind::SPECIAL: {
+      const auto s = static_cast<ir::Special>(o.index);
+      // Only the thread-index specials vary across a warp; everything else
+      // is a launch constant and splats.
+      if (s == ir::Special::TID_X || s == ir::Special::TID_Y) {
+        for (uint32_t l = 0; l < kWarpSize; ++l)
+          out[l] = special_value(s, ws.warp_in_block(), l);
+        return;
+      }
+      const uint32_t v = special_value(s, ws.warp_in_block(), 0);
+      for (uint32_t l = 0; l < kWarpSize; ++l) out[l] = v;
+      return;
+    }
+    case ir::Operand::Kind::PARAM: {
+      const uint32_t v = ctx_.params.at(o.index);
+      for (uint32_t l = 0; l < kWarpSize; ++l) out[l] = v;
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Apply `fn(a, b)` across all 32 lanes — the workhorse the compiler
+/// auto-vectorises (operations are total on every bit pattern, so inactive
+/// lanes compute garbage that the masked write-back then discards).
+template <typename Fn>
+inline void warp_map2(const uint32_t* a, const uint32_t* b, uint32_t* out,
+                      Fn&& fn) {
+  for (uint32_t l = 0; l < 32; ++l) out[l] = fn(a[l], b[l]);
+}
+
+template <typename Fn>
+inline void warp_map1(const uint32_t* a, uint32_t* out, Fn&& fn) {
+  for (uint32_t l = 0; l < 32; ++l) out[l] = fn(a[l]);
+}
+
+/// Transcendentals dispatch to libm per lane; restrict them to active lanes
+/// so a nearly-empty mask never pays 32 scalar calls.
+template <typename Fn>
+inline void warp_map1_masked(uint32_t mask, const uint32_t* a, uint32_t* out,
+                             Fn&& fn) {
+  for (uint32_t l = 0; l < 32; ++l)
+    if ((mask >> l) & 1u) out[l] = fn(a[l]);
+}
+
+/// SETP comparison over a warp; the comparator is resolved once outside the
+/// lane loop so each case is a branch-free compare-to-0/1 sweep.
+template <typename Cast>
+inline void warp_setp(ir::CmpOp cmp, const uint32_t* a, const uint32_t* b,
+                      uint32_t* out, Cast cast) {
+  switch (cmp) {
+    case ir::CmpOp::EQ:
+      warp_map2(a, b, out, [&](uint32_t x, uint32_t y) {
+        return cast(x) == cast(y) ? 1u : 0u;
+      });
+      break;
+    case ir::CmpOp::NE:
+      warp_map2(a, b, out, [&](uint32_t x, uint32_t y) {
+        return cast(x) != cast(y) ? 1u : 0u;
+      });
+      break;
+    case ir::CmpOp::LT:
+      warp_map2(a, b, out, [&](uint32_t x, uint32_t y) {
+        return cast(x) < cast(y) ? 1u : 0u;
+      });
+      break;
+    case ir::CmpOp::LE:
+      warp_map2(a, b, out, [&](uint32_t x, uint32_t y) {
+        return cast(x) <= cast(y) ? 1u : 0u;
+      });
+      break;
+    case ir::CmpOp::GT:
+      warp_map2(a, b, out, [&](uint32_t x, uint32_t y) {
+        return cast(x) > cast(y) ? 1u : 0u;
+      });
+      break;
+    case ir::CmpOp::GE:
+      warp_map2(a, b, out, [&](uint32_t x, uint32_t y) {
+        return cast(x) >= cast(y) ? 1u : 0u;
+      });
+      break;
+  }
+}
+
+}  // namespace
+
+void BlockExec::exec_warp(WarpState& ws, const DecodedInst& dec,
+                          uint32_t exec_mask, StepResult& res) {
+  const Instruction& in = *dec.in;
+  alignas(64) uint32_t a[kWarpSize];
+  alignas(64) uint32_t b[kWarpSize];
+  alignas(64) uint32_t c[kWarpSize];
+  // Zero-initialised: masked cases (loads, transcendentals) leave inactive
+  // lanes untouched, and the branch-free write-back select still reads them.
+  alignas(64) uint32_t out[kWarpSize] = {};
+
+  if (dec.num_srcs > 0) gather_operand(ws, in.srcs[0], a);
+  if (dec.num_srcs > 1) gather_operand(ws, in.srcs[1], b);
+  if (dec.num_srcs > 2) gather_operand(ws, in.srcs[2], c);
+
+  switch (dec.lane_op) {
+    case LaneOp::kAddF:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_f(as_f(x) + as_f(y));
+      });
+      break;
+    case LaneOp::kAddI:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) { return x + y; });
+      break;
+    case LaneOp::kSubF:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_f(as_f(x) - as_f(y));
+      });
+      break;
+    case LaneOp::kSubI:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) { return x - y; });
+      break;
+    case LaneOp::kMulF:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_f(as_f(x) * as_f(y));
+      });
+      break;
+    case LaneOp::kMulI:
+      warp_map2(a, b, out,
+                [](uint32_t x, uint32_t y) { return mul32(x, y); });
+      break;
+    case LaneOp::kMadF:
+      for (uint32_t l = 0; l < kWarpSize; ++l)
+        out[l] = from_f(as_f(a[l]) * as_f(b[l]) + as_f(c[l]));
+      break;
+    case LaneOp::kMadI:
+      for (uint32_t l = 0; l < kWarpSize; ++l)
+        out[l] = mul32(a[l], b[l]) + c[l];
+      break;
+    case LaneOp::kDivF:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_f(as_f(x) / as_f(y));
+      });
+      break;
+    case LaneOp::kDivS:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_s(sdiv(as_s(x), as_s(y)));
+      });
+      break;
+    case LaneOp::kDivU:
+      warp_map2(a, b, out,
+                [](uint32_t x, uint32_t y) { return y == 0 ? 0u : x / y; });
+      break;
+    case LaneOp::kRemS:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_s(srem(as_s(x), as_s(y)));
+      });
+      break;
+    case LaneOp::kRemU:
+      warp_map2(a, b, out,
+                [](uint32_t x, uint32_t y) { return y == 0 ? 0u : x % y; });
+      break;
+    case LaneOp::kMinF:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_f(std::fmin(as_f(x), as_f(y)));
+      });
+      break;
+    case LaneOp::kMinS:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_s(std::min(as_s(x), as_s(y)));
+      });
+      break;
+    case LaneOp::kMinU:
+      warp_map2(a, b, out,
+                [](uint32_t x, uint32_t y) { return std::min(x, y); });
+      break;
+    case LaneOp::kMaxF:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_f(std::fmax(as_f(x), as_f(y)));
+      });
+      break;
+    case LaneOp::kMaxS:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_s(std::max(as_s(x), as_s(y)));
+      });
+      break;
+    case LaneOp::kMaxU:
+      warp_map2(a, b, out,
+                [](uint32_t x, uint32_t y) { return std::max(x, y); });
+      break;
+    case LaneOp::kAbsF:
+      warp_map1(a, out,
+                [](uint32_t x) { return from_f(std::fabs(as_f(x))); });
+      break;
+    case LaneOp::kAbsI:
+      warp_map1(a, out, [](uint32_t x) {
+        return from_s(as_s(x) < 0 ? -as_s(x) : as_s(x));
+      });
+      break;
+    case LaneOp::kNegF:
+      warp_map1(a, out, [](uint32_t x) { return from_f(-as_f(x)); });
+      break;
+    case LaneOp::kNegI:
+      warp_map1(a, out, [](uint32_t x) { return from_s(-as_s(x)); });
+      break;
+    case LaneOp::kAnd:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) { return x & y; });
+      break;
+    case LaneOp::kOr:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) { return x | y; });
+      break;
+    case LaneOp::kXor:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) { return x ^ y; });
+      break;
+    case LaneOp::kNot:
+      warp_map1(a, out, [](uint32_t x) { return ~x; });
+      break;
+    case LaneOp::kShl:
+      warp_map2(a, b, out,
+                [](uint32_t x, uint32_t y) { return x << (y & 31); });
+      break;
+    case LaneOp::kShrS:
+      warp_map2(a, b, out, [](uint32_t x, uint32_t y) {
+        return from_s(as_s(x) >> (y & 31));
+      });
+      break;
+    case LaneOp::kShrU:
+      warp_map2(a, b, out,
+                [](uint32_t x, uint32_t y) { return x >> (y & 31); });
+      break;
+    case LaneOp::kSin:
+      warp_map1_masked(exec_mask, a, out,
+                       [](uint32_t x) { return from_f(std::sin(as_f(x))); });
+      break;
+    case LaneOp::kCos:
+      warp_map1_masked(exec_mask, a, out,
+                       [](uint32_t x) { return from_f(std::cos(as_f(x))); });
+      break;
+    case LaneOp::kEx2:
+      warp_map1_masked(exec_mask, a, out, [](uint32_t x) {
+        return from_f(std::exp2(as_f(x)));
+      });
+      break;
+    case LaneOp::kLg2:
+      warp_map1_masked(exec_mask, a, out, [](uint32_t x) {
+        return from_f(std::log2(as_f(x)));
+      });
+      break;
+    case LaneOp::kSqrt:
+      warp_map1(a, out,
+                [](uint32_t x) { return from_f(std::sqrt(as_f(x))); });
+      break;
+    case LaneOp::kRsqrt:
+      warp_map1(a, out, [](uint32_t x) {
+        return from_f(1.0f / std::sqrt(as_f(x)));
+      });
+      break;
+    case LaneOp::kRcp:
+      warp_map1(a, out, [](uint32_t x) { return from_f(1.0f / as_f(x)); });
+      break;
+    case LaneOp::kMov:
+      warp_map1(a, out, [](uint32_t x) { return x; });
+      break;
+    case LaneOp::kSelp:
+      for (uint32_t l = 0; l < kWarpSize; ++l)
+        out[l] = c[l] != 0 ? a[l] : b[l];
+      break;
+    case LaneOp::kCvtF2S:
+      warp_map1_masked(exec_mask, a, out,
+                       [](uint32_t x) { return from_s(f2s(as_f(x))); });
+      break;
+    case LaneOp::kCvtF2U:
+      warp_map1_masked(exec_mask, a, out,
+                       [](uint32_t x) { return f2u(as_f(x)); });
+      break;
+    case LaneOp::kCvtS2F:
+      warp_map1(a, out, [](uint32_t x) {
+        return from_f(static_cast<float>(as_s(x)));
+      });
+      break;
+    case LaneOp::kCvtU2F:
+      warp_map1(a, out,
+                [](uint32_t x) { return from_f(static_cast<float>(x)); });
+      break;
+    case LaneOp::kCvtBits:
+      warp_map1(a, out, [](uint32_t x) { return x; });
+      break;
+    case LaneOp::kSetpF:
+      warp_setp(in.cmp, a, b, out, [](uint32_t x) { return as_f(x); });
+      break;
+    case LaneOp::kSetpS:
+      warp_setp(in.cmp, a, b, out, [](uint32_t x) { return as_s(x); });
+      break;
+    case LaneOp::kSetpU:
+      warp_setp(in.cmp, a, b, out, [](uint32_t x) { return x; });
+      break;
+    // Memory reads stay masked per lane: an inactive lane's address may be
+    // garbage, and the memory models assert on out-of-bounds access.
+    case LaneOp::kLdGlobal:
+      for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        const int64_t addr = static_cast<int64_t>(a[l]) + in.mem_offset;
+        GPURF_ASSERT(addr >= 0, "negative global address");
+        res.addr[l] = static_cast<uint32_t>(addr);
+        out[l] = ctx_.gmem->read(static_cast<uint32_t>(addr));
+      }
+      break;
+    case LaneOp::kLdShared:
+      for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        const int64_t addr = static_cast<int64_t>(a[l]) + in.mem_offset;
+        GPURF_ASSERT(addr >= 0 &&
+                         addr < static_cast<int64_t>(shared_.size()),
+                     "shared load out of bounds @" << addr);
+        res.addr[l] = static_cast<uint32_t>(addr);
+        out[l] = shared_[static_cast<size_t>(addr)];
+      }
+      break;
+    case LaneOp::kTex2d: {
+      const auto& tex = ctx_.textures->at(in.tex);
+      for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        const int u = as_s(a[l]), v = as_s(b[l]);
+        res.addr[l] = tex.texel_index(u, v);
+        out[l] = from_f(tex.fetch(u, v));
+      }
+      break;
+    }
+    case LaneOp::kStore:
+    case LaneOp::kControl:
+      GPURF_ASSERT(false, "exec_warp: unexpected lane op");
+      break;
+  }
+
+  if (dec.has_dst) write_dst_warp(ws, in, exec_mask, out);
+}
+
+void BlockExec::write_dst_warp(WarpState& ws, const Instruction& in,
+                               uint32_t exec_mask, const uint32_t* vals) {
+  const uint32_t d = in.dst;
+  const Type t = k_.regs[d].type;
+
+  // Sliced-register-file model, warp-wide (§3.2.6, Value Truncator): every
+  // f32 write through a narrow format is quantized for the active lanes.
+  alignas(64) uint32_t quant[kWarpSize];
+  const uint32_t* src = vals;
+  if (t == Type::F32 && ctx_.precision && ctx_.precision->active()) {
+    const auto& fmt = ctx_.precision->format(d);
+    if (!fmt.is_fp32()) {
+      for (uint32_t l = 0; l < kWarpSize; ++l) quant[l] = vals[l];
+      gpurf::fp::quantize_warp(quant, exec_mask, fmt);
+      src = quant;
+    }
+  }
+
+  if (ctx_.range_check && ir::is_int(t)) {
+    const auto& info = ctx_.range_check->regs[d];
+    if (info.analyzed) {
+      for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        const int64_t v = (t == Type::S32)
+                              ? static_cast<int64_t>(as_s(src[l]))
+                              : static_cast<int64_t>(src[l]);
+        GPURF_ASSERT(info.range.contains(v),
+                     "range violation: %" << k_.regs[d].name << " = " << v
+                                          << " outside " << info.range.str());
+      }
+    }
+  }
+
+  uint32_t* dst = ws.regs_.data() + size_t(d) * kWarpSize;
+  if (exec_mask == 0xffffffffu) {
+    for (uint32_t l = 0; l < kWarpSize; ++l) dst[l] = src[l];
+  } else {
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+      dst[l] = ((exec_mask >> l) & 1u) ? src[l] : dst[l];
+  }
+}
+
 StepResult BlockExec::step(uint32_t w) {
   WarpState& ws = warps_[w];
   GPURF_ASSERT(!ws.done_, "step() on a finished warp");
@@ -274,14 +674,16 @@ StepResult BlockExec::step(uint32_t w) {
   StepResult res;
   res.inst = &in;
 
-  // Guard mask.
+  // Guard mask, computed warp-wide: read the whole predicate row and build
+  // the bit mask branch-free (restricting to tos.mask afterwards gives the
+  // same result as testing it per lane).
   uint32_t exec_mask = tos.mask;
   if (in.guard != ir::kNoReg) {
-    uint32_t g = 0;
+    const uint32_t* g = ws.lanes(in.guard);
+    uint32_t gm = 0;
     for (uint32_t l = 0; l < kWarpSize; ++l)
-      if ((tos.mask >> l) & 1u)
-        if (ws.reg(in.guard, l) != 0) g |= (1u << l);
-    exec_mask &= in.guard_neg ? ~g : g;
+      gm |= (g[l] != 0 ? 1u : 0u) << l;
+    exec_mask &= in.guard_neg ? ~gm : gm;
   }
   res.active_mask = exec_mask;
   ctx_.thread_insts += std::popcount(exec_mask);
@@ -289,7 +691,7 @@ StepResult BlockExec::step(uint32_t w) {
   // Data-path execution (control instructions have no lane effects).  The
   // dispatch flags come predecoded from the kernel analysis, so the hot
   // loop performs no opcode-table lookups.
-  if (!dec.is_control) {
+  if (!dec.is_control && exec_mask != 0) {
     const bool has_dst = dec.has_dst;
     if (dec.is_store) {
       for (uint32_t l = 0; l < kWarpSize; ++l) {
@@ -308,7 +710,12 @@ StepResult BlockExec::step(uint32_t w) {
           shared_[static_cast<size_t>(addr)] = v;
         }
       }
+    } else if (ctx_.use_soa) {
+      // Warp-vectorized SoA data path (default).
+      exec_warp(ws, dec, exec_mask, res);
     } else {
+      // Scalar reference path, kept bit-for-bit equivalent for asserts and
+      // differential fuzzing.
       for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!((exec_mask >> l) & 1u)) continue;
         const uint32_t v = exec_lane(ws, in, l, res);
@@ -403,17 +810,64 @@ void BlockExec::run_to_completion() {
   }
 }
 
+namespace {
+
+/// Run the contiguous linear-grid-index range [lo, hi) of blocks serially.
+void run_block_range(ExecContext& ctx, uint64_t lo, uint64_t hi) {
+  const uint32_t gx = ctx.launch.grid_x;
+  for (uint64_t i = lo; i < hi; ++i) {
+    BlockExec be(ctx, static_cast<uint32_t>(i % gx),
+                 static_cast<uint32_t>(i / gx));
+    be.run_to_completion();
+  }
+}
+
+}  // namespace
+
 uint64_t run_functional(ExecContext& ctx) {
   GPURF_ASSERT(ctx.kernel && ctx.gmem, "incomplete ExecContext");
   // Hoist the static analysis out of the per-block loop: every BlockExec
   // of this launch shares one CFG/ipdom/decoded stream.
   if (!ctx.analysis) ctx.analysis = analyze_kernel(*ctx.kernel);
   ctx.thread_insts = 0;
-  for (uint32_t by = 0; by < ctx.launch.grid_y; ++by)
-    for (uint32_t bx = 0; bx < ctx.launch.grid_x; ++bx) {
-      BlockExec be(ctx, bx, by);
-      be.run_to_completion();
-    }
+  const uint64_t nblocks = ctx.launch.num_blocks();
+
+  // Thread blocks are independent within a launch (barriers synchronise
+  // warps of one block only), so the grid shards across the pool.  Each
+  // shard executes a contiguous linear-grid range against a private copy of
+  // global memory with a write log; the logs are replayed in grid order,
+  // which reproduces the serial loop's final image and instruction count
+  // for every kernel whose blocks do not read other blocks' writes (the
+  // CUDA contract — see ExecContext::block_parallel).  Nested calls (tuner
+  // probes already running on pool workers) and explicitly serialised
+  // callers fall through to the serial loop.
+  auto& pool = gpurf::common::ThreadPool::instance();
+  const bool parallel = ctx.block_parallel && nblocks > 1 &&
+                        pool.size() > 1 && !gpurf::common::in_pool_worker();
+  if (!parallel) {
+    run_block_range(ctx, 0, nblocks);
+    return ctx.thread_insts;
+  }
+
+  const size_t nshards =
+      static_cast<size_t>(std::min<uint64_t>(nblocks, pool.size()));
+  std::vector<GlobalMemory> shard_mem(nshards);
+  std::vector<uint64_t> shard_insts(nshards, 0);
+  pool.parallel_for(nshards, [&](size_t s) {
+    const uint64_t lo = nblocks * s / nshards;
+    const uint64_t hi = nblocks * (s + 1) / nshards;
+    shard_mem[s] = *ctx.gmem;  // private image (write-combine buffer)
+    shard_mem[s].begin_write_log();
+    ExecContext sub = ctx;
+    sub.gmem = &shard_mem[s];
+    sub.thread_insts = 0;
+    run_block_range(sub, lo, hi);
+    shard_insts[s] = sub.thread_insts;
+  });
+  for (size_t s = 0; s < nshards; ++s) {
+    ctx.gmem->merge_written(shard_mem[s]);
+    ctx.thread_insts += shard_insts[s];
+  }
   return ctx.thread_insts;
 }
 

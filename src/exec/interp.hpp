@@ -12,6 +12,16 @@
 //  * the cycle-level timing simulator, which drives warps one instruction
 //    at a time through BlockExec::step() and reads back the memory trace
 //    of each instruction for its cache / coalescing model.
+//
+// Execution model (ISSUE 2): the data path is warp-vectorized — operands
+// are gathered into 32-wide struct-of-arrays rows, each predecoded LaneOp
+// runs as one branch-free lane loop the compiler auto-vectorises, and the
+// destination row is written back under the active mask.  The per-lane
+// scalar path (exec_lane) is retained as the bit-identical reference for
+// asserts and differential fuzzing (ExecContext::use_soa = false).
+// run_functional() additionally shards independent grid blocks across the
+// shared thread pool with per-shard write-combine buffers merged in grid
+// order, so parallel runs stay bit-identical to the serial schedule.
 
 #include <array>
 #include <cstdint>
@@ -63,6 +73,13 @@ class WarpState {
     regs_[size_t(r) * kWarpSize + lane] = v;
   }
 
+  /// Contiguous 32-lane row of register `r` — the storage is already
+  /// struct-of-arrays (register-major, lanes adjacent), so the SoA warp
+  /// kernels gather and scatter whole rows with vector loads/stores.
+  const uint32_t* lanes(uint32_t r) const {
+    return regs_.data() + size_t(r) * kWarpSize;
+  }
+
   bool done() const { return done_; }
   uint32_t warp_in_block() const { return warp_in_block_; }
   uint32_t valid_mask() const { return valid_mask_; }
@@ -90,6 +107,11 @@ class BlockExec {
   /// The instruction the warp will execute next (nullptr when done).
   const gpurf::ir::Instruction* peek(uint32_t w) const;
 
+  /// Predecoded view of the next instruction (nullptr when done) — lets the
+  /// timing simulator reuse the decoded-stream flags instead of re-deriving
+  /// opcode classes per issue attempt.
+  const DecodedInst* peek_decoded(uint32_t w) const;
+
   /// Execute exactly one warp instruction.
   StepResult step(uint32_t w);
 
@@ -106,6 +128,14 @@ class BlockExec {
                          uint32_t lane) const;
   uint32_t exec_lane(const WarpState& ws, const gpurf::ir::Instruction& in,
                      uint32_t lane, StepResult& res) const;
+  // SoA warp data path (default): operands gathered into 32-wide rows, one
+  // branch-free lane loop per fused LaneOp, masked row write-back.
+  void gather_operand(const WarpState& ws, const gpurf::ir::Operand& o,
+                      uint32_t* out) const;
+  void exec_warp(WarpState& ws, const DecodedInst& dec, uint32_t exec_mask,
+                 StepResult& res);
+  void write_dst_warp(WarpState& ws, const gpurf::ir::Instruction& in,
+                      uint32_t exec_mask, const uint32_t* vals);
   void advance(WarpState& ws, const gpurf::ir::Instruction& in,
                uint32_t exec_mask, StepResult& res);
   void pop_reconverged(WarpState& ws);

@@ -27,10 +27,31 @@
 
 namespace gpurf::exec {
 
+/// Fused (opcode, type) lane operation, resolved at decode time so the SoA
+/// warp dispatcher switches exactly once per warp instruction (ISSUE 2).
+/// Every variant the scalar exec_lane reference distinguishes at runtime
+/// gets its own enumerator; the two paths must stay bit-for-bit equal.
+enum class LaneOp : uint8_t {
+  kAddF, kAddI, kSubF, kSubI, kMulF, kMulI, kMadF, kMadI,
+  kDivF, kDivS, kDivU, kRemS, kRemU,
+  kMinF, kMinS, kMinU, kMaxF, kMaxS, kMaxU,
+  kAbsF, kAbsI, kNegF, kNegI,
+  kAnd, kOr, kXor, kNot, kShl, kShrS, kShrU,
+  kSin, kCos, kEx2, kLg2, kSqrt, kRsqrt, kRcp,
+  kMov, kSelp,
+  kCvtF2S, kCvtF2U, kCvtS2F, kCvtU2F, kCvtBits,
+  kSetpF, kSetpS, kSetpU,
+  kLdGlobal, kLdShared, kTex2d,
+  kStore,    ///< ST_GLOBAL / ST_SHARED (handled by the store path)
+  kControl,  ///< BRA / RET / BAR (no lane data path)
+};
+
 /// One predecoded instruction: the IR instruction plus the hot flags the
 /// dispatch loop consults every step.
 struct DecodedInst {
   const gpurf::ir::Instruction* in = nullptr;
+  LaneOp lane_op = LaneOp::kControl;
+  uint8_t num_srcs = 0;     ///< copied from the instruction (gather count)
   bool has_dst = false;
   bool is_store = false;    ///< ST_GLOBAL / ST_SHARED
   bool is_control = false;  ///< BRA / RET / BAR (no lane data path)

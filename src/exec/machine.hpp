@@ -29,6 +29,7 @@ class GlobalMemory {
   uint32_t alloc(size_t nwords) {
     const uint32_t base = static_cast<uint32_t>(words_.size());
     words_.resize(words_.size() + nwords, 0);
+    if (!dirty_.empty()) dirty_.resize((words_.size() + 63) / 64, 0);
     return base;
   }
 
@@ -53,6 +54,34 @@ class GlobalMemory {
     GPURF_ASSERT(addr < words_.size(),
                  "global store out of bounds @" << addr);
     words_[addr] = v;
+    if (!dirty_.empty()) dirty_[addr >> 6] |= uint64_t{1} << (addr & 63);
+  }
+
+  /// Write-combine support for block-parallel functional execution: a shard
+  /// runs its blocks against a private copy of the memory image with dirty
+  /// tracking enabled, and the owner merges each shard's written words in
+  /// grid order.  The dirty set is a bitmap (one bit per word), so tracking
+  /// cost is bounded by the image size, not by the dynamic store count.
+  void begin_write_log() { dirty_.assign((words_.size() + 63) / 64, 0); }
+
+  /// Copy every word `shard` (a private copy of this memory) has written
+  /// since begin_write_log() into this image.  Applying shards in ascending
+  /// grid order reproduces the serial schedule's final image for every
+  /// kernel whose blocks do not read each other's writes (inter-block gmem
+  /// communication within one launch is unordered on real hardware too);
+  /// overlapping writes resolve to the highest grid index, as serially.
+  void merge_written(const GlobalMemory& shard) {
+    GPURF_ASSERT(shard.words_.size() == words_.size(),
+                 "write-combine merge from a diverged memory image");
+    for (size_t w = 0; w < shard.dirty_.size(); ++w) {
+      uint64_t bits = shard.dirty_[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const size_t addr = w * 64 + static_cast<size_t>(b);
+        words_[addr] = shard.words_[addr];
+      }
+    }
   }
 
   std::span<const uint32_t> view(uint32_t base, size_t n) const {
@@ -71,6 +100,8 @@ class GlobalMemory {
 
  private:
   std::vector<uint32_t> words_;
+  /// Dirty-word bitmap; non-empty once begin_write_log() armed tracking.
+  std::vector<uint64_t> dirty_;
 };
 
 /// 2-D float texture with nearest filtering and clamp-to-edge addressing,
@@ -128,7 +159,22 @@ struct ExecContext {
   /// that launch many blocks or probes should set it once up front.
   std::shared_ptr<const KernelAnalysis> analysis;
 
-  // Statistics accumulated during execution.
+  /// Execution strategy.  use_soa selects the warp-vectorized SoA data path
+  /// (false = the scalar exec_lane reference, kept for asserts/fuzzing);
+  /// it is bit-for-bit neutral unconditionally.  block_parallel lets
+  /// run_functional shard independent grid blocks across the thread pool
+  /// (automatically serial inside pool workers); it reproduces the serial
+  /// schedule exactly for kernels whose blocks never *read* gmem written by
+  /// a lower-numbered block in the same launch — the CUDA contract (blocks
+  /// are unordered; such reads are races on real hardware too), pinned per
+  /// workload by the determinism tests.  A kernel that does rely on serial
+  /// block order must run with block_parallel = false.
+  bool use_soa = true;
+  bool block_parallel = true;
+
+  // Statistics accumulated during execution.  Under block-parallel runs
+  // thread_insts is a per-shard reduction folded in grid order, never a
+  // shared counter.
   uint64_t thread_insts = 0;
 };
 

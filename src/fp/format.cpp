@@ -111,4 +111,16 @@ bool exactly_representable(float v, const FloatFormat& fmt) {
   return float_bits(q) == float_bits(v);
 }
 
+void quantize_warp(uint32_t* bits, uint32_t mask, const FloatFormat& fmt) {
+  if (fmt.is_fp32()) return;
+  if (mask == 0xffffffffu) {
+    for (int l = 0; l < 32; ++l)
+      bits[l] = float_bits(decode(encode(bits_float(bits[l]), fmt), fmt));
+    return;
+  }
+  for (int l = 0; l < 32; ++l)
+    if ((mask >> l) & 1u)
+      bits[l] = float_bits(decode(encode(bits_float(bits[l]), fmt), fmt));
+}
+
 }  // namespace gpurf::fp

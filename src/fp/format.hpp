@@ -62,4 +62,10 @@ float quantize(float v, const FloatFormat& fmt);
 /// against NaN).
 bool exactly_representable(float v, const FloatFormat& fmt);
 
+/// Warp-wide quantization for the SoA interpreter: quantize the 32 lanes of
+/// `bits` (binary32 bit patterns) in place, lane l only when bit l of `mask`
+/// is set.  Bit-identical to calling quantize() per active lane; one call
+/// per warp write keeps encode/decode inlined in one translation unit.
+void quantize_warp(uint32_t* bits, uint32_t mask, const FloatFormat& fmt);
+
 }  // namespace gpurf::fp

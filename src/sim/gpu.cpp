@@ -294,16 +294,19 @@ class SmCore {
           continue;
         }
         BlockCtx& blk = blocks_[wc.block];
-        const ir::Instruction* in = blk.exec->peek(wc.warp_in_block);
-        if (!in) continue;
+        // Predecoded view: the control classification comes from the shared
+        // decoded stream instead of being re-derived per issue attempt, and
+        // step() below executes the same instruction through the SoA warp
+        // kernels of the functional interpreter.
+        const exec::DecodedInst* dec = blk.exec->peek_decoded(wc.warp_in_block);
+        if (!dec) continue;
+        const ir::Instruction* in = dec->in;
 
         if (!scoreboard_clear(wc, *in)) {
           saw_scoreboard = true;
           continue;
         }
-        const bool is_control = in->op == Opcode::BRA ||
-                                in->op == Opcode::RET ||
-                                in->op == Opcode::BAR;
+        const bool is_control = dec->is_control;
         int cu_slot = kNoIndex;
         if (!is_control) {
           for (int c = 0; c < int(cus_.size()); ++c)

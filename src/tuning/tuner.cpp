@@ -30,6 +30,14 @@ std::vector<uint32_t> static_use_counts(const ir::Kernel& k) {
 
 }  // namespace
 
+std::vector<double> QualityProbe::evaluate_batch(
+    const std::vector<const exec::PrecisionMap*>& pmaps) {
+  std::vector<double> scores(pmaps.size(), 0.0);
+  gpurf::common::parallel_for(
+      pmaps.size(), [&](size_t i) { scores[i] = evaluate(*pmaps[i]); });
+  return scores;
+}
+
 TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
                           const TunerOptions& opt) {
   TuneResult res;
@@ -97,8 +105,13 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
       // the longest prefix whose probes all pass.  On the first failure
       // the serial algorithm would restore that register and move past it
       // — which is exactly how the cursor advances here — so the accepted
-      // assignment matches the serial run bit for bit.
-      const size_t K = static_cast<size_t>(opt.speculate_batch);
+      // assignment matches the serial run bit for bit, for every K.
+      const size_t k_init = static_cast<size_t>(opt.speculate_batch);
+      const size_t k_max =
+          opt.speculate_batch_max > 0
+              ? static_cast<size_t>(opt.speculate_batch_max)
+              : 4 * k_init;
+      size_t k_cur = std::min(k_init, k_max);
       size_t t = 0;  // cursor into `targets`
       while (t < targets.size()) {
         struct Candidate {
@@ -106,12 +119,12 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
           PrecisionMap pmap;  ///< cumulative assignment if all before pass
         };
         std::vector<Candidate> chain;
-        chain.reserve(K);
+        chain.reserve(k_cur);
         {
           PrecisionMap cur = res.pmap;
           size_t ct = t;
           size_t idx = fmt_index_in(cur, targets[ct]);
-          while (chain.size() < K && ct < targets.size()) {
+          while (chain.size() < k_cur && ct < targets.size()) {
             if (idx + 1 >= formats.size()) {
               ++ct;
               if (ct < targets.size()) idx = fmt_index_in(cur, targets[ct]);
@@ -124,16 +137,31 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
         }
         if (chain.empty()) break;  // every remaining target is at minimum
 
-        std::vector<double> scores(chain.size(), 0.0);
-        std::vector<char> ok(chain.size(), 0);
-        gpurf::common::parallel_for(chain.size(), [&](size_t i) {
-          scores[i] = probe.evaluate(chain[i].pmap);
-          ok[i] = probe.meets(scores[i], opt.level) ? 1 : 0;
-        });
+        std::vector<const PrecisionMap*> pmaps(chain.size());
+        for (size_t i = 0; i < chain.size(); ++i) pmaps[i] = &chain[i].pmap;
+        const std::vector<double> scores = probe.evaluate_batch(pmaps);
         res.evaluations += static_cast<int>(chain.size());
 
         size_t accepted = 0;
-        while (accepted < chain.size() && ok[accepted]) ++accepted;
+        while (accepted < chain.size() &&
+               probe.meets(scores[accepted], opt.level))
+          ++accepted;
+
+        // Adaptive width: rejections mean the optimistic path was wrong
+        // early and deep speculation is waste; full acceptance means the
+        // descent is on a long monotone run worth speculating deeper —
+        // but only grow when the pool can actually absorb the batch (on a
+        // 1-wide pool every speculated candidate is serial work, so deep
+        // chains would just multiply the waste a rejection discards).
+        // Results are K-invariant by construction, so the width policy
+        // never affects the accepted assignment.
+        if (opt.adaptive_batch) {
+          const bool can_grow =
+              gpurf::common::ThreadPool::instance().size() > 1;
+          k_cur = accepted == chain.size()
+                      ? std::min(can_grow ? k_cur * 2 : k_cur, k_max)
+                      : std::max<size_t>(1, k_cur / 2);
+        }
         if (accepted > 0) {
           res.pmap = chain[accepted - 1].pmap;
           last_score = scores[accepted - 1];

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "exec/machine.hpp"
 #include "ir/kernel.hpp"
@@ -38,6 +39,15 @@ class QualityProbe {
   virtual ~QualityProbe() = default;
   virtual double evaluate(const exec::PrecisionMap& pmap) = 0;
   virtual bool meets(double score, quality::QualityLevel level) const = 0;
+
+  /// Score a whole speculative batch at once.  The default fans the
+  /// candidates out over the shared thread pool and calls evaluate();
+  /// implementations that replay several sample variants per candidate
+  /// should override it to flatten (candidate x variant) into one grid, so
+  /// the pool load-balances at the finer granularity (K < threads no
+  /// longer strands cores).  Scores must equal per-candidate evaluate().
+  virtual std::vector<double> evaluate_batch(
+      const std::vector<const exec::PrecisionMap*>& pmaps);
 };
 
 struct TunerOptions {
@@ -49,6 +59,14 @@ struct TunerOptions {
   /// the accepted assignment is bit-for-bit identical to the serial
   /// result (only `evaluations` grows, counting the wasted speculation).
   int speculate_batch = 1;
+  /// Adapt the batch width to the acceptance pattern: a rejection halves K
+  /// (quality failed early — deep speculation was wasted), a fully
+  /// accepted batch doubles it, clamped to [1, speculate_batch_max].  The
+  /// accepted assignment stays bit-identical by construction for every K
+  /// sequence, so adaptivity never changes results, only probe waste.
+  bool adaptive_batch = true;
+  /// Upper clamp for the adaptive width; <= 0 means 4 * speculate_batch.
+  int speculate_batch_max = 0;
 };
 
 struct TuneResult {

@@ -46,9 +46,7 @@ class WorkloadProbe final : public gpurf::tuning::QualityProbe {
     const size_t nv = protos_.size();
     std::vector<double> scores(nv, 0.0);
     gpurf::common::parallel_for(nv, [&](size_t v) {
-      Workload::Instance inst = protos_[v];  // fresh copy per evaluation
-      const auto out = w_.run(inst, &pmap);
-      scores[v] = metrics_[v]->score(refs_[v], out);
+      scores[v] = score_variant(pmap, v);
     });
     // Ordered pessimistic fold — identical to the serial loop regardless
     // of which thread scored which variant.
@@ -57,11 +55,42 @@ class WorkloadProbe final : public gpurf::tuning::QualityProbe {
     return combined;
   }
 
+  /// Batch fan-out at (candidate x variant) granularity: the tuner's
+  /// speculative chain of K candidates becomes K * num_variants
+  /// independent functional replays, so the pool stays saturated even when
+  /// K is smaller than the thread count (e.g. right after the adaptive
+  /// width shrank).  The per-candidate pessimistic fold runs in variant
+  /// order, identical to evaluate().
+  std::vector<double> evaluate_batch(
+      const std::vector<const gpurf::exec::PrecisionMap*>& pmaps) override {
+    const size_t nv = protos_.size();
+    const size_t nc = pmaps.size();
+    std::vector<double> grid(nc * nv, 0.0);
+    gpurf::common::parallel_for(nc * nv, [&](size_t i) {
+      grid[i] = score_variant(*pmaps[i / nv], i % nv);
+    });
+    std::vector<double> scores(nc, 0.0);
+    for (size_t c = 0; c < nc; ++c) {
+      double combined = grid[c * nv];
+      for (size_t v = 1; v < nv; ++v)
+        combined = worse(combined, grid[c * nv + v]);
+      scores[c] = combined;
+    }
+    return scores;
+  }
+
   bool meets(double score, QualityLevel level) const override {
     return metrics_[0]->meets(score, level);
   }
 
  private:
+  /// One functional replay: candidate pmap on sample variant v.
+  double score_variant(const gpurf::exec::PrecisionMap& pmap, size_t v) {
+    Workload::Instance inst = protos_[v];  // fresh copy per evaluation
+    const auto out = w_.run(inst, &pmap);
+    return metrics_[v]->score(refs_[v], out);
+  }
+
   double worse(double a, double b) const {
     // Deviation grows with error; SSIM and binary shrink.
     return metrics_[0]->kind() == MetricKind::kDeviation ? std::max(a, b)

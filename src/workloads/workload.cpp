@@ -31,7 +31,8 @@ std::unique_ptr<gpurf::quality::QualityMetric> Workload::make_metric(
 
 std::vector<float> Workload::run(
     Instance& inst, const gpurf::exec::PrecisionMap* pmap,
-    const analysis::RangeAnalysisResult* range_check) const {
+    const analysis::RangeAnalysisResult* range_check,
+    const RunOptions& opt) const {
   gpurf::exec::ExecContext ctx;
   ctx.kernel = &kernel_;
   ctx.launch = inst.launch;
@@ -40,10 +41,13 @@ std::vector<float> Workload::run(
   ctx.params = inst.params;
   ctx.precision = pmap;
   ctx.range_check = range_check;
+  ctx.use_soa = opt.use_soa;
+  ctx.block_parallel = opt.block_parallel;
   std::call_once(analysis_once_,
                  [&] { analysis_ = gpurf::exec::analyze_kernel(kernel_); });
   ctx.analysis = analysis_;
-  gpurf::exec::run_functional(ctx);
+  const uint64_t insts = gpurf::exec::run_functional(ctx);
+  if (opt.thread_insts) *opt.thread_insts = insts;
   return inst.gmem.read_f32(inst.out_base, inst.out_words);
 }
 

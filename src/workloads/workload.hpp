@@ -34,6 +34,17 @@ struct WorkloadSpec {
 /// instances provide enough blocks to load all 15 SMs for timing runs.
 enum class Scale { kSample, kFull };
 
+/// Interpreter strategy knobs threaded into the ExecContext.  SoA vs the
+/// scalar reference is bit-identical unconditionally; block-parallel vs
+/// serial is bit-identical because no Table-4 kernel reads gmem written by
+/// another block of the same launch (see ExecContext::block_parallel) —
+/// benches and differential tests flip both knobs to pin this.
+struct RunOptions {
+  bool use_soa = true;
+  bool block_parallel = true;
+  uint64_t* thread_insts = nullptr;  ///< out: executed thread instructions
+};
+
 class Workload {
  public:
   /// One prepared launch: memory contents, textures, parameters, geometry.
@@ -69,7 +80,8 @@ class Workload {
   /// `range_check` asserts integer writes stay in their analysed ranges.
   std::vector<float> run(Instance& inst, const gpurf::exec::PrecisionMap* pmap,
                          const analysis::RangeAnalysisResult* range_check =
-                             nullptr) const;
+                             nullptr,
+                         const RunOptions& opt = {}) const;
 
  protected:
   Workload(WorkloadSpec spec, std::string_view asm_text);

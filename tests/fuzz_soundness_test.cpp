@@ -7,7 +7,14 @@
 //   2. interpreter determinism — two runs produce bit-identical outputs;
 //   3. assembler/printer round-trip stability on generated programs;
 //   4. slice-allocation validity on generated programs (covered widths,
-//      no interfering overlap — reusing the alloc_test checker).
+//      no interfering overlap — reusing the alloc_test checker);
+//   5. SoA/scalar equivalence — the warp-vectorized data path and the
+//      per-lane reference path produce bit-identical memory images and
+//      instruction counts, including float kernels with divergent control
+//      flow, guards, and partially valid warps (ISSUE 2);
+//   6. block-parallel determinism — sharding grid blocks across the thread
+//      pool with write-combine buffers reproduces the serial schedule's
+//      image exactly.
 
 #include <gtest/gtest.h>
 
@@ -17,10 +24,12 @@
 #include "analysis/liveness.hpp"
 #include "analysis/range_analysis.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "exec/interp.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "testing_util.hpp"
 
 namespace gpurf {
 namespace {
@@ -101,22 +110,153 @@ std::string generate_kernel(uint32_t seed) {
   return s;
 }
 
-std::vector<uint32_t> run_kernel(const ir::Kernel& k,
-                                 const analysis::RangeAnalysisResult* rc) {
+/// Mixed int/float generator with *divergent* control flow: like
+/// generate_kernel, plus f32 registers seeded from the integer state and a
+/// per-iteration if/else diamond predicated on lane-dependent data, so the
+/// SIMT stack actually splits and reconverges.  Launched with 48 threads
+/// per block the second warp also runs with a partially valid mask.
+std::string generate_divergent_kernel(uint32_t seed) {
+  Pcg32 rng(seed, 0xD1F);
+  const int nregs = 3 + int(rng.next_below(4));
+  const int nfregs = 2 + int(rng.next_below(4));
+  std::string s = ".kernel fuzzdiv" + std::to_string(seed) + "\n";
+  s += ".param s32 out_base\n";
+  for (int r = 0; r < nregs; ++r)
+    s += ".reg s32 %r" + std::to_string(r) + "\n";
+  for (int f = 0; f < nfregs; ++f)
+    s += ".reg f32 %f" + std::to_string(f) + "\n";
+  s += ".reg s32 %i\n.reg pred %p\n.reg pred %q\nentry:\n";
+
+  auto reg = [&](int r) { return "%r" + std::to_string(r); };
+  auto freg = [&](int f) { return "%f" + std::to_string(f); };
+  for (int r = 0; r < nregs; ++r) {
+    switch (rng.next_below(3)) {
+      case 0: s += "  mov.s32 " + reg(r) + ", %tid.x\n"; break;
+      case 1:
+        s += "  mov.s32 " + reg(r) + ", " +
+             std::to_string(int(rng.next_below(200)) - 100) + "\n";
+        break;
+      default: s += "  mov.s32 " + reg(r) + ", %ctaid.x\n"; break;
+    }
+  }
+  for (int f = 0; f < nfregs; ++f)
+    s += "  cvt.f32.s32 " + freg(f) + ", " + reg(int(rng.next_below(nregs))) +
+         "\n";
+
+  const int trip = 2 + int(rng.next_below(5));
+  s += "  mov.s32 %i, 0\nhead:\n";
+  s += "  setp.ge.s32 %p, %i, " + std::to_string(trip) + "\n";
+  s += "  @%p bra done\nbody:\n";
+
+  int label = 0;
+  auto emit_float_op = [&](const std::string& pre) {
+    const int d = int(rng.next_below(nfregs));
+    const int a = int(rng.next_below(nfregs));
+    const int b = int(rng.next_below(nfregs));
+    switch (rng.next_below(8)) {
+      case 0: s += pre + "add.f32 " + freg(d) + ", " + freg(a) + ", " + freg(b) + "\n"; break;
+      case 1: s += pre + "sub.f32 " + freg(d) + ", " + freg(a) + ", " + freg(b) + "\n"; break;
+      case 2: s += pre + "mul.f32 " + freg(d) + ", " + freg(a) + ", 0.5\n"; break;
+      case 3: s += pre + "mad.f32 " + freg(d) + ", " + freg(a) + ", 0.25, " + freg(b) + "\n"; break;
+      case 4: s += pre + "min.f32 " + freg(d) + ", " + freg(a) + ", 64.0\n"; break;
+      case 5: s += pre + "max.f32 " + freg(d) + ", " + freg(a) + ", -64.0\n"; break;
+      case 6: s += pre + "div.f32 " + freg(d) + ", " + freg(a) + ", " + freg(b) + "\n"; break;
+      default: s += pre + "sqrt.f32 " + freg(d) + ", " + freg(a) + "\n"; break;
+    }
+  };
+  auto emit_int_op = [&](const std::string& pre) {
+    const int d = int(rng.next_below(nregs));
+    const int a = int(rng.next_below(nregs));
+    const int b = int(rng.next_below(nregs));
+    switch (rng.next_below(4)) {
+      case 0: s += pre + "add.s32 " + reg(d) + ", " + reg(a) + ", " + reg(b) + "\n"; break;
+      case 1: s += pre + "sub.s32 " + reg(d) + ", " + reg(a) + ", " + reg(b) + "\n"; break;
+      case 2: s += pre + "and.s32 " + reg(d) + ", " + reg(a) + ", 255\n"; break;
+      default: s += pre + "min.s32 " + reg(d) + ", " + reg(a) + ", 63\n"; break;
+    }
+  };
+
+  const int nops = 2 + int(rng.next_below(5));
+  for (int op = 0; op < nops; ++op) {
+    const bool guarded = rng.next_below(4) == 0;
+    std::string pre = "  ";
+    if (guarded) {
+      s += "  setp.lt.s32 %q, " + reg(int(rng.next_below(nregs))) + ", 17\n";
+      pre = "  @%q ";
+    }
+    if (rng.next_below(2)) emit_float_op(pre); else emit_int_op(pre);
+  }
+
+  // Divergent diamond: threads split on lane-dependent data and reconverge.
+  const std::string t = std::to_string(label++);
+  s += "  setp.lt.s32 %q, " + reg(int(rng.next_below(nregs))) + ", " +
+       std::to_string(int(rng.next_below(40))) + "\n";
+  s += "  @%q bra then" + t + "\nelse" + t + ":\n";
+  emit_float_op("  ");
+  emit_int_op("  ");
+  s += "  bra join" + t + "\nthen" + t + ":\n";
+  emit_float_op("  ");
+  emit_float_op("  ");
+  s += "join" + t + ":\n";
+
+  s += "  add.s32 %i, %i, 1\n  bra head\ndone:\n";
+  s += "  mov.s32 %i, %tid.x\n";
+  for (int r = 0; r < nregs; ++r) {
+    s += "  mad.s32 %i, %i, 1, $out_base\n";
+    s += "  st.global.s32 [%i+" + std::to_string(r * 64) + "], " + reg(r) +
+         "\n";
+    s += "  mov.s32 %i, %tid.x\n";
+  }
+  for (int f = 0; f < nfregs; ++f) {
+    s += "  mad.s32 %i, %i, 1, $out_base\n";
+    s += "  st.global.f32 [%i+" + std::to_string((nregs + f) * 64) + "], " +
+         freg(f) + "\n";
+    s += "  mov.s32 %i, %tid.x\n";
+  }
+  s += "  ret\n";
+  return s;
+}
+
+struct RunOutput {
+  std::vector<uint32_t> words;
+  uint64_t thread_insts = 0;
+
+  bool operator==(const RunOutput& o) const {
+    return words == o.words && thread_insts == o.thread_insts;
+  }
+};
+
+RunOutput run_kernel_cfg(const ir::Kernel& k,
+                         const analysis::RangeAnalysisResult* rc,
+                         const ir::LaunchConfig& launch, bool use_soa,
+                         bool block_parallel) {
   exec::GlobalMemory gmem;
-  const uint32_t out = gmem.alloc(64 * 16 + 1024);
+  const uint32_t out = gmem.alloc(64 * 32 + 1024);
   exec::ExecContext ctx;
   ctx.kernel = &k;
-  ctx.launch = ir::LaunchConfig{2, 1, 32, 1};
+  ctx.launch = launch;
   ctx.gmem = &gmem;
   ctx.params = {out};
   ctx.range_check = rc;
-  exec::run_functional(ctx);
+  ctx.use_soa = use_soa;
+  ctx.block_parallel = block_parallel;
+  RunOutput r;
+  r.thread_insts = exec::run_functional(ctx);
   // Compare raw words (outputs are integers; float reinterpretation would
   // make NaN bit patterns compare unequal to themselves).
-  const auto view = gmem.view(out, 64 * 16);
-  return {view.begin(), view.end()};
+  const auto view = gmem.view(out, 64 * 32);
+  r.words = {view.begin(), view.end()};
+  return r;
 }
+
+std::vector<uint32_t> run_kernel(const ir::Kernel& k,
+                                 const analysis::RangeAnalysisResult* rc) {
+  return run_kernel_cfg(k, rc, ir::LaunchConfig{2, 1, 32, 1},
+                        /*use_soa=*/true, /*block_parallel=*/false)
+      .words;
+}
+
+using gpurf::testing::PoolWidth;
 
 class FuzzSoundness : public ::testing::TestWithParam<uint32_t> {};
 
@@ -178,8 +318,64 @@ TEST_P(FuzzSoundness, SliceAllocationValid) {
   }
 }
 
+TEST_P(FuzzSoundness, SoaMatchesScalarReference) {
+  ir::Kernel k = ir::parse_kernel(generate_kernel(GetParam()));
+  const ir::LaunchConfig lc{2, 1, 32, 1};
+  const auto soa = run_kernel_cfg(k, nullptr, lc, true, false);
+  const auto scalar = run_kernel_cfg(k, nullptr, lc, false, false);
+  EXPECT_EQ(soa.words, scalar.words);
+  EXPECT_EQ(soa.thread_insts, scalar.thread_insts);
+}
+
+TEST_P(FuzzSoundness, BlockParallelMatchesSerial) {
+  ir::Kernel k = ir::parse_kernel(generate_kernel(GetParam()));
+  const ir::LaunchConfig lc{4, 2, 32, 1};  // 8 blocks to shard
+  const auto serial = run_kernel_cfg(k, nullptr, lc, true, false);
+  PoolWidth width(4);
+  const auto parallel = run_kernel_cfg(k, nullptr, lc, true, true);
+  EXPECT_EQ(serial.words, parallel.words);
+  EXPECT_EQ(serial.thread_insts, parallel.thread_insts);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness,
                          ::testing::Range(1u, 26u));  // 25 random programs
+
+// Divergent float kernels: the SIMT stack splits, guards mask lanes, the
+// second warp runs partially valid (48 threads), and several blocks write
+// overlapping addresses (every block stores the same out-range), which
+// exercises the grid-order write-combine merge.
+class FuzzDivergent : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzDivergent, SoaMatchesScalarReference) {
+  const std::string text = generate_divergent_kernel(GetParam());
+  ir::Kernel k = ir::parse_kernel(text);
+  ASSERT_NO_THROW(ir::verify(k)) << text;
+  const ir::LaunchConfig lc{3, 1, 48, 1};
+  const auto soa = run_kernel_cfg(k, nullptr, lc, true, false);
+  const auto scalar = run_kernel_cfg(k, nullptr, lc, false, false);
+  EXPECT_EQ(soa.words, scalar.words) << text;
+  EXPECT_EQ(soa.thread_insts, scalar.thread_insts);
+}
+
+TEST_P(FuzzDivergent, BlockParallelMatchesSerialScalar) {
+  ir::Kernel k = ir::parse_kernel(generate_divergent_kernel(GetParam()));
+  const ir::LaunchConfig lc{5, 1, 48, 1};
+  const auto serial = run_kernel_cfg(k, nullptr, lc, false, false);
+  PoolWidth width(4);
+  const auto parallel = run_kernel_cfg(k, nullptr, lc, true, true);
+  EXPECT_EQ(serial.words, parallel.words);
+  EXPECT_EQ(serial.thread_insts, parallel.thread_insts);
+}
+
+TEST_P(FuzzDivergent, DeterministicExecution) {
+  ir::Kernel k = ir::parse_kernel(generate_divergent_kernel(GetParam()));
+  const ir::LaunchConfig lc{3, 1, 48, 1};
+  EXPECT_TRUE(run_kernel_cfg(k, nullptr, lc, true, false) ==
+              run_kernel_cfg(k, nullptr, lc, true, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDivergent,
+                         ::testing::Range(100u, 125u));  // 25 programs
 
 }  // namespace
 }  // namespace gpurf

@@ -15,9 +15,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/bitutil.hpp"
 #include "common/thread_pool.hpp"
 #include "rf/value_extractor.hpp"
 #include "rf/value_truncator.hpp"
+#include "testing_util.hpp"
 #include "workloads/pipeline.hpp"
 #include "workloads/workload.hpp"
 
@@ -75,18 +77,7 @@ void expect_same_pipeline(const PipelineResult& serial,
   expect_same_alloc(serial.alloc_both_high, parallel.alloc_both_high);
 }
 
-/// RAII: resize the shared pool, restore on scope exit.
-class PoolWidth {
- public:
-  explicit PoolWidth(int n)
-      : saved_(gpurf::common::ThreadPool::instance().size()) {
-    gpurf::common::ThreadPool::instance().resize(n);
-  }
-  ~PoolWidth() { gpurf::common::ThreadPool::instance().resize(saved_); }
-
- private:
-  int saved_;
-};
+using gpurf::testing::PoolWidth;
 
 PipelineResult pipeline_with_width(const Workload& w, int threads,
                                    int batch) {
@@ -116,6 +107,68 @@ TEST(ParallelDeterminism, RepeatedParallelRunsAreIdentical) {
   const auto a = pipeline_with_width(*w, 4, 4);
   const auto b = pipeline_with_width(*w, 4, 4);
   expect_same_pipeline(a, b);
+}
+
+// The adaptive speculative batch (shrink on rejection, grow on full
+// acceptance) must be bit-identical for every width sequence: different
+// initial K values may only change how many probes are wasted.
+TEST(ParallelDeterminism, AdaptiveBatchWidthDoesNotChangeResults) {
+  const auto w = make_gicov();
+  const auto serial = pipeline_with_width(*w, 1, 1);
+  const auto k3 = pipeline_with_width(*w, 4, 3);
+  const auto k8 = pipeline_with_width(*w, 4, 8);
+  expect_same_pipeline(serial, k3);
+  expect_same_pipeline(serial, k8);
+}
+
+// ------------------------------------------- block-parallel run_functional
+
+/// One functional replay of a workload instance under the given knobs.
+struct RunOut {
+  std::vector<float> out;
+  uint64_t insts = 0;
+};
+
+RunOut replay(const Workload& w, uint32_t variant, const RunOptions& opt) {
+  RunOut r;
+  RunOptions o = opt;
+  o.thread_insts = &r.insts;
+  auto inst = w.make_instance(Scale::kSample, variant);
+  r.out = w.run(inst, nullptr, nullptr, o);
+  return r;
+}
+
+void expect_bitwise_equal(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(gpurf::float_bits(a[i]), gpurf::float_bits(b[i])) << "word " << i;
+}
+
+TEST(BlockParallelDeterminism, GmemImageAndInstCountMatchSerial) {
+  for (const auto& make : {make_dwt2d, make_hotspot, make_deferred}) {
+    const auto w = make();
+    // Reference: serial blocks on the scalar data path.
+    const auto ref =
+        replay(*w, 0, RunOptions{/*use_soa=*/false, /*block_parallel=*/false});
+    // Block-parallel SoA across a 4-wide pool.
+    PoolWidth width(4);
+    const auto par =
+        replay(*w, 0, RunOptions{/*use_soa=*/true, /*block_parallel=*/true});
+    expect_bitwise_equal(ref.out, par.out);
+    EXPECT_EQ(ref.insts, par.insts) << w->spec().name;
+  }
+}
+
+TEST(BlockParallelDeterminism, RepeatedParallelReplaysAreIdentical) {
+  const auto w = make_hotspot3d();
+  PoolWidth width(4);
+  const auto a =
+      replay(*w, 1, RunOptions{/*use_soa=*/true, /*block_parallel=*/true});
+  const auto b =
+      replay(*w, 1, RunOptions{/*use_soa=*/true, /*block_parallel=*/true});
+  expect_bitwise_equal(a.out, b.out);
+  EXPECT_EQ(a.insts, b.insts);
 }
 
 // ------------------------------------------------------------ thread pool

@@ -1,0 +1,26 @@
+#pragma once
+// Helpers shared by the test binaries (each test is its own executable, so
+// anything two suites need lives here rather than being copy-pasted).
+
+#include "common/thread_pool.hpp"
+
+namespace gpurf::testing {
+
+/// RAII: resize the shared thread pool, restore the previous width on
+/// scope exit — lets one process compare serial and parallel engine runs.
+class PoolWidth {
+ public:
+  explicit PoolWidth(int n)
+      : saved_(gpurf::common::ThreadPool::instance().size()) {
+    gpurf::common::ThreadPool::instance().resize(n);
+  }
+  ~PoolWidth() { gpurf::common::ThreadPool::instance().resize(saved_); }
+
+  PoolWidth(const PoolWidth&) = delete;
+  PoolWidth& operator=(const PoolWidth&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace gpurf::testing
