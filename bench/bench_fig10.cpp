@@ -2,14 +2,15 @@
 // (occupancy) for the original register file and the proposed indirection-
 // table organisation at perfect and high output quality.  Also reports the
 // limiting resource, reproducing the IMGVF shared-memory cap discussion
-// (§6.1).
+// (§6.1).  Pipelines warm through the Engine's async queue; the occupancy
+// math uses the Engine's configured GpuConfig.
 
 #include <cstdio>
+#include <future>
+#include <vector>
 
-#include "common/thread_pool.hpp"
+#include "api/engine.hpp"
 #include "sim/occupancy.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
 
 namespace wl = gpurf::workloads;
 namespace sim = gpurf::sim;
@@ -27,25 +28,32 @@ const char* limiter_name(sim::Occupancy::Limiter l) {
 }  // namespace
 
 int main() {
-  const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  gpurf::Engine engine;
+  const sim::GpuConfig& gpu = engine.options().gpu;
   std::printf("Figure 10: active thread blocks / SM\n");
   std::printf("%-11s %18s %24s %24s\n", "Kernel", "Original",
               "IndirTable(perfect)", "IndirTable(high)");
-  const auto workloads = wl::make_all_workloads();
+  const auto names = engine.workload_names();
   // Tune all workloads concurrently before the (cheap) occupancy prints.
-  gpurf::common::parallel_for(workloads.size(), [&](size_t i) {
-    wl::run_pipeline(*workloads[i]);
-  });
-  for (const auto& w : workloads) {
-    const auto& pr = wl::run_pipeline(*w);
-    const uint32_t wpb = w->spec().warps_per_block;
-    const uint32_t smem = w->kernel().shared_bytes;
-    const auto o0 = compute_occupancy(gpu, pr.pressure.original, wpb, smem);
-    const auto o1 = compute_occupancy(gpu, pr.pressure.both_perfect, wpb, smem);
-    const auto o2 = compute_occupancy(gpu, pr.pressure.both_high, wpb, smem);
-    std::printf("%-11s %10u (%5s) %16u (%5s) %16u (%5s)\n",
-                w->spec().name.c_str(), o0.blocks_per_sm,
-                limiter_name(o0.limiter), o1.blocks_per_sm,
+  std::vector<std::future<gpurf::StatusOr<wl::PipelineResult>>> warm;
+  for (const auto& n : names) warm.push_back(engine.submit_pipeline(n));
+  for (auto& f : warm) f.wait();
+
+  for (const auto& n : names) {
+    const wl::Workload& w = **engine.workload(n);
+    auto pr = engine.pipeline(w);
+    if (!pr.ok()) {
+      std::fprintf(stderr, "%s\n", pr.status().to_string().c_str());
+      return 1;
+    }
+    const auto& p = (*pr)->pressure;
+    const uint32_t wpb = w.spec().warps_per_block;
+    const uint32_t smem = w.kernel().shared_bytes;
+    const auto o0 = compute_occupancy(gpu, p.original, wpb, smem);
+    const auto o1 = compute_occupancy(gpu, p.both_perfect, wpb, smem);
+    const auto o2 = compute_occupancy(gpu, p.both_high, wpb, smem);
+    std::printf("%-11s %10u (%5s) %16u (%5s) %16u (%5s)\n", n.c_str(),
+                o0.blocks_per_sm, limiter_name(o0.limiter), o1.blocks_per_sm,
                 limiter_name(o1.limiter), o2.blocks_per_sm,
                 limiter_name(o2.limiter));
   }

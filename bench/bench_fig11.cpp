@@ -2,68 +2,73 @@
 // register-file organisation over the baseline for perfect and high output
 // quality, plus the geometric mean.  Also reports the texture-cache miss
 // rates behind the GICOV/SSAO regression discussion (§6.2).
+//
+// One row = one workload's pipeline + its three timing simulations; every
+// (workload x mode) simulation is an independent submit_simulate job on
+// the Engine's executor, so the whole figure fans out while results print
+// in workload order (identical output to the serial loop).
 
 #include <cmath>
 #include <cstdio>
+#include <future>
 #include <vector>
 
-#include "common/thread_pool.hpp"
-#include "sim/gpu.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 namespace sim = gpurf::sim;
 
 int main() {
-  const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  gpurf::Engine engine;
   std::printf("Figure 11: IPC increase over the baseline (%%)\n");
   std::printf("%-11s %10s %12s %12s %14s %14s\n", "Kernel", "BaseIPC",
               "Perfect(%)", "High(%)", "TexMiss(base)", "TexMiss(perf)");
 
-  // One row = one workload's pipeline + its three timing simulations;
-  // rows are independent, so they fan out across the pool and print in
-  // workload order afterwards (identical output to the serial loop).
-  const auto workloads = wl::make_all_workloads();
-  struct Row {
-    sim::SimResult base, perf, high;
-  };
-  std::vector<Row> rows(workloads.size());
-  gpurf::common::parallel_for(workloads.size(), [&](size_t i) {
-    const auto& w = workloads[i];
-    const auto& pr = wl::run_pipeline(*w);
-    auto run = [&](wl::SimMode mode) {
-      auto inst = w->make_instance(wl::Scale::kFull, 0);
-      auto spec = wl::make_launch_spec(*w, inst, pr, mode);
-      return sim::simulate(gpu, wl::make_compression_config(mode), spec);
-    };
-    rows[i] = Row{run(wl::SimMode::kOriginal),
-                  run(wl::SimMode::kCompressedPerfect),
-                  run(wl::SimMode::kCompressedHigh)};
-  });
+  const auto names = engine.workload_names();
+  constexpr wl::SimMode kModes[] = {wl::SimMode::kOriginal,
+                                    wl::SimMode::kCompressedPerfect,
+                                    wl::SimMode::kCompressedHigh};
+  // Mode-major submission order: the first wave touches every workload
+  // once, so the per-workload pipeline memos fill with minimal contention
+  // on their once-flags.
+  std::vector<std::future<gpurf::StatusOr<sim::SimResult>>> futs(
+      names.size() * 3);
+  for (size_t m = 0; m < 3; ++m)
+    for (size_t i = 0; i < names.size(); ++i) {
+      gpurf::SimRequest req;
+      req.mode = kModes[m];
+      futs[i * 3 + m] = engine.submit_simulate(names[i], req);
+    }
 
   double geo_p = 0.0, geo_h = 0.0;
-  int n = 0;
-  for (size_t i = 0; i < workloads.size(); ++i) {
-    const auto& w = workloads[i];
-    const auto& base = rows[i].base;
-    const auto& perf = rows[i].perf;
-    const auto& high = rows[i].high;
+  int cnt = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto base = futs[i * 3 + 0].get();
+    auto perf = futs[i * 3 + 1].get();
+    auto high = futs[i * 3 + 2].get();
+    if (!base.ok() || !perf.ok() || !high.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (!base.ok() ? base : !perf.ok() ? perf : high)
+                       .status()
+                       .to_string()
+                       .c_str());
+      return 1;
+    }
 
-    const double dp = 100.0 * (perf.stats.ipc() / base.stats.ipc() - 1.0);
-    const double dh = 100.0 * (high.stats.ipc() / base.stats.ipc() - 1.0);
-    geo_p += std::log(perf.stats.ipc() / base.stats.ipc());
-    geo_h += std::log(high.stats.ipc() / base.stats.ipc());
-    ++n;
+    const double dp = 100.0 * (perf->stats.ipc() / base->stats.ipc() - 1.0);
+    const double dh = 100.0 * (high->stats.ipc() / base->stats.ipc() - 1.0);
+    geo_p += std::log(perf->stats.ipc() / base->stats.ipc());
+    geo_h += std::log(high->stats.ipc() / base->stats.ipc());
+    ++cnt;
 
     std::printf("%-11s %10.0f %+11.1f %+11.1f %13.1f%% %13.1f%%\n",
-                w->spec().name.c_str(), base.stats.ipc(), dp, dh,
-                100.0 * base.stats.tex.miss_rate(),
-                100.0 * perf.stats.tex.miss_rate());
+                names[i].c_str(), base->stats.ipc(), dp, dh,
+                100.0 * base->stats.tex.miss_rate(),
+                100.0 * perf->stats.tex.miss_rate());
   }
   std::printf("%-11s %10s %+11.1f %+11.1f\n", "GeoMean", "",
-              100.0 * (std::exp(geo_p / n) - 1.0),
-              100.0 * (std::exp(geo_h / n) - 1.0));
+              100.0 * (std::exp(geo_p / cnt) - 1.0),
+              100.0 * (std::exp(geo_h / cnt) - 1.0));
   std::printf("\npaper: geomean +15.75%% (perfect), +18.6%% (high); "
               "max +79%%; GICOV & SSAO regress on texture contention\n");
   return 0;

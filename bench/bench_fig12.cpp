@@ -3,45 +3,51 @@
 // cycles (§6.3).  The paper observes: flat up to 4 cycles for most
 // kernels; Elevated and GICOV deteriorate (scoreboard without forwarding);
 // occasional non-monotonic timing anomalies.
+//
+// The (workload x delay) grid flattens into independent submit_simulate
+// jobs with a per-job CompressionConfig override (SimRequest::compression)
+// on one Engine; rows print in workload order afterwards.
 
 #include <cstdio>
+#include <future>
 #include <iterator>
 #include <vector>
 
-#include "common/thread_pool.hpp"
-#include "sim/gpu.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 namespace sim = gpurf::sim;
 
 int main() {
-  const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
   constexpr uint32_t kDelays[] = {0, 2, 4, 8};
   constexpr size_t kNumDelays = std::size(kDelays);
 
   std::printf("Figure 12: IPC vs. writeback delay (high output quality)\n");
   std::printf("%-11s %8s %8s %8s %8s\n", "Kernel", "wb=0", "wb=2", "wb=4",
               "wb=8");
-  // Flatten (workload x delay) into one grid of independent simulations so
-  // the sweep fans out across the pool; printed in workload order after.
-  const auto workloads = wl::make_all_workloads();
-  std::vector<double> ipc(workloads.size() * kNumDelays, 0.0);
-  gpurf::common::parallel_for(ipc.size(), [&](size_t i) {
-    const auto& w = workloads[i / kNumDelays];
-    const uint32_t wb = kDelays[i % kNumDelays];
-    const auto& pr = wl::run_pipeline(*w);
-    auto inst = w->make_instance(wl::Scale::kFull, 0);
-    auto spec =
-        wl::make_launch_spec(*w, inst, pr, wl::SimMode::kCompressedHigh);
-    const auto cc = sim::CompressionConfig::with_writeback_delay(wb);
-    ipc[i] = sim::simulate(gpu, cc, spec).stats.ipc();
-  });
-  for (size_t i = 0; i < workloads.size(); ++i) {
-    std::printf("%-11s", workloads[i]->spec().name.c_str());
-    for (size_t d = 0; d < kNumDelays; ++d)
-      std::printf(" %8.0f", ipc[i * kNumDelays + d]);
+  gpurf::Engine engine;
+  const auto names = engine.workload_names();
+  std::vector<std::future<gpurf::StatusOr<sim::SimResult>>> futs(
+      names.size() * kNumDelays);
+  // Delay-major submission: the first wave touches every workload once,
+  // filling the pipeline memos with minimal once-flag contention.
+  for (size_t d = 0; d < kNumDelays; ++d)
+    for (size_t i = 0; i < names.size(); ++i) {
+      gpurf::SimRequest req;
+      req.mode = wl::SimMode::kCompressedHigh;
+      req.compression = sim::CompressionConfig::with_writeback_delay(kDelays[d]);
+      futs[i * kNumDelays + d] = engine.submit_simulate(names[i], req);
+    }
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-11s", names[i].c_str());
+    for (size_t d = 0; d < kNumDelays; ++d) {
+      auto r = futs[i * kNumDelays + d].get();
+      if (!r.ok()) {
+        std::fprintf(stderr, "\n%s\n", r.status().to_string().c_str());
+        return 1;
+      }
+      std::printf(" %8.0f", r->stats.ipc());
+    }
     std::printf("\n");
   }
   return 0;

@@ -3,12 +3,16 @@
 // floats at perfect / high quality; both at perfect / high quality).
 // Every value is computed: range analysis -> precision tuning -> slice
 // allocation.
+//
+// Driven through one gpurf::Engine session: the warm-up fan-out uses the
+// async submit_pipeline queue (bounded, engine-owned executor) and the
+// printed rows read the engine's memo.
 
 #include <cstdio>
+#include <future>
+#include <vector>
 
-#include "common/thread_pool.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 
@@ -16,19 +20,26 @@ int main() {
   std::printf("Figure 9: register pressure per framework configuration\n");
   std::printf("%-11s %9s %9s %9s %9s %9s %9s\n", "Kernel", "Original",
               "NarrowInt", "Float(p)", "Float(h)", "Both(p)", "Both(h)");
-  const auto workloads = wl::make_all_workloads();
-  // Warm the per-workload pipeline memo concurrently (run_pipeline supports
-  // concurrent callers via per-workload once_flags); print serially after.
-  gpurf::common::parallel_for(workloads.size(), [&](size_t i) {
-    wl::run_pipeline(*workloads[i]);
-  });
-  for (const auto& w : workloads) {
-    const auto& pr = wl::run_pipeline(*w);
-    std::printf("%-11s %9u %9u %9u %9u %9u %9u\n", w->spec().name.c_str(),
-                pr.pressure.original, pr.pressure.narrow_int,
-                pr.pressure.narrow_float_perfect,
-                pr.pressure.narrow_float_high, pr.pressure.both_perfect,
-                pr.pressure.both_high);
+  gpurf::Engine engine;
+  const auto names = engine.workload_names();
+
+  // Warm the engine's pipeline memo concurrently; results print in the
+  // paper's order afterwards regardless of completion order.
+  std::vector<std::future<gpurf::StatusOr<wl::PipelineResult>>> warm;
+  warm.reserve(names.size());
+  for (const auto& n : names) warm.push_back(engine.submit_pipeline(n));
+  for (auto& f : warm) f.wait();
+
+  for (const auto& n : names) {
+    auto pr = engine.pipeline(n);
+    if (!pr.ok()) {
+      std::fprintf(stderr, "%s\n", pr.status().to_string().c_str());
+      return 1;
+    }
+    const auto& p = (*pr)->pressure;
+    std::printf("%-11s %9u %9u %9u %9u %9u %9u\n", n.c_str(), p.original,
+                p.narrow_int, p.narrow_float_perfect, p.narrow_float_high,
+                p.both_perfect, p.both_high);
   }
   std::printf("\n(p) = perfect output quality, (h) = high output quality "
               "(SSIM 0.9 / 10%% deviation / binary-correct)\n");

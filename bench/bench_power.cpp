@@ -5,9 +5,8 @@
 
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "rf/power_model.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
 
 namespace wl = gpurf::workloads;
 using gpurf::rf::AreaConfig;
@@ -20,9 +19,14 @@ int main() {
   std::printf("%-11s %14s %18s %14s %8s\n", "Kernel", "SplitOperands",
               "DoubleFetchFrac", "RelEnergy", "2xRF");
 
-  for (const auto& w : wl::make_all_workloads()) {
-    const auto& pr = wl::run_pipeline(*w);
-    const auto& alloc = pr.alloc_both_high;
+  gpurf::Engine engine;
+  for (const auto& name : engine.workload_names()) {
+    auto pr_or = engine.pipeline(name);
+    if (!pr_or.ok()) {
+      std::fprintf(stderr, "%s\n", pr_or.status().to_string().c_str());
+      return 1;
+    }
+    const auto& alloc = (*pr_or)->alloc_both_high;
     // Static estimate: fraction of allocated operands that live in two
     // physical registers (every read of such an operand double-fetches).
     uint32_t operands = 0;
@@ -32,7 +36,7 @@ int main() {
     in.double_fetch_fraction =
         operands == 0 ? 0.0 : double(alloc.split_operands) / operands;
     const auto out = compare_power(in, cfg);
-    std::printf("%-11s %14u %17.1f%% %14.3f %8.1f\n", w->spec().name.c_str(),
+    std::printf("%-11s %14u %17.1f%% %14.3f %8.1f\n", name.c_str(),
                 alloc.split_operands, 100.0 * in.double_fetch_fraction,
                 out.compressed_read_energy, out.doubled_rf_read_energy);
   }

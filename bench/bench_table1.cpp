@@ -2,6 +2,12 @@
 // occupancy and IPC of IMGVF under the static framework, and the
 // artificial-occupancy control experiment.
 //
+// The artificial experiment runs on a *second* Engine whose GpuConfig has
+// a doubled register file — exactly the per-session configuration the
+// Engine API exists for (two GPU models in one process, no shared state).
+// Both engines point at the same cache directory, so the doubled-RF
+// session reuses the tuned precision maps from disk instead of re-tuning.
+//
 //   Paper (Fermi GTX 480, GPGPU-Sim):
 //     Original                      52 regs  21%    IPC 196
 //     Narrow integers               46
@@ -11,60 +17,68 @@
 
 #include <cstdio>
 
-#include "sim/gpu.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 namespace sim = gpurf::sim;
 
 int main() {
-  const auto w = wl::make_imgvf();
-  const auto& pr = wl::run_pipeline(*w);
-  const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  gpurf::Engine engine;
 
   std::printf("Table 1: IMGVF motivation (quality threshold: perfect)\n");
   std::printf("%-34s %8s %10s %8s\n", "", "RegPressure", "Occupancy", "IPC");
 
+  auto pr = engine.pipeline("IMGVF");
+  if (!pr.ok()) {
+    std::fprintf(stderr, "%s\n", pr.status().to_string().c_str());
+    return 1;
+  }
+  const auto& pressure = (*pr)->pressure;
+
   // Original.
-  auto inst = w->make_instance(wl::Scale::kFull, 0);
-  auto spec = wl::make_launch_spec(*w, inst, pr, wl::SimMode::kOriginal);
-  auto orig = sim::simulate(gpu, sim::CompressionConfig::baseline(), spec);
-  std::printf("%-34s %8u %9.1f%% %8.0f\n", "Original",
-              pr.pressure.original, orig.occupancy.percent,
-              orig.stats.ipc());
+  auto orig = engine.simulate("IMGVF", wl::SimMode::kOriginal);
+  if (!orig.ok()) {
+    std::fprintf(stderr, "%s\n", orig.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%-34s %8u %9.1f%% %8.0f\n", "Original", pressure.original,
+              orig->occupancy.percent, orig->stats.ipc());
 
   // Framework parts in isolation: pressure only (no timing change alone).
   std::printf("%-34s %8u %10s %8s\n", "Narrow integers",
-              pr.pressure.narrow_int, "-", "-");
+              pressure.narrow_int, "-", "-");
   std::printf("%-34s %8u %10s %8s\n", "Narrow floats",
-              pr.pressure.narrow_float_perfect, "-", "-");
+              pressure.narrow_float_perfect, "-", "-");
 
   // Both parts + the proposed register file.
-  auto inst2 = w->make_instance(wl::Scale::kFull, 0);
-  auto spec2 =
-      wl::make_launch_spec(*w, inst2, pr, wl::SimMode::kCompressedPerfect);
-  auto comp = sim::simulate(
-      gpu, wl::make_compression_config(wl::SimMode::kCompressedPerfect),
-      spec2);
+  auto comp = engine.simulate("IMGVF", wl::SimMode::kCompressedPerfect);
+  if (!comp.ok()) {
+    std::fprintf(stderr, "%s\n", comp.status().to_string().c_str());
+    return 1;
+  }
   std::printf("%-34s %8u %9.1f%% %8.0f\n", "Narrow integers + floats",
-              pr.pressure.both_perfect, comp.occupancy.percent,
-              comp.stats.ipc());
+              pressure.both_perfect, comp->occupancy.percent,
+              comp->stats.ipc());
 
   // Artificial occupancy increase: original pressure, enlarged register
-  // file (the paper grows the simulated RF so more blocks fit).
-  sim::GpuConfig big = gpu;
+  // file (the paper grows the simulated RF so more blocks fit) — a second
+  // concurrently-live Engine with a different GPU model.
+  sim::GpuConfig big = engine.options().gpu;
   big.registers_per_sm = 65536;
-  auto inst3 = w->make_instance(wl::Scale::kFull, 0);
-  auto spec3 = wl::make_launch_spec(*w, inst3, pr, wl::SimMode::kOriginal);
-  auto art = sim::simulate(big, sim::CompressionConfig::baseline(), spec3);
+  gpurf::Engine big_engine(gpurf::EngineOptions().with_gpu(big).with_cache_dir(
+      engine.options().cache_dir));
+  auto art = big_engine.simulate("IMGVF", wl::SimMode::kOriginal);
+  if (!art.ok()) {
+    std::fprintf(stderr, "%s\n", art.status().to_string().c_str());
+    return 1;
+  }
   std::printf("%-34s %8u %9.1f%% %8.0f\n", "Artificial occupancy increase",
-              pr.pressure.original, art.occupancy.percent, art.stats.ipc());
+              pressure.original, art->occupancy.percent, art->stats.ipc());
 
   std::printf(
       "\npaper: 52/21%%/196 | 46 | 36 | 29/62.5%%/352 | 52/62.5%%/377\n");
   std::printf("IPC uplift: compressed %+.1f%%  artificial %+.1f%%\n",
-              100.0 * (comp.stats.ipc() / orig.stats.ipc() - 1.0),
-              100.0 * (art.stats.ipc() / orig.stats.ipc() - 1.0));
+              100.0 * (comp->stats.ipc() / orig->stats.ipc() - 1.0),
+              100.0 * (art->stats.ipc() / orig->stats.ipc() - 1.0));
   return 0;
 }

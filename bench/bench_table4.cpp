@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "alloc/slice_alloc.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 
@@ -13,11 +13,13 @@ int main() {
   std::printf("Table 4: evaluated kernels\n");
   std::printf("%-11s %-12s %14s %14s %6s\n", "Name", "Quality", "Regs(paper)",
               "Regs(ours)", "Warps");
-  for (const auto& w : wl::make_all_workloads()) {
-    const uint32_t ours = gpurf::alloc::baseline_pressure(w->kernel());
-    std::printf("%-11s %-12s %14u %14u %6u\n", w->spec().name.c_str(),
-                std::string(metric_name(w->spec().metric)).c_str(),
-                w->spec().paper_regs, ours, w->spec().warps_per_block);
+  gpurf::Engine engine;
+  for (const auto& name : engine.workload_names()) {
+    const wl::Workload& w = **engine.workload(name);
+    const uint32_t ours = gpurf::alloc::baseline_pressure(w.kernel());
+    std::printf("%-11s %-12s %14u %14u %6u\n", name.c_str(),
+                std::string(metric_name(w.spec().metric)).c_str(),
+                w.spec().paper_regs, ours, w.spec().warps_per_block);
   }
   return 0;
 }

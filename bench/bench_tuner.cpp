@@ -3,9 +3,11 @@
 // the parallel evaluation engine of ISSUE 1.
 //
 // For each workload the full pipeline is computed fresh (disk cache
-// bypassed) at several engine widths; width 1 forces the original serial
-// greedy descent, wider runs use the speculative-batch tuner plus the
-// parallel sample-variant probe.  The accepted precision maps are
+// bypassed) at several engine widths — each width is its own short-lived
+// gpurf::Engine, so the sweep also exercises session isolation: pools and
+// caches of different widths never touch.  Width 1 forces the original
+// serial greedy descent, wider runs use the speculative-batch tuner plus
+// the parallel sample-variant probe.  The accepted precision maps are
 // bit-identical across widths by construction (see tuner.hpp), which the
 // run cross-checks.
 //
@@ -20,23 +22,20 @@
 #include <string>
 #include <vector>
 
-#include "common/thread_pool.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 
 namespace {
 
 double run_once(const wl::Workload& w, int threads, wl::PipelineResult* out) {
-  gpurf::common::ThreadPool::instance().resize(threads);
-  wl::PipelineOptions opt;
-  opt.use_disk_cache = false;
-  opt.tuner_batch = threads;
+  gpurf::Engine engine(gpurf::EngineOptions()
+                           .with_threads(threads)
+                           .with_disk_cache(false));
   const auto t0 = std::chrono::steady_clock::now();
-  auto pr = wl::compute_pipeline(w, opt);
+  auto pr = engine.compute_pipeline(w);
   const auto t1 = std::chrono::steady_clock::now();
-  if (out) *out = std::move(pr);
+  if (out) *out = std::move(pr).value();
   return std::chrono::duration<double>(t1 - t0).count();
 }
 

@@ -1,16 +1,17 @@
 // compress_custom_kernel — using the public API on your own kernel.
 //
-// Writes a small reduction kernel in the PTX-like assembly, runs the
-// integer range analysis, packs registers into 4-bit slices and prints the
-// resulting indirection-table entries (physical register + slice masks) —
-// exactly what would be uploaded before launch (§3.2, Fig. 2).
+// Writes a small reduction kernel in the PTX-like assembly, assembles and
+// verifies it through a gpurf::Engine (parse/verify errors are Status
+// values — try corrupting the text below), runs the integer range
+// analysis, packs registers into 4-bit slices and prints the resulting
+// indirection-table entries (physical register + slice masks) — exactly
+// what would be uploaded before launch (§3.2, Fig. 2).
 
 #include <cstdio>
 
 #include "alloc/slice_alloc.hpp"
 #include "analysis/range_analysis.hpp"
-#include "ir/parser.hpp"
-#include "ir/verifier.hpp"
+#include "api/engine.hpp"
 #include "rf/indirection_table.hpp"
 
 namespace ir = gpurf::ir;
@@ -60,9 +61,19 @@ exit:
 )";
 
 int main() {
-  // 1. Assemble + verify.
-  ir::Kernel k = ir::parse_kernel(kMyKernel);
-  ir::verify(k);
+  // 1. Assemble + verify through an Engine; bad text is a Status, not a
+  //    crash.
+  gpurf::Engine engine;
+  auto parsed = engine.parse_kernel(kMyKernel);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+    return 1;
+  }
+  ir::Kernel k = std::move(parsed).value();
+  if (auto st = engine.verify_kernel(k); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
   std::printf("kernel %s: %zu instructions\n\n", k.name.c_str(),
               k.num_insts());
 

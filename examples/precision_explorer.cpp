@@ -1,19 +1,20 @@
 // precision_explorer — the floating-point side of the framework on a
-// custom kernel with a custom quality probe.
+// custom kernel with a custom quality probe, through the gpurf::Engine API.
 //
 // Defines a small Horner-evaluation kernel, builds a deviation-metric
 // probe over its outputs (the user's stand-in for a domain expert's
 // quality function, §4.1), and shows what the tuner assigns at the two
-// paper thresholds.  Also prints the Table-3 quantization behaviour of a
-// few representative values.
+// paper thresholds.  Parsing and tuning go through an Engine, so
+// malformed kernel text or an unattainable quality threshold come back as
+// Status values instead of exceptions.  Also prints the Table-3
+// quantization behaviour of a few representative values.
 
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "exec/interp.hpp"
 #include "fp/format.hpp"
-#include "ir/parser.hpp"
 #include "quality/metrics.hpp"
-#include "tuning/tuner.hpp"
 
 namespace ir = gpurf::ir;
 namespace exec = gpurf::exec;
@@ -107,15 +108,28 @@ int main() {
     std::printf("\n");
   }
 
-  // Tune the Horner kernel at both thresholds.
-  ir::Kernel k = ir::parse_kernel(kHorner);
+  // Tune the Horner kernel at both thresholds through an Engine session.
+  gpurf::Engine engine;
+  auto parsed = engine.parse_kernel(kHorner);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+    return 1;
+  }
+  const ir::Kernel& k = *parsed;
+  if (auto st = engine.verify_kernel(k); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
   HornerProbe probe(k);
 
   for (auto level : {gpurf::quality::QualityLevel::kPerfect,
                      gpurf::quality::QualityLevel::kHigh}) {
-    gpurf::tuning::TunerOptions opt;
-    opt.level = level;
-    const auto res = gpurf::tuning::tune_precision(k, probe, opt);
+    auto tuned = engine.tune(k, probe, level);
+    if (!tuned.ok()) {
+      std::fprintf(stderr, "%s\n", tuned.status().to_string().c_str());
+      return 1;
+    }
+    const auto& res = *tuned;
     std::printf("\n%s quality (%d probes, final deviation %.4f%%):\n",
                 std::string(level_name(level)).c_str(), res.evaluations,
                 res.final_score);

@@ -1,59 +1,101 @@
-// quickstart — the whole system in one page.
+// quickstart — the whole system in one page, through the public
+// gpurf::Engine API.
 //
-// Takes the bundled Hotspot workload through the paper's pipeline:
+// An Engine is a session: it owns its thread pool, its kernel-analysis and
+// pipeline caches, its on-disk precision-map cache directory, and the GPU
+// model it simulates.  EngineOptions fields left unset resolve once at
+// construction ($GPURF_THREADS, $GPURF_CACHE_DIR act as *defaults only* —
+// nothing reads the environment afterwards), so two Engines with different
+// options coexist in one process without sharing any state.
+//
+// The run takes the bundled Hotspot workload through the paper's pipeline:
 //   1. static integer range analysis       (§4.2)
 //   2. floating-point precision tuning     (§4.1)
 //   3. slice-packing register allocation   (§4.3)
 //   4. occupancy + cycle-level simulation  (§3, §6)
 // and prints the register pressure, occupancy and IPC of the baseline
-// register file versus the proposed compressed organisation.
+// register file versus the proposed compressed organisation.  Every API
+// call returns Status/StatusOr — bad input is a value, not an abort.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+//               ./build/quickstart [--sample] [--json]
+//   --sample    simulate the small sample-scale instance (fast; CI uses it)
+//   --json      also print the pipeline result as a JSON snapshot
 
 #include <cstdio>
+#include <cstring>
 
-#include "sim/gpu.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
+#include "api/json.hpp"
 
 namespace wl = gpurf::workloads;
-namespace sim = gpurf::sim;
 
-int main() {
-  // A bundled Table-4 workload; swap in any of the eleven.
-  const auto w = wl::make_hotspot();
+int main(int argc, char** argv) {
+  bool sample = false, json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sample") == 0) sample = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  // A session with explicit options; defaults come from the environment
+  // exactly once, here.  Add .with_threads(n) / .with_cache_dir(dir) /
+  // .with_gpu(cfg) to configure the session.
+  gpurf::Engine engine{gpurf::EngineOptions{}};
+
+  auto w = engine.workload("Hotspot");
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().to_string().c_str());
+    return 1;
+  }
   std::printf("kernel: %s (%zu instructions, %u registers)\n",
-              w->spec().name.c_str(), w->kernel().num_insts(),
-              w->kernel().num_data_regs());
+              (*w)->spec().name.c_str(), (*w)->kernel().num_insts(),
+              (*w)->kernel().num_data_regs());
 
-  // Steps 1-3: the full static framework (tuning results are cached in
-  // .gpurf_cache/ after the first run).
-  const auto& pr = wl::run_pipeline(*w);
+  // Steps 1-3: the full static framework (tuned precision maps persist in
+  // the engine's versioned cache directory after the first run).
+  auto pr = engine.pipeline(**w);
+  if (!pr.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n", pr.status().to_string().c_str());
+    return 1;
+  }
   std::printf("register pressure: original %u -> narrow ints %u -> "
               "ints+floats %u (perfect) / %u (high quality)\n",
-              pr.pressure.original, pr.pressure.narrow_int,
-              pr.pressure.both_perfect, pr.pressure.both_high);
+              (*pr)->pressure.original, (*pr)->pressure.narrow_int,
+              (*pr)->pressure.both_perfect, (*pr)->pressure.both_high);
   std::printf("tuner: %d quality probes (perfect), final score %.4f\n",
-              pr.tune_perfect.evaluations, pr.tune_perfect.final_score);
+              (*pr)->tune_perfect.evaluations,
+              (*pr)->tune_perfect.final_score);
 
-  // Step 4: cycle-level simulation, baseline vs. compressed.
-  const sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  // Step 4: cycle-level simulation, baseline vs. compressed, on the
+  // engine's GpuConfig (Fermi GTX 480 unless overridden).
+  gpurf::SimRequest req;
+  req.scale = sample ? wl::Scale::kSample : wl::Scale::kFull;
   auto run = [&](wl::SimMode mode) {
-    auto inst = w->make_instance(wl::Scale::kFull, 0);
-    auto spec = wl::make_launch_spec(*w, inst, pr, mode);
-    return sim::simulate(gpu, wl::make_compression_config(mode), spec);
+    req.mode = mode;
+    return engine.simulate(**w, req);
   };
   const auto base = run(wl::SimMode::kOriginal);
   const auto comp = run(wl::SimMode::kCompressedHigh);
+  if (!base.ok() || !comp.ok()) {
+    std::fprintf(stderr, "simulate: %s\n",
+                 (base.ok() ? comp : base).status().to_string().c_str());
+    return 1;
+  }
 
   std::printf("baseline:   %u blocks/SM (%.1f%% occupancy), IPC %.0f\n",
-              base.occupancy.blocks_per_sm, base.occupancy.percent,
-              base.stats.ipc());
+              base->occupancy.blocks_per_sm, base->occupancy.percent,
+              base->stats.ipc());
   std::printf("compressed: %u blocks/SM (%.1f%% occupancy), IPC %.0f "
               "(%+.1f%%)\n",
-              comp.occupancy.blocks_per_sm, comp.occupancy.percent,
-              comp.stats.ipc(),
-              100.0 * (comp.stats.ipc() / base.stats.ipc() - 1.0));
+              comp->occupancy.blocks_per_sm, comp->occupancy.percent,
+              comp->stats.ipc(),
+              100.0 * (comp->stats.ipc() / base->stats.ipc() - 1.0));
+
+  if (json) {
+    auto js = engine.pipeline_json("Hotspot");
+    std::printf("\npipeline snapshot:\n%s\n", js.value().c_str());
+    std::printf("\nsimulation snapshot (compressed/high):\n%s\n",
+                gpurf::api::to_json(*comp).c_str());
+  }
   return 0;
 }

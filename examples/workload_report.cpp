@@ -3,36 +3,46 @@
 // Table 4), integer range-analysis results, and (with --tune) the tuned
 // float formats and the resulting Fig.-9-style pressure bars.
 //
-// Usage: workload_report [NAME ...] [--tune] [--regs]
+// Uses the gpurf::Engine API: workloads are looked up by name (unknown
+// names are a NotFound Status, not a crash), pipelines memoize inside the
+// engine, and --json emits the machine-readable snapshot a serving layer
+// would return.
+//
+// Usage: workload_report [NAME ...] [--tune] [--regs] [--json]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "alloc/slice_alloc.hpp"
 #include "analysis/range_analysis.hpp"
-#include "workloads/pipeline.hpp"
-#include "workloads/workload.hpp"
+#include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 
 int main(int argc, char** argv) {
-  bool tune = false, show_regs = false;
+  bool tune = false, show_regs = false, json = false;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tune") == 0) tune = true;
     else if (std::strcmp(argv[i], "--regs") == 0) show_regs = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
     else names.emplace_back(argv[i]);
   }
 
-  for (const auto& w : wl::make_all_workloads()) {
-    if (!names.empty()) {
-      bool want = false;
-      for (const auto& n : names) want |= (n == w->spec().name);
-      if (!want) continue;
+  gpurf::Engine engine;
+  if (names.empty()) names = engine.workload_names();
+
+  for (const auto& name : names) {
+    auto lookup = engine.workload(name);
+    if (!lookup.ok()) {
+      std::fprintf(stderr, "%s\n", lookup.status().to_string().c_str());
+      return 1;
     }
-    const auto& k = w->kernel();
-    const auto inst = w->make_instance(wl::Scale::kFull, 0);
+    const wl::Workload& w = **lookup;
+    const auto& k = w.kernel();
+    const auto inst = w.make_instance(wl::Scale::kFull, 0);
     const auto ranges = gpurf::analysis::analyze_ranges(k, inst.launch);
 
     uint32_t f32 = 0, ints = 0, preds = 0;
@@ -52,8 +62,8 @@ int main(int argc, char** argv) {
 
     std::printf("%-11s insts=%4zu regs(int/f32/pred)=%u/%u/%u  "
                 "pressure: paper=%u ours=%u  narrow-int=%u\n",
-                w->spec().name.c_str(), k.num_insts(), ints, f32, preds,
-                w->spec().paper_regs, orig, narrow_int);
+                w.spec().name.c_str(), k.num_insts(), ints, f32, preds,
+                w.spec().paper_regs, orig, narrow_int);
 
     if (show_regs) {
       for (uint32_t r = 0; r < k.num_regs(); ++r) {
@@ -67,7 +77,13 @@ int main(int argc, char** argv) {
     }
 
     if (tune) {
-      const auto& pr = wl::run_pipeline(*w);
+      auto pr_or = engine.pipeline(w);
+      if (!pr_or.ok()) {
+        std::fprintf(stderr, "pipeline: %s\n",
+                     pr_or.status().to_string().c_str());
+        return 1;
+      }
+      const auto& pr = **pr_or;
       std::printf("    Fig.9 bars: orig=%u int=%u float(p)=%u float(h)=%u "
                   "both(p)=%u both(h)=%u  [tuner evals p=%d h=%d]\n",
                   pr.pressure.original, pr.pressure.narrow_int,
@@ -88,6 +104,17 @@ int main(int argc, char** argv) {
                     pr.alloc_both_perfect.packing_density(),
                     pr.alloc_both_perfect.split_operands);
       }
+    }
+
+    if (json) {
+      // Emits the full machine-readable snapshot; runs the pipeline if
+      // --tune has not already memoized it.
+      auto js = engine.pipeline_json(name);
+      if (!js.ok()) {
+        std::fprintf(stderr, "%s\n", js.status().to_string().c_str());
+        return 1;
+      }
+      std::printf("    %s\n", js->c_str());
     }
   }
   return 0;

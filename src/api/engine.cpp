@@ -1,0 +1,286 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/json.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+
+namespace gpurf {
+
+namespace {
+
+EngineOptions resolve(EngineOptions o) {
+  // Environment variables act as defaults only, consulted exactly once
+  // here; after construction the Engine never touches the environment.
+  if (o.threads <= 0) o.threads = common::default_thread_count();
+  if (o.cache_dir.empty()) o.cache_dir = workloads::default_cache_dir();
+  if (o.tuner.speculate_batch <= 0) o.tuner.speculate_batch = o.threads;
+  if (o.async_workers <= 0) o.async_workers = o.threads;
+  if (o.max_inflight == 0)
+    o.max_inflight = 2 * static_cast<size_t>(o.async_workers);
+  o.run.thread_insts = nullptr;
+  return o;
+}
+
+workloads::PipelineOptions pipeline_options(const EngineOptions& o) {
+  workloads::PipelineOptions p;
+  p.use_disk_cache = o.use_disk_cache;
+  p.cache_dir = o.cache_dir;
+  p.tuner = o.tuner;
+  p.run = o.run;
+  return p;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions opts)
+    : opts_(resolve(std::move(opts))),
+      pool_(opts_.threads),
+      pipelines_(pipeline_options(opts_)),
+      registry_(workloads::make_all_workloads()) {}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    stopping_ = true;
+    qcv_.notify_all();
+    slot_cv_.notify_all();
+  }
+  for (auto& t : executors_) t.join();
+}
+
+Engine& Engine::shared() {
+  static Engine engine;
+  return engine;
+}
+
+std::vector<std::string> Engine::workload_names() const {
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& w : registry_) names.push_back(w->spec().name);
+  return names;
+}
+
+StatusOr<const workloads::Workload*> Engine::workload(
+    std::string_view name) const {
+  for (const auto& w : registry_)
+    if (w->spec().name == name) return static_cast<const workloads::Workload*>(w.get());
+  return Status::NotFound("unknown workload '" + std::string(name) +
+                          "'; known: " + [this] {
+                            std::string s;
+                            for (const auto& w : registry_) {
+                              if (!s.empty()) s += ", ";
+                              s += w->spec().name;
+                            }
+                            return s;
+                          }());
+}
+
+StatusOr<const workloads::PipelineResult*> Engine::pipeline(
+    const workloads::Workload& w) {
+  Scope scope(*this);
+  // gpurf::Error is the core's recoverable, input-dependent tier
+  // (GPURF_CHECK) — e.g. a workload whose metric fails at full precision —
+  // so it maps to FailedPrecondition; anything else escaping the core is
+  // Internal.  GPURF_ASSERT (state corruption) still aborts by design.
+  try {
+    return &pipelines_.get(w);
+  } catch (const Error& e) {
+    return Status::FailedPrecondition(std::string("pipeline '") +
+                                      w.spec().name + "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("pipeline '") + w.spec().name +
+                            "': " + e.what());
+  }
+}
+
+StatusOr<const workloads::PipelineResult*> Engine::pipeline(
+    std::string_view name) {
+  auto w = workload(name);
+  if (!w.ok()) return w.status();
+  return pipeline(**w);
+}
+
+StatusOr<workloads::PipelineResult> Engine::compute_pipeline(
+    const workloads::Workload& w) {
+  Scope scope(*this);
+  workloads::PipelineOptions opt = pipelines_.options();
+  opt.use_disk_cache = false;
+  try {
+    return workloads::compute_pipeline(w, opt);
+  } catch (const Error& e) {
+    return Status::FailedPrecondition(std::string("pipeline '") +
+                                      w.spec().name + "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("pipeline '") + w.spec().name +
+                            "': " + e.what());
+  }
+}
+
+StatusOr<std::string> Engine::pipeline_json(std::string_view name) {
+  auto pr = pipeline(name);
+  if (!pr.ok()) return pr.status();
+  return api::to_json(**pr);
+}
+
+StatusOr<sim::SimResult> Engine::simulate(const workloads::Workload& w,
+                                          const SimRequest& req) {
+  if (req.variant >= w.num_sample_variants() &&
+      req.scale == workloads::Scale::kSample)
+    return Status::InvalidArgument(
+        "variant " + std::to_string(req.variant) + " out of range for '" +
+        w.spec().name + "'");
+  auto pr = pipeline(w);
+  if (!pr.ok()) return pr.status();
+
+  Scope scope(*this);
+  try {
+    auto inst = w.make_instance(req.scale, req.variant);
+    auto spec = workloads::make_launch_spec(w, inst, **pr, req.mode);
+    const sim::CompressionConfig comp =
+        req.compression ? *req.compression
+                        : workloads::make_compression_config(req.mode);
+    return sim::simulate(opts_.gpu, comp, spec);
+  } catch (const Error& e) {
+    return Status::FailedPrecondition(std::string("simulate '") +
+                                      w.spec().name + "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("simulate '") + w.spec().name +
+                            "': " + e.what());
+  }
+}
+
+StatusOr<sim::SimResult> Engine::simulate(std::string_view name,
+                                          const SimRequest& req) {
+  auto w = workload(name);
+  if (!w.ok()) return w.status();
+  return simulate(**w, req);
+}
+
+StatusOr<ir::Kernel> Engine::parse_kernel(std::string_view asm_text) const {
+  try {
+    return ir::parse_kernel(asm_text);
+  } catch (const Error& e) {
+    return Status::InvalidArgument(std::string("parse: ") + e.what());
+  }
+}
+
+Status Engine::verify_kernel(const ir::Kernel& k) const {
+  try {
+    ir::verify(k);
+    return Status::Ok();
+  } catch (const Error& e) {
+    return Status::FailedPrecondition(std::string("verify '") + k.name +
+                                      "': " + e.what());
+  }
+}
+
+StatusOr<tuning::TuneResult> Engine::tune(const ir::Kernel& k,
+                                          tuning::QualityProbe& probe,
+                                          quality::QualityLevel level) {
+  Scope scope(*this);
+  tuning::TunerOptions topt = opts_.tuner;
+  topt.level = level;
+  topt.defer_validation = false;
+  try {
+    return tuning::tune_precision(k, probe, topt);
+  } catch (const Error& e) {
+    return Status::FailedPrecondition(std::string("tune '") + k.name +
+                                      "': " + e.what());
+  }
+}
+
+// --------------------------------------------------------- async executor
+
+void Engine::ensure_executor() {
+  std::lock_guard<std::mutex> lock(qmu_);
+  if (executor_started_) return;
+  executor_started_ = true;
+  executors_.reserve(static_cast<size_t>(opts_.async_workers));
+  for (int t = 0; t < opts_.async_workers; ++t)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+void Engine::executor_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(qmu_);
+      qcv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // The job itself releases its in-flight slot (before fulfilling its
+    // future, so inflight() is 0 once every future has been observed).
+    job();
+  }
+}
+
+void Engine::finish_job() {
+  std::lock_guard<std::mutex> lock(qmu_);
+  --inflight_;
+  slot_cv_.notify_one();
+}
+
+void Engine::enqueue(std::function<void()> job) {
+  ensure_executor();
+  std::unique_lock<std::mutex> lock(qmu_);
+  // Bounded in-flight queue: backpressure, not drop.  Counts queued +
+  // running jobs so a slow consumer cannot pile up unbounded work.
+  slot_cv_.wait(lock,
+                [&] { return stopping_ || inflight_ < opts_.max_inflight; });
+  GPURF_CHECK(!stopping_, "submit on a stopping Engine");
+  ++inflight_;
+  queue_.push_back(std::move(job));
+  qcv_.notify_one();
+}
+
+size_t Engine::inflight() const {
+  std::lock_guard<std::mutex> lock(qmu_);
+  return inflight_;
+}
+
+std::future<StatusOr<workloads::PipelineResult>> Engine::submit_pipeline(
+    std::string name) {
+  auto prom = std::make_shared<
+      std::promise<StatusOr<workloads::PipelineResult>>>();
+  auto fut = prom->get_future();
+  enqueue([this, prom, name = std::move(name)] {
+    StatusOr<workloads::PipelineResult> result = [&] {
+      auto pr = pipeline(name);  // binds Scope internally
+      return pr.ok() ? StatusOr<workloads::PipelineResult>(**pr)  // snapshot
+                     : StatusOr<workloads::PipelineResult>(pr.status());
+    }();
+    finish_job();
+    prom->set_value(std::move(result));
+  });
+  return fut;
+}
+
+std::future<StatusOr<sim::SimResult>> Engine::submit_simulate(std::string name,
+                                                              SimRequest req) {
+  auto prom = std::make_shared<std::promise<StatusOr<sim::SimResult>>>();
+  auto fut = prom->get_future();
+  enqueue([this, prom, name = std::move(name), req] {
+    auto result = simulate(name, req);
+    finish_job();
+    prom->set_value(std::move(result));
+  });
+  return fut;
+}
+
+}  // namespace gpurf
+
+namespace gpurf::workloads {
+
+// Legacy shim: the free function that used to own the process-global memo
+// now delegates to the process-default Engine.  Errors surface as
+// gpurf::Error (thrown by StatusOr::value), matching the old contract.
+const PipelineResult& run_pipeline(const Workload& w) {
+  return *Engine::shared().pipeline(w).value();
+}
+
+}  // namespace gpurf::workloads

@@ -1,0 +1,247 @@
+#pragma once
+// gpurf::Engine — the session-scoped public API of the framework (ISSUE 3).
+//
+// Everything the paper's Fig.-7 flow needs (range analysis -> precision
+// tuning -> slice allocation -> timing simulation) is reachable from one
+// context object.  An Engine *owns* the resources the free functions used
+// to share process-wide:
+//
+//   * a ThreadPool sized by EngineOptions::threads,
+//   * a KernelAnalysis cache (CFG / ipdom / decoded streams),
+//   * a pipeline memo + the on-disk precision-map cache directory,
+//   * its own instances of the eleven Table-4 workloads,
+//   * a GpuConfig and interpreter RunOptions for every simulation it runs.
+//
+// Two Engines in one process are fully isolated: different thread counts,
+// cache directories, GPU models and tuner settings never interact, which
+// is what multi-tenant serving and A/B experiments over simulator
+// configurations need (see ROADMAP north star).
+//
+// Environment-variable rule: $GPURF_THREADS and $GPURF_CACHE_DIR are
+// *defaults only*, consulted exactly once when an EngineOptions field was
+// left unset at Engine construction.  No public entry point reads the
+// environment after the Engine exists; reconfiguration means constructing
+// another Engine.
+//
+// Error model: public entry points return Status / StatusOr instead of
+// aborting — unknown workload names, malformed kernel text, failed IR
+// verification and corrupt cache entries come back as structured errors a
+// serving layer can reject per-request.  Internal invariant violations
+// still abort (GPURF_ASSERT), as corrupted simulator state must never be
+// silently ignored.
+//
+// Concurrency: all methods are thread-safe.  submit_* enqueue work onto
+// the Engine's async executor and return std::futures; the in-flight queue
+// is bounded by EngineOptions::max_inflight, and a full queue blocks the
+// submitter (backpressure) rather than dropping work.
+//
+// The legacy free functions (workloads::run_pipeline, ...) remain as thin
+// shims over Engine::shared(), so existing callers migrate incrementally.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/status.hpp"
+#include "common/thread_pool.hpp"
+#include "exec/kernel_analysis.hpp"
+#include "sim/gpu.hpp"
+#include "tuning/tuner.hpp"
+#include "workloads/pipeline.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpurf {
+
+/// Construction-time configuration.  Every field left at its default is
+/// resolved once in the Engine constructor (environment variables, then
+/// hardware defaults); the resolved values are visible via
+/// Engine::options() and never change for the Engine's lifetime.
+struct EngineOptions {
+  /// Thread-pool width; <= 0 resolves to $GPURF_THREADS, else hardware
+  /// concurrency.
+  int threads = 0;
+  /// On-disk precision-map cache directory; empty resolves to
+  /// $GPURF_CACHE_DIR, else ".gpurf_cache".
+  std::string cache_dir;
+  /// Persist tuned precision maps across processes (versioned entries;
+  /// stale/corrupt ones are rejected and re-tuned).
+  bool use_disk_cache = true;
+  /// Tuner search knobs.  `level` is ignored (the pipeline always tunes
+  /// both paper thresholds); speculate_batch <= 0 resolves to `threads`.
+  tuning::TunerOptions tuner;
+  /// Interpreter strategy for every functional replay (SoA warp execution,
+  /// block-parallel grids).  `thread_insts` is ignored.
+  workloads::RunOptions run;
+  /// GPU model for occupancy and timing simulation.
+  sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  /// Async executor width; <= 0 resolves to `threads`.  Executor threads
+  /// run submitted jobs concurrently; each job fans its inner work out on
+  /// the Engine's pool.
+  int async_workers = 0;
+  /// Bound on queued + running async jobs; 0 resolves to
+  /// 2 * async_workers.  A full queue blocks submit_* callers.
+  size_t max_inflight = 0;
+
+  // Builder-style setters, chainable:
+  //   Engine e(EngineOptions().with_threads(4).with_disk_cache(false));
+  EngineOptions& with_threads(int n) { threads = n; return *this; }
+  EngineOptions& with_cache_dir(std::string d) {
+    cache_dir = std::move(d);
+    return *this;
+  }
+  EngineOptions& with_disk_cache(bool on) { use_disk_cache = on; return *this; }
+  EngineOptions& with_tuner(const tuning::TunerOptions& t) {
+    tuner = t;
+    return *this;
+  }
+  EngineOptions& with_run_options(const workloads::RunOptions& r) {
+    run = r;
+    return *this;
+  }
+  EngineOptions& with_gpu(const sim::GpuConfig& g) { gpu = g; return *this; }
+  EngineOptions& with_async_workers(int n) { async_workers = n; return *this; }
+  EngineOptions& with_max_inflight(size_t n) { max_inflight = n; return *this; }
+};
+
+/// One timing-simulation request (§6 experiment configurations).
+struct SimRequest {
+  workloads::SimMode mode = workloads::SimMode::kOriginal;
+  workloads::Scale scale = workloads::Scale::kFull;
+  uint32_t variant = 0;
+  /// Override the compression pipeline parameters (e.g. the §6.3
+  /// writeback-delay sweep); unset derives the config from `mode`.
+  std::optional<sim::CompressionConfig> compression;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Process-default Engine backing the legacy free-function shims.
+  /// Constructed on first use with default (environment-resolved) options.
+  static Engine& shared();
+
+  /// Options after construction-time resolution (threads/cache_dir/...
+  /// filled in).
+  const EngineOptions& options() const { return opts_; }
+
+  // ------------------------------------------------------------ workloads
+
+  /// Names of the bundled Table-4 workloads, in the paper's order.
+  std::vector<std::string> workload_names() const;
+
+  /// Look up a bundled workload by name (NotFound for unknown names).
+  StatusOr<const workloads::Workload*> workload(std::string_view name) const;
+
+  // ------------------------------------------------------------- pipeline
+
+  /// Run (or fetch this Engine's memoized) static compression pipeline.
+  /// The pointer stays valid for the Engine's lifetime.
+  StatusOr<const workloads::PipelineResult*> pipeline(
+      const workloads::Workload& w);
+  StatusOr<const workloads::PipelineResult*> pipeline(std::string_view name);
+
+  /// Compute a pipeline fresh, bypassing both the memo and the disk cache
+  /// (benches / determinism comparisons).
+  StatusOr<workloads::PipelineResult> compute_pipeline(
+      const workloads::Workload& w);
+
+  /// JSON snapshot of the (memoized) pipeline result.
+  StatusOr<std::string> pipeline_json(std::string_view name);
+
+  // ------------------------------------------------------------- timing sim
+
+  /// Cycle-level simulation of one workload launch under this Engine's
+  /// GpuConfig.  Runs the pipeline first if not yet memoized.
+  StatusOr<sim::SimResult> simulate(const workloads::Workload& w,
+                                    const SimRequest& req = {});
+  StatusOr<sim::SimResult> simulate(std::string_view name,
+                                    const SimRequest& req = {});
+  StatusOr<sim::SimResult> simulate(const workloads::Workload& w,
+                                    workloads::SimMode mode) {
+    SimRequest r;
+    r.mode = mode;
+    return simulate(w, r);
+  }
+  StatusOr<sim::SimResult> simulate(std::string_view name,
+                                    workloads::SimMode mode) {
+    SimRequest r;
+    r.mode = mode;
+    return simulate(name, r);
+  }
+
+  // -------------------------------------------------------- custom kernels
+
+  /// Assemble kernel text (InvalidArgument on parse errors).
+  StatusOr<ir::Kernel> parse_kernel(std::string_view asm_text) const;
+
+  /// IR verification (FailedPrecondition with the verifier message).
+  Status verify_kernel(const ir::Kernel& k) const;
+
+  /// Precision-tune a custom kernel against a caller-supplied probe, using
+  /// this Engine's tuner options and thread pool.
+  StatusOr<tuning::TuneResult> tune(const ir::Kernel& k,
+                                    tuning::QualityProbe& probe,
+                                    quality::QualityLevel level);
+
+  // ------------------------------------------------------------- async API
+
+  /// Enqueue a pipeline / simulation onto the Engine's executor.  Results
+  /// are value snapshots (safe to consume after other submissions).
+  /// Blocks while max_inflight jobs are queued or running.
+  std::future<StatusOr<workloads::PipelineResult>> submit_pipeline(
+      std::string name);
+  std::future<StatusOr<sim::SimResult>> submit_simulate(std::string name,
+                                                        SimRequest req = {});
+
+  /// Jobs currently queued or running on the async executor.
+  size_t inflight() const;
+
+ private:
+  /// Bind this Engine's pool + analysis cache to the calling thread for
+  /// the duration of one public call (or one async job).
+  class Scope {
+   public:
+    explicit Scope(Engine& e)
+        : pool_(&e.pool_), cache_(&e.analysis_cache_) {}
+
+   private:
+    common::ScopedPool pool_;
+    exec::ScopedAnalysisCache cache_;
+  };
+
+  void ensure_executor();
+  void enqueue(std::function<void()> job);
+  void executor_loop();
+  void finish_job();
+
+  EngineOptions opts_;
+  common::ThreadPool pool_;
+  exec::AnalysisCache analysis_cache_;
+  workloads::PipelineCache pipelines_;
+  std::vector<std::unique_ptr<workloads::Workload>> registry_;
+
+  // Async executor (threads spawned lazily on first submit).
+  mutable std::mutex qmu_;
+  std::condition_variable qcv_;    ///< wakes executor threads
+  std::condition_variable slot_cv_;  ///< wakes blocked submitters
+  std::deque<std::function<void()>> queue_;
+  size_t inflight_ = 0;  ///< queued + running
+  bool stopping_ = false;
+  bool executor_started_ = false;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace gpurf

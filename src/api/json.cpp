@@ -1,0 +1,243 @@
+#include "api/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace gpurf::api {
+
+namespace {
+
+std::string fmt_double(double v) {
+  // Shortest round-trippable-enough form; NaN/inf are not valid JSON, so
+  // they serialise as null.
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array(const std::string& k) {
+  key(k);
+  out_ += '[';
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_object(const std::string& k) {
+  key(k);
+  out_ += '{';
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, const std::string& v) {
+  key(k);
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, const char* v) {
+  field(k, std::string(v));
+}
+
+void JsonWriter::field(const std::string& k, double v) {
+  key(k);
+  out_ += fmt_double(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, uint64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, int64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, bool v) {
+  key(k);
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+void JsonWriter::element(double v) {
+  comma();
+  out_ += fmt_double(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::element(uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_tune(JsonWriter& w, const std::string& k,
+                const tuning::TuneResult& t) {
+  w.begin_object(k);
+  w.field("evaluations", t.evaluations);
+  w.field("f32_regs", t.f32_regs);
+  w.field("slices_before", t.slices_before);
+  w.field("slices_after", t.slices_after);
+  w.field("final_score", t.final_score);
+  w.begin_array("per_reg_bits");
+  for (const auto& f : t.pmap.per_reg) w.element(uint64_t(f.total_bits));
+  w.end_array();
+  w.end_object();
+}
+
+void write_alloc(JsonWriter& w, const std::string& k,
+                 const alloc::AllocationResult& a) {
+  w.begin_object(k);
+  w.field("num_physical_regs", a.num_physical_regs);
+  w.field("total_slices", a.total_slices);
+  w.field("split_operands", a.split_operands);
+  w.field("packing_density", a.packing_density());
+  w.end_object();
+}
+
+void write_cache(JsonWriter& w, const std::string& k, const sim::CacheStats& c) {
+  w.begin_object(k);
+  w.field("accesses", c.accesses);
+  w.field("misses", c.misses);
+  w.field("miss_rate", c.miss_rate());
+  w.end_object();
+}
+
+const char* limiter_name(sim::Occupancy::Limiter l) {
+  switch (l) {
+    case sim::Occupancy::Limiter::kRegisters: return "registers";
+    case sim::Occupancy::Limiter::kSharedMem: return "shared_mem";
+    case sim::Occupancy::Limiter::kWarps: return "warps";
+    case sim::Occupancy::Limiter::kBlocks: return "blocks";
+    case sim::Occupancy::Limiter::kNone: return "none";
+  }
+  return "none";
+}
+
+void write_stats_fields(JsonWriter& w, const sim::SimStats& s) {
+  w.field("cycles", s.cycles);
+  w.field("thread_insts", s.thread_insts);
+  w.field("warp_insts", s.warp_insts);
+  w.field("blocks_run", s.blocks_run);
+  w.field("ipc", s.ipc());
+  write_cache(w, "l1", s.l1);
+  write_cache(w, "tex", s.tex);
+  write_cache(w, "l2", s.l2);
+  w.begin_object("stalls");
+  w.field("scoreboard", s.stall_scoreboard);
+  w.field("no_cu", s.stall_no_cu);
+  w.field("barrier", s.stall_barrier);
+  w.field("empty", s.stall_empty);
+  w.end_object();
+  w.field("operand_fetches", s.operand_fetches);
+  w.field("double_fetches", s.double_fetches);
+  w.field("conversions", s.conversions);
+}
+
+}  // namespace
+
+std::string to_json(const workloads::PipelineResult& pr) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("pressure");
+  w.field("original", pr.pressure.original);
+  w.field("narrow_int", pr.pressure.narrow_int);
+  w.field("narrow_float_perfect", pr.pressure.narrow_float_perfect);
+  w.field("narrow_float_high", pr.pressure.narrow_float_high);
+  w.field("both_perfect", pr.pressure.both_perfect);
+  w.field("both_high", pr.pressure.both_high);
+  w.end_object();
+  write_tune(w, "tune_perfect", pr.tune_perfect);
+  write_tune(w, "tune_high", pr.tune_high);
+  write_alloc(w, "alloc_both_perfect", pr.alloc_both_perfect);
+  write_alloc(w, "alloc_both_high", pr.alloc_both_high);
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const sim::SimStats& s) {
+  JsonWriter w;
+  w.begin_object();
+  write_stats_fields(w, s);
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const sim::SimResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("occupancy");
+  w.field("blocks_per_sm", r.occupancy.blocks_per_sm);
+  w.field("warps_per_sm", r.occupancy.warps_per_sm);
+  w.field("percent", r.occupancy.percent);
+  w.field("limiter", limiter_name(r.occupancy.limiter));
+  w.end_object();
+  w.begin_object("stats");
+  write_stats_fields(w, r.stats);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace gpurf::api

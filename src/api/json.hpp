@@ -1,0 +1,62 @@
+#pragma once
+// JSON snapshots of the framework's result objects (ISSUE 3): serving
+// callers and report emitters need pipeline and simulation results in a
+// machine-readable form without linking a JSON library.  The emitters here
+// are hand-rolled (objects/arrays/scalars only, RFC 8259-escaped strings)
+// and intentionally flat: every field mirrors the corresponding struct so
+// snapshots stay diffable against header definitions.
+
+#include <string>
+
+#include "sim/gpu.hpp"
+#include "workloads/pipeline.hpp"
+
+namespace gpurf::api {
+
+/// Minimal JSON object/array builder.  Values are appended in insertion
+/// order; no escaping pitfalls because all keys are ASCII literals and
+/// string values pass through escape().
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array(const std::string& key);
+  void begin_object(const std::string& key);
+  void end_array();
+
+  void field(const std::string& key, const std::string& v);
+  void field(const std::string& key, const char* v);
+  void field(const std::string& key, double v);
+  void field(const std::string& key, uint64_t v);
+  void field(const std::string& key, int64_t v);
+  void field(const std::string& key, uint32_t v) { field(key, uint64_t(v)); }
+  void field(const std::string& key, int v) { field(key, int64_t(v)); }
+  void field(const std::string& key, bool v);
+  /// Bare array element (numeric).
+  void element(double v);
+  void element(uint64_t v);
+
+  const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+  void key(const std::string& k);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Pipeline snapshot: pressure bars, tuner statistics and per-register
+/// tuned widths, allocation summaries.
+std::string to_json(const workloads::PipelineResult& pr);
+
+/// Timing statistics: cycles, IPC, cache miss rates, stall breakdown,
+/// compression traffic.
+std::string to_json(const sim::SimStats& s);
+
+/// Full simulation snapshot: stats + occupancy.
+std::string to_json(const sim::SimResult& r);
+
+}  // namespace gpurf::api

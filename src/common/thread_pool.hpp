@@ -28,8 +28,13 @@
 
 namespace gpurf::common {
 
+class ThreadPool;
+
 namespace detail {
 inline thread_local bool tl_in_pool_worker = false;
+/// Pool bound to the calling thread by ScopedPool (an Engine executing
+/// work on behalf of a session); null means "use the process-wide pool".
+inline thread_local ThreadPool* tl_current_pool = nullptr;
 }  // namespace detail
 
 /// True when the calling thread is executing inside a parallel_for shard.
@@ -61,6 +66,14 @@ class ThreadPool {
   static ThreadPool& instance() {
     static ThreadPool pool(default_thread_count());
     return pool;
+  }
+
+  /// Pool the calling thread should fan work out on: the ScopedPool-bound
+  /// pool when an Engine is driving this thread, else the shared instance.
+  /// All pipeline-internal parallelism routes through here so that work an
+  /// Engine executes lands on that Engine's own pool.
+  static ThreadPool& current() {
+    return detail::tl_current_pool ? *detail::tl_current_pool : instance();
   }
 
   /// Total execution width including the calling thread.
@@ -200,9 +213,27 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Convenience wrapper over the shared pool.
+/// RAII: bind `pool` as the calling thread's current pool for the scope.
+/// Engines wrap every public entry point in one of these, so the session's
+/// configured width applies to all nested parallel_for calls while other
+/// threads (and other Engines) stay untouched.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool* pool) : saved_(detail::tl_current_pool) {
+    detail::tl_current_pool = pool;
+  }
+  ~ScopedPool() { detail::tl_current_pool = saved_; }
+
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* saved_;
+};
+
+/// Convenience wrapper over the calling thread's current pool.
 inline void parallel_for(size_t n, const std::function<void(size_t)>& fn) {
-  ThreadPool::instance().parallel_for(n, fn);
+  ThreadPool::current().parallel_for(n, fn);
 }
 
 }  // namespace gpurf::common

@@ -841,7 +841,7 @@ uint64_t run_functional(ExecContext& ctx) {
   // CUDA contract — see ExecContext::block_parallel).  Nested calls (tuner
   // probes already running on pool workers) and explicitly serialised
   // callers fall through to the serial loop.
-  auto& pool = gpurf::common::ThreadPool::instance();
+  auto& pool = gpurf::common::ThreadPool::current();
   const bool parallel = ctx.block_parallel && nblocks > 1 &&
                         pool.size() > 1 && !gpurf::common::in_pool_worker();
   if (!parallel) {

@@ -129,25 +129,12 @@ uint64_t KernelAnalysis::fingerprint(const ir::Kernel& k) {
   return h;
 }
 
-std::shared_ptr<const KernelAnalysis> analyze_kernel(const ir::Kernel& k) {
-  struct Entry {
-    uint64_t fingerprint = 0;
-    std::shared_ptr<const KernelAnalysis> analysis;
-  };
-  static std::mutex mu;
-  static std::unordered_map<const ir::Kernel*, Entry> cache;
-
-  // Bound the cache: a process that churns through many transient kernels
-  // (fuzzers, interactive explorers) must not pin every dead kernel's
-  // analysis forever.  Wholesale reset is fine — entries are shared_ptrs,
-  // so analyses still in use stay alive, and rebuilds are cheap.
-  constexpr size_t kMaxEntries = 1024;
-
+std::shared_ptr<const KernelAnalysis> AnalysisCache::get(const ir::Kernel& k) {
   const uint64_t fp = KernelAnalysis::fingerprint(k);
   {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(&k);
-    if (it != cache.end() && it->second.fingerprint == fp)
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(&k);
+    if (it != cache_.end() && it->second.fingerprint == fp)
       return it->second.analysis;
   }
   // Build outside the lock: analyses of distinct kernels proceed in
@@ -155,11 +142,26 @@ std::shared_ptr<const KernelAnalysis> analyze_kernel(const ir::Kernel& k) {
   // (last writer wins, both results are equivalent).
   auto built = std::make_shared<const KernelAnalysis>(k);
   {
-    std::lock_guard<std::mutex> lock(mu);
-    if (cache.size() >= kMaxEntries) cache.clear();
-    cache[&k] = Entry{fp, built};
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_.size() >= kMaxEntries) cache_.clear();
+    cache_[&k] = Entry{fp, built};
   }
   return built;
+}
+
+size_t AnalysisCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+AnalysisCache& default_analysis_cache() {
+  static AnalysisCache cache;
+  return cache;
+}
+
+std::shared_ptr<const KernelAnalysis> analyze_kernel(const ir::Kernel& k) {
+  AnalysisCache* cache = detail::tl_current_analysis_cache;
+  return (cache ? *cache : default_analysis_cache()).get(k);
 }
 
 }  // namespace gpurf::exec

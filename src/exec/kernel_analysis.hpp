@@ -13,13 +13,18 @@
 //     with per-instruction flags (has_dst, control class) predecoded so
 //     the dispatch loop stops chasing the opcode-info table.
 //
-// analyze_kernel() memoizes instances in a process-wide, thread-safe cache
-// keyed by kernel address and guarded by a structural fingerprint, so the
-// rare address reuse after a kernel is destroyed can never alias a stale
-// entry.  Concurrent tuner probes share one immutable analysis.
+// Analyses memoize in an AnalysisCache: a thread-safe map keyed by kernel
+// address and guarded by a structural fingerprint, so the rare address
+// reuse after a kernel is destroyed can never alias a stale entry.
+// Concurrent tuner probes share one immutable analysis.  Each gpurf::Engine
+// owns a private cache (bound per-thread while the Engine executes work);
+// code outside any Engine falls back to a process-wide default via
+// analyze_kernel().
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/cfg.hpp"
@@ -87,9 +92,62 @@ class KernelAnalysis {
   uint64_t fingerprint_ = 0;
 };
 
-/// Fetch (or build and memoize) the analysis for `k`.  Thread-safe; the
-/// returned object is immutable and remains valid independently of the
-/// cache.  The caller should hold the shared_ptr for the duration of use.
+/// Bounded, thread-safe memo of KernelAnalysis objects.  Entries are
+/// shared_ptrs, so a wholesale reset never invalidates analyses still in
+/// use; rebuilds are cheap.  One instance per Engine (session isolation);
+/// a process-wide default serves code running outside any Engine.
+class AnalysisCache {
+ public:
+  /// Fetch (or build and memoize) the analysis for `k`.  The returned
+  /// object is immutable and remains valid independently of the cache.
+  std::shared_ptr<const KernelAnalysis> get(const gpurf::ir::Kernel& k);
+
+  /// Number of live entries (diagnostics / tests).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const KernelAnalysis> analysis;
+  };
+
+  /// Bound: a process that churns through many transient kernels (fuzzers,
+  /// interactive explorers) must not pin every dead kernel's analysis.
+  static constexpr size_t kMaxEntries = 1024;
+
+  mutable std::mutex mu_;
+  std::unordered_map<const gpurf::ir::Kernel*, Entry> cache_;
+};
+
+namespace detail {
+/// Cache bound to the calling thread by ScopedAnalysisCache; null means
+/// "use the process-wide default".
+inline thread_local AnalysisCache* tl_current_analysis_cache = nullptr;
+}  // namespace detail
+
+/// The process-wide default cache (used outside any Engine).
+AnalysisCache& default_analysis_cache();
+
+/// RAII: bind `cache` as the calling thread's analysis cache for the scope.
+class ScopedAnalysisCache {
+ public:
+  explicit ScopedAnalysisCache(AnalysisCache* cache)
+      : saved_(detail::tl_current_analysis_cache) {
+    detail::tl_current_analysis_cache = cache;
+  }
+  ~ScopedAnalysisCache() { detail::tl_current_analysis_cache = saved_; }
+
+  ScopedAnalysisCache(const ScopedAnalysisCache&) = delete;
+  ScopedAnalysisCache& operator=(const ScopedAnalysisCache&) = delete;
+
+ private:
+  AnalysisCache* saved_;
+};
+
+/// Fetch (or build and memoize) the analysis for `k` from the calling
+/// thread's current cache — the Engine-bound cache when inside an Engine
+/// call, else the process-wide default.  Thread-safe; the caller should
+/// hold the shared_ptr for the duration of use.
 std::shared_ptr<const KernelAnalysis> analyze_kernel(const gpurf::ir::Kernel& k);
 
 }  // namespace gpurf::exec

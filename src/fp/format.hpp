@@ -36,6 +36,12 @@ struct FloatFormat {
   }
 };
 
+/// Version of the Table-3 format set.  Bump whenever the formats above (or
+/// their quantization semantics) change: on-disk precision-map caches embed
+/// this so entries tuned against an older table are rejected as stale
+/// instead of silently reinterpreted.
+inline constexpr int kFormatTableVersion = 1;
+
 /// The seven Table-3 formats ordered from widest (32) to narrowest (8).
 const std::array<FloatFormat, 7>& table3_formats();
 

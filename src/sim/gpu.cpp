@@ -530,10 +530,23 @@ class SmCore {
 
 }  // namespace
 
-SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
-                   const KernelLaunchSpec& spec) {
+void validate_launch_spec(const CompressionConfig& comp,
+                          const KernelLaunchSpec& spec) {
   GPURF_CHECK(spec.kernel && spec.gmem, "incomplete launch spec");
   GPURF_CHECK(spec.regs_per_thread > 0, "regs_per_thread must be set");
+  GPURF_CHECK(spec.launch.num_blocks() > 0 &&
+                  spec.launch.threads_per_block() > 0,
+              "launch '" << spec.kernel->name << "' has an empty grid");
+  // Note: comp.enabled without an allocation is legal — the compressed
+  // pipeline overheads (conversion, writeback delay) apply even when every
+  // operand still maps 1:1 (sim_test pins this); the allocation only adds
+  // indirection-table traffic and split-operand double fetches.
+  (void)comp;
+}
+
+SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
+                   const KernelLaunchSpec& spec) {
+  validate_launch_spec(comp, spec);
 
   SimResult res;
   res.occupancy = compute_occupancy(gpu, spec.regs_per_thread,

@@ -57,7 +57,17 @@ struct SimResult {
   Occupancy occupancy;
 };
 
-/// Run one kernel launch to completion.
+/// Validate a launch spec before committing simulator resources.  Bad
+/// input (missing kernel/memory, unset register pressure, empty grid)
+/// raises gpurf::Error via GPURF_CHECK — recoverable at the Engine
+/// boundary, which converts it to a Status instead of terminating.  Note
+/// that compressed mode (comp.enabled) without a slice allocation is
+/// legal: the conversion/writeback overheads apply even when operands map
+/// 1:1 (`comp` is taken for future mode-dependent checks).
+void validate_launch_spec(const CompressionConfig& comp,
+                          const KernelLaunchSpec& spec);
+
+/// Run one kernel launch to completion.  Calls validate_launch_spec first.
 SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
                    const KernelLaunchSpec& spec);
 

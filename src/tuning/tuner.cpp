@@ -39,7 +39,11 @@ std::vector<double> QualityProbe::evaluate_batch(
 }
 
 TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
-                          const TunerOptions& opt) {
+                          const TunerOptions& opt_in) {
+  TunerOptions opt = opt_in;
+  if (opt.speculate_batch <= 0)
+    opt.speculate_batch = gpurf::common::ThreadPool::current().size();
+
   TuneResult res;
   res.pmap.per_reg.assign(k.num_regs(), gpurf::fp::format_for_bits(32));
 
@@ -157,7 +161,7 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
         // never affects the accepted assignment.
         if (opt.adaptive_batch) {
           const bool can_grow =
-              gpurf::common::ThreadPool::instance().size() > 1;
+              gpurf::common::ThreadPool::current().size() > 1;
           k_cur = accepted == chain.size()
                       ? std::min(can_grow ? k_cur * 2 : k_cur, k_max)
                       : std::max<size_t>(1, k_cur / 2);
@@ -184,11 +188,18 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
     if (!changed) break;
   }
 
-  // Final validation of the accepted assignment.
-  res.final_score = probe.evaluate(res.pmap);
-  ++res.evaluations;
-  GPURF_ASSERT(probe.meets(res.final_score, opt.level),
-               "accepted assignment fails validation");
+  // Final validation of the accepted assignment.  With defer_validation
+  // the caller batches this probe with other pending validations; the
+  // accepted score is bit-identical to what the probe would return here
+  // (evaluate() is a pure function of the pmap by contract).
+  if (opt.defer_validation) {
+    res.final_score = last_score;
+  } else {
+    res.final_score = probe.evaluate(res.pmap);
+    ++res.evaluations;
+    GPURF_ASSERT(probe.meets(res.final_score, opt.level),
+                 "accepted assignment fails validation");
+  }
 
   res.slices_after = 0;
   for (uint32_t r : targets) res.slices_after += res.pmap.per_reg[r].slices();

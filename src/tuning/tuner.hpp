@@ -58,7 +58,9 @@ struct TunerOptions {
   /// all-accept path concurrently and accepts the longest valid prefix;
   /// the accepted assignment is bit-for-bit identical to the serial
   /// result (only `evaluations` grows, counting the wasted speculation).
-  int speculate_batch = 1;
+  /// <= 0 = auto: the current thread pool's width at tune time (an Engine
+  /// resolves this to its own thread count at construction).
+  int speculate_batch = 0;
   /// Adapt the batch width to the acceptance pattern: a rejection halves K
   /// (quality failed early — deep speculation was wasted), a fully
   /// accepted batch doubles it, clamped to [1, speculate_batch_max].  The
@@ -67,6 +69,16 @@ struct TunerOptions {
   bool adaptive_batch = true;
   /// Upper clamp for the adaptive width; <= 0 means 4 * speculate_batch.
   int speculate_batch_max = 0;
+  /// Skip the final validation probe at the end of tune_precision.  The
+  /// probe contract makes evaluate() a pure function of the pmap, so the
+  /// validation score always equals the score of the last accepted
+  /// evaluation; callers that tune several quality levels back-to-back
+  /// (the pipeline tunes perfect + high) set this and batch all final
+  /// validations through one QualityProbe::evaluate_batch call instead of
+  /// running them serially.  final_score is still set (to the accepted
+  /// score) and the deferred validation must still be performed by the
+  /// caller — see workloads::compute_pipeline.
+  bool defer_validation = false;
 };
 
 struct TuneResult {

@@ -1,15 +1,15 @@
 #include "workloads/pipeline.hpp"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
-#include <map>
-#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "fp/format.hpp"
 #include "ir/printer.hpp"
 
 namespace gpurf::workloads {
@@ -28,17 +28,18 @@ using gpurf::quality::QualityLevel;
 /// evaluation copies one (memory images only) instead of regenerating it.
 /// evaluate() is safe to call concurrently (required by the tuner's
 /// speculative batch mode) and itself fans the variants out across the
-/// shared thread pool when called from the serial path.
+/// current thread pool when called from the serial path.
 class WorkloadProbe final : public gpurf::tuning::QualityProbe {
  public:
-  explicit WorkloadProbe(const Workload& w) : w_(w) {
+  WorkloadProbe(const Workload& w, const RunOptions& run) : w_(w), run_(run) {
+    run_.thread_insts = nullptr;
     const uint32_t nv = w.num_sample_variants();
     protos_.reserve(nv);
     for (uint32_t v = 0; v < nv; ++v) {
       protos_.push_back(w.make_instance(Scale::kSample, v));
       metrics_.push_back(w.make_metric(protos_.back()));
       Workload::Instance inst = protos_[v];  // run() mutates the memory
-      refs_.push_back(w_.run(inst, nullptr));
+      refs_.push_back(w_.run(inst, nullptr, nullptr, run_));
     }
   }
 
@@ -87,7 +88,7 @@ class WorkloadProbe final : public gpurf::tuning::QualityProbe {
   /// One functional replay: candidate pmap on sample variant v.
   double score_variant(const gpurf::exec::PrecisionMap& pmap, size_t v) {
     Workload::Instance inst = protos_[v];  // fresh copy per evaluation
-    const auto out = w_.run(inst, &pmap);
+    const auto out = w_.run(inst, &pmap, nullptr, run_);
     return metrics_[v]->score(refs_[v], out);
   }
 
@@ -98,63 +99,128 @@ class WorkloadProbe final : public gpurf::tuning::QualityProbe {
   }
 
   const Workload& w_;
+  RunOptions run_;
   std::vector<Workload::Instance> protos_;
   std::vector<std::unique_ptr<gpurf::quality::QualityMetric>> metrics_;
   std::vector<std::vector<float>> refs_;
 };
 
-/// Tuned precision maps are the only expensive artifact (hundreds of
-/// functional probes); cache them on disk keyed by a hash of the kernel
-/// text so every bench binary in a session reuses them.  The directory is
-/// $GPURF_CACHE_DIR when set, else ".gpurf_cache"; delete it to force
-/// re-tuning.
-std::string cache_dir() {
-  if (const char* env = std::getenv("GPURF_CACHE_DIR"))
-    if (env[0] != '\0') return env;
-  return ".gpurf_cache";
+/// Cache schema version.  v1 files (headerless "bp bh" rows) are rejected
+/// as unversioned; bump this when the row layout changes.
+constexpr int kPmapCacheVersion = 2;
+
+constexpr const char kPmapMagic[] = "gpurf-pmap";
+
+bool is_table3_width(int bits) {
+  for (const auto& f : gpurf::fp::table3_formats())
+    if (f.total_bits == bits) return true;
+  return false;
 }
 
-std::string cache_path(const Workload& w) {
+}  // namespace
+
+const std::string& default_cache_dir() {
+  // Environment read exactly once per process (env-var-as-default rule).
+  static const std::string dir = [] {
+    if (const char* env = std::getenv("GPURF_CACHE_DIR"))
+      if (env[0] != '\0') return std::string(env);
+    return std::string(".gpurf_cache");
+  }();
+  return dir;
+}
+
+uint64_t kernel_cache_fingerprint(const Workload& w) {
+  // FNV-1a over the printed kernel text.  Deliberately NOT
+  // std::hash<std::string>: the fingerprint lives in on-disk cache
+  // filenames and headers, so it must be identical across standard-library
+  // implementations and releases.
   const std::string text = gpurf::ir::print_kernel(w.kernel());
-  const size_t h = std::hash<std::string>{}(text);
-  return cache_dir() + "/" + w.spec().name + "_" + std::to_string(h) +
-         ".pmap";
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
-bool load_pmaps(const Workload& w, gpurf::tuning::TuneResult& perfect,
-                gpurf::tuning::TuneResult& high) {
-  std::FILE* f = std::fopen(cache_path(w).c_str(), "r");
-  if (!f) return false;
-  const uint32_t n = w.kernel().num_regs();
-  perfect.pmap.per_reg.assign(n, gpurf::fp::format_for_bits(32));
-  high.pmap.per_reg.assign(n, gpurf::fp::format_for_bits(32));
-  bool ok = true;
-  for (uint32_t r = 0; r < n && ok; ++r) {
+std::string pmap_cache_path(const Workload& w, const std::string& dir) {
+  const std::string& d = dir.empty() ? default_cache_dir() : dir;
+  return d + "/" + w.spec().name + "_" +
+         std::to_string(kernel_cache_fingerprint(w)) + ".pmap";
+}
+
+gpurf::Status load_pmap_cache(const Workload& w, const std::string& dir,
+                              gpurf::tuning::TuneResult& perfect,
+                              gpurf::tuning::TuneResult& high) {
+  const std::string path = pmap_cache_path(w, dir);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return gpurf::Status::NotFound("no cache entry at " + path);
+
+  auto data_loss = [&](const std::string& why) {
+    std::fclose(f);
+    return gpurf::Status::DataLoss("cache entry " + path + ": " + why);
+  };
+
+  // Header: magic, schema version, format-table version, kernel
+  // fingerprint, register count.  Any mismatch means the entry was tuned
+  // by an incompatible build (or is not a cache file at all); the caller
+  // must re-tune rather than trust it.
+  char magic[16] = {0};
+  int schema = 0, fmtver = 0;
+  uint64_t fp = 0;
+  uint32_t nregs = 0;
+  if (std::fscanf(f, "%15s %d %d %" SCNu64 " %" SCNu32, magic, &schema,
+                  &fmtver, &fp, &nregs) != 5)
+    return data_loss("unversioned or malformed header");
+  if (std::string(magic) != kPmapMagic)
+    return data_loss("bad magic '" + std::string(magic) + "'");
+  if (schema != kPmapCacheVersion)
+    return data_loss("schema version " + std::to_string(schema) +
+                     " != " + std::to_string(kPmapCacheVersion));
+  if (fmtver != gpurf::fp::kFormatTableVersion)
+    return data_loss("format-table version " + std::to_string(fmtver) +
+                     " != " + std::to_string(gpurf::fp::kFormatTableVersion));
+  if (fp != kernel_cache_fingerprint(w))
+    return data_loss("kernel fingerprint mismatch (stale entry)");
+  if (nregs != w.kernel().num_regs())
+    return data_loss("register count mismatch");
+
+  perfect.pmap.per_reg.assign(nregs, gpurf::fp::format_for_bits(32));
+  high.pmap.per_reg.assign(nregs, gpurf::fp::format_for_bits(32));
+  for (uint32_t r = 0; r < nregs; ++r) {
     int bp = 0, bh = 0;
-    ok = std::fscanf(f, "%d %d", &bp, &bh) == 2;
-    if (ok) {
-      perfect.pmap.per_reg[r] = gpurf::fp::format_for_bits(bp);
-      high.pmap.per_reg[r] = gpurf::fp::format_for_bits(bh);
-    }
+    if (std::fscanf(f, "%d %d", &bp, &bh) != 2)
+      return data_loss("truncated at row " + std::to_string(r));
+    if (!is_table3_width(bp) || !is_table3_width(bh))
+      return data_loss("non-Table-3 width at row " + std::to_string(r));
+    perfect.pmap.per_reg[r] = gpurf::fp::format_for_bits(bp);
+    high.pmap.per_reg[r] = gpurf::fp::format_for_bits(bh);
   }
   std::fclose(f);
-  return ok;
+  return gpurf::Status::Ok();
 }
 
-void store_pmaps(const Workload& w, const gpurf::tuning::TuneResult& perfect,
-                 const gpurf::tuning::TuneResult& high) {
+gpurf::Status store_pmap_cache(const Workload& w, const std::string& dir,
+                               const gpurf::tuning::TuneResult& perfect,
+                               const gpurf::tuning::TuneResult& high) {
+  const std::string& d = dir.empty() ? default_cache_dir() : dir;
   std::error_code ec;
-  std::filesystem::create_directories(cache_dir(), ec);
-  if (ec) return;  // cache is best-effort
-  std::FILE* f = std::fopen(cache_path(w).c_str(), "w");
-  if (!f) return;
+  std::filesystem::create_directories(d, ec);
+  if (ec)
+    return gpurf::Status::Internal("cannot create cache dir " + d + ": " +
+                                   ec.message());
+  const std::string path = pmap_cache_path(w, d);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return gpurf::Status::Internal("cannot open " + path);
+  std::fprintf(f, "%s %d %d %" PRIu64 " %u\n", kPmapMagic, kPmapCacheVersion,
+               gpurf::fp::kFormatTableVersion, kernel_cache_fingerprint(w),
+               w.kernel().num_regs());
   for (uint32_t r = 0; r < w.kernel().num_regs(); ++r)
     std::fprintf(f, "%d %d\n", perfect.pmap.per_reg[r].total_bits,
                  high.pmap.per_reg[r].total_bits);
   std::fclose(f);
+  return gpurf::Status::Ok();
 }
-
-}  // namespace
 
 PipelineResult compute_pipeline(const Workload& w,
                                 const PipelineOptions& opt) {
@@ -168,18 +234,41 @@ PipelineResult compute_pipeline(const Workload& w,
   // 1. Integer range analysis (§4.2).
   pr.ranges = analysis::analyze_ranges(k, inst.launch);
 
-  // 2. Float precision tuning (§4.1), two thresholds (§6.1).
-  if (!opt.use_disk_cache || !load_pmaps(w, pr.tune_perfect, pr.tune_high)) {
-    WorkloadProbe probe(w);
-    gpurf::tuning::TunerOptions topt;
-    topt.speculate_batch =
-        opt.tuner_batch > 0 ? opt.tuner_batch
-                            : gpurf::common::ThreadPool::instance().size();
+  // 2. Float precision tuning (§4.1), two thresholds (§6.1).  A stale or
+  // corrupt disk-cache entry (non-OK, non-NotFound load) falls through to
+  // a fresh tune — the entry is overwritten with a current one below.
+  const bool cached =
+      opt.use_disk_cache &&
+      load_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high).ok();
+  if (!cached) {
+    WorkloadProbe probe(w, opt.run);
+    gpurf::tuning::TunerOptions topt = opt.tuner;
+    if (opt.tuner_batch > 0) topt.speculate_batch = opt.tuner_batch;
+    // speculate_batch <= 0 resolves to the current pool width inside
+    // tune_precision.
+    // Both final validation probes run as one batch after the second tune
+    // instead of serially inside each call (they are independent replays,
+    // so the pool overlaps them).  Scores are bit-identical to the serial
+    // path: evaluate() is a pure function of the pmap.
+    topt.defer_validation = true;
     topt.level = QualityLevel::kPerfect;
     pr.tune_perfect = gpurf::tuning::tune_precision(k, probe, topt);
     topt.level = QualityLevel::kHigh;
     pr.tune_high = gpurf::tuning::tune_precision(k, probe, topt);
-    if (opt.use_disk_cache) store_pmaps(w, pr.tune_perfect, pr.tune_high);
+
+    const std::vector<const gpurf::exec::PrecisionMap*> finals = {
+        &pr.tune_perfect.pmap, &pr.tune_high.pmap};
+    const std::vector<double> scores = probe.evaluate_batch(finals);
+    pr.tune_perfect.final_score = scores[0];
+    pr.tune_high.final_score = scores[1];
+    ++pr.tune_perfect.evaluations;
+    ++pr.tune_high.evaluations;
+    GPURF_ASSERT(probe.meets(scores[0], QualityLevel::kPerfect) &&
+                     probe.meets(scores[1], QualityLevel::kHigh),
+                 "accepted assignment fails validation");
+
+    if (opt.use_disk_cache)
+      store_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high);
   }
 
   // 3. Slice allocation (§4.3) under each framework combination.
@@ -207,25 +296,18 @@ PipelineResult compute_pipeline(const Workload& w,
   return pr;
 }
 
-const PipelineResult& run_pipeline(const Workload& w) {
-  // Per-workload once-entries instead of one global lock: independent
+const PipelineResult& PipelineCache::get(const Workload& w) {
+  // Per-workload once-entries instead of one cache-wide lock: independent
   // workloads requested from different threads tune concurrently, while
-  // each workload's pipeline still runs exactly once.
-  struct Entry {
-    std::once_flag once;
-    std::unique_ptr<PipelineResult> result;
-  };
-  static std::mutex mu;                        // guards the map shape only
-  static std::map<std::string, Entry> cache;   // node-stable addresses
-
+  // each workload's pipeline still runs exactly once per cache instance.
   Entry* e;
   {
-    std::lock_guard<std::mutex> lock(mu);
-    e = &cache[w.spec().name];
+    std::lock_guard<std::mutex> lock(mu_);
+    e = &cache_[w.spec().name];
   }
   std::call_once(e->once,
                  [&] { e->result = std::make_unique<PipelineResult>(
-                           compute_pipeline(w)); });
+                           compute_pipeline(w, opt_)); });
   return *e->result;
 }
 

@@ -8,14 +8,23 @@
 // plus helpers to derive simulator launch specs for the paper's
 // experiment configurations (original / compressed / artificial).
 //
-// Results are memoized per workload name inside one process: the tuner
-// runs hundreds of functional probes, and several benches/tests want the
-// same artifacts.
+// Ownership model (ISSUE 3): pipeline results memoize inside a
+// PipelineCache instance, and the expensive tuned precision maps persist
+// in a versioned on-disk cache under PipelineOptions::cache_dir.  The
+// public entry point is gpurf::Engine (src/api/engine.hpp), which owns one
+// PipelineCache per session — two Engines with different options never
+// share state.  The free run_pipeline() below survives as a thin shim over
+// the process-default Engine for legacy callers; compute_pipeline() is the
+// raw, memo-free computation used by benches and determinism tests.
 
 #include <memory>
+#include <map>
+#include <mutex>
+#include <string>
 
 #include "alloc/slice_alloc.hpp"
 #include "analysis/range_analysis.hpp"
+#include "api/status.hpp"
 #include "sim/gpu.hpp"
 #include "tuning/tuner.hpp"
 #include "workloads/workload.hpp"
@@ -41,25 +50,100 @@ struct PipelineResult {
   gpurf::alloc::AllocationResult alloc_both_high;
 };
 
-/// Run (or fetch the memoized) pipeline for a workload.  Independent
-/// workloads may be pipelined from different threads concurrently; each
-/// workload's pipeline is computed exactly once per process.
-const PipelineResult& run_pipeline(const Workload& w);
+/// Directory for the on-disk precision-map cache when PipelineOptions does
+/// not name one: $GPURF_CACHE_DIR if set, else ".gpurf_cache".  The
+/// environment is consulted exactly once per process (the env-var-as-
+/// default rule: Engine construction captures it; nothing re-reads the
+/// environment afterwards).
+const std::string& default_cache_dir();
 
-/// Pipeline computation knobs (run_pipeline uses the defaults).
+/// Pipeline computation knobs.  An Engine fills every field from its
+/// EngineOptions at construction; default-constructed options reproduce
+/// the legacy env-driven behaviour.
 struct PipelineOptions {
-  /// Load/store tuned precision maps in the on-disk cache (directory from
-  /// $GPURF_CACHE_DIR, default ".gpurf_cache").
+  /// Load/store tuned precision maps in the on-disk cache.
   bool use_disk_cache = true;
-  /// Speculative batch width for the tuner's greedy descent; <= 0 means
-  /// "use the shared thread pool's width".
+  /// Cache directory; empty means default_cache_dir().
+  std::string cache_dir;
+  /// Base tuner options (quality level is set per tuning run; a
+  /// speculate_batch <= 0 resolves to the current thread pool's width).
+  gpurf::tuning::TunerOptions tuner;
+  /// Speculative batch width override; <= 0 defers to `tuner`.  Kept for
+  /// callers predating the full TunerOptions plumbing.
   int tuner_batch = 0;
+  /// Interpreter strategy for every functional replay the tuner's quality
+  /// probes perform (thread_insts is ignored).
+  RunOptions run;
 };
 
-/// Compute a pipeline result directly, bypassing the in-process memo —
-/// for benches and determinism tests that need fresh, controlled runs.
+/// Compute a pipeline result directly — no memo, no Engine.  Benches and
+/// determinism tests use this for fresh, controlled runs.
 PipelineResult compute_pipeline(const Workload& w,
                                 const PipelineOptions& opt = {});
+
+/// Session-scoped memo of pipeline results, keyed by workload name.
+/// Independent workloads may be requested from different threads
+/// concurrently; each workload's pipeline is computed exactly once per
+/// cache instance.  gpurf::Engine owns one of these per session.
+class PipelineCache {
+ public:
+  explicit PipelineCache(PipelineOptions opt = {}) : opt_(std::move(opt)) {}
+
+  /// Run (or fetch the memoized) pipeline for a workload.
+  const PipelineResult& get(const Workload& w);
+
+  const PipelineOptions& options() const { return opt_; }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<PipelineResult> result;
+  };
+
+  PipelineOptions opt_;
+  std::mutex mu_;                       ///< guards the map shape only
+  std::map<std::string, Entry> cache_;  ///< node-stable addresses
+};
+
+/// Legacy shim: run (or fetch the memoized) pipeline on the process-default
+/// Engine (api/engine.hpp).  New code should hold an Engine and call
+/// engine.pipeline() for session-scoped configuration and Status-based
+/// error handling.  Defined in src/api/engine.cpp.
+const PipelineResult& run_pipeline(const Workload& w);
+
+// ------------------------------------------------------- on-disk pmap cache
+//
+// Tuned precision maps are the only expensive artifact (hundreds of
+// functional probes), so they persist across processes.  Entries are
+// versioned: the header records the cache schema version, the Table-3
+// format-table version (fp::kFormatTableVersion) and the kernel's content
+// fingerprint, and loading rejects any mismatch with a non-OK Status
+// instead of silently reinterpreting stale bits.
+
+/// Stable content fingerprint of a kernel (FNV-1a over its printed text) —
+/// unlike exec::KernelAnalysis::fingerprint it contains no addresses and no
+/// implementation-defined hashing, so it is comparable across processes,
+/// builds and standard libraries.
+uint64_t kernel_cache_fingerprint(const Workload& w);
+
+/// Path of the workload's cache entry inside `dir`.
+std::string pmap_cache_path(const Workload& w, const std::string& dir);
+
+/// Load the tuned perfect/high precision maps for `w` from `dir`.
+///   OK          — maps loaded into `perfect` / `high`;
+///   kNotFound   — no cache entry (expected on first run);
+///   kDataLoss   — entry exists but is unversioned, stale (fingerprint or
+///                 format-table mismatch) or corrupt; callers re-tune.
+gpurf::Status load_pmap_cache(const Workload& w, const std::string& dir,
+                              gpurf::tuning::TuneResult& perfect,
+                              gpurf::tuning::TuneResult& high);
+
+/// Store tuned precision maps (best effort; returns non-OK on I/O failure).
+gpurf::Status store_pmap_cache(const Workload& w, const std::string& dir,
+                               const gpurf::tuning::TuneResult& perfect,
+                               const gpurf::tuning::TuneResult& high);
+
+// ------------------------------------------------------------- simulation
 
 /// Experiment configurations of §6.
 enum class SimMode {
