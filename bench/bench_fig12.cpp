@@ -4,12 +4,15 @@
 // kernels; Elevated and GICOV deteriorate (scoreboard without forwarding);
 // occasional non-monotonic timing anomalies.
 //
-// The (workload x delay) grid flattens into independent submit_simulate
-// jobs with a per-job CompressionConfig override (SimRequest::compression)
-// on one Engine; rows print in workload order afterwards.
+// The (workload x delay) grid flattens into independent Jobs with a
+// per-job CompressionConfig override (SimRequest::compression) on one
+// Engine (ISSUE 4).  The wb=0 column carries the highest priority so the
+// first executed wave touches every workload once, filling the pipeline
+// memos before the remaining delays fan out; rows print in workload order
+// afterwards, and per-job wall times plus the Engine metrics land in
+// BENCH_fig12.json.
 
 #include <cstdio>
-#include <future>
 #include <iterator>
 #include <vector>
 
@@ -25,30 +28,56 @@ int main() {
   std::printf("Figure 12: IPC vs. writeback delay (high output quality)\n");
   std::printf("%-11s %8s %8s %8s %8s\n", "Kernel", "wb=0", "wb=2", "wb=4",
               "wb=8");
-  gpurf::Engine engine;
+  gpurf::Engine engine(gpurf::EngineOptions().with_max_inflight(64));
   const auto names = engine.workload_names();
-  std::vector<std::future<gpurf::StatusOr<sim::SimResult>>> futs(
-      names.size() * kNumDelays);
-  // Delay-major submission: the first wave touches every workload once,
-  // filling the pipeline memos with minimal once-flag contention.
+  std::vector<gpurf::Job> jobs(names.size() * kNumDelays);
   for (size_t d = 0; d < kNumDelays; ++d)
     for (size_t i = 0; i < names.size(); ++i) {
       gpurf::SimRequest req;
       req.mode = wl::SimMode::kCompressedHigh;
       req.compression = sim::CompressionConfig::with_writeback_delay(kDelays[d]);
-      futs[i * kNumDelays + d] = engine.submit_simulate(names[i], req);
+      jobs[i * kNumDelays + d] = engine.submit(
+          gpurf::JobRequest::simulate(names[i], req)
+              .with_priority(static_cast<int>(kNumDelays - 1 - d)));
     }
+
+  std::FILE* json = std::fopen("BENCH_fig12.json", "w");
+  if (json) std::fprintf(json, "{\n  \"workloads\": [");
+
   for (size_t i = 0; i < names.size(); ++i) {
     std::printf("%-11s", names[i].c_str());
+    if (json)
+      std::fprintf(json, "%s\n    {\"kernel\": \"%s\", \"ipc\": [",
+                   i ? "," : "", names[i].c_str());
     for (size_t d = 0; d < kNumDelays; ++d) {
-      auto r = futs[i * kNumDelays + d].get();
+      gpurf::Job& job = jobs[i * kNumDelays + d];
+      job.wait();
+      auto r = job.sim_result();
       if (!r.ok()) {
         std::fprintf(stderr, "\n%s\n", r.status().to_string().c_str());
+        if (json) {
+          // No file beats half a file for downstream JSON consumers.
+          std::fclose(json);
+          std::remove("BENCH_fig12.json");
+        }
         return 1;
       }
       std::printf(" %8.0f", r->stats.ipc());
+      if (json) std::fprintf(json, "%s%.2f", d ? ", " : "", r->stats.ipc());
+    }
+    if (json) {
+      std::fprintf(json, "], \"wall_ms\": [");
+      for (size_t d = 0; d < kNumDelays; ++d)
+        std::fprintf(json, "%s%.3f", d ? ", " : "",
+                     jobs[i * kNumDelays + d].progress().wall_ms);
+      std::fprintf(json, "]}");
     }
     std::printf("\n");
+  }
+  if (json) {
+    std::fprintf(json, "\n  ],\n  \"metrics\": %s\n}\n",
+                 engine.metrics_json().c_str());
+    std::fclose(json);
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "api/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "api/json.hpp"
@@ -21,16 +22,44 @@ EngineOptions resolve(EngineOptions o) {
   if (o.max_inflight == 0)
     o.max_inflight = 2 * static_cast<size_t>(o.async_workers);
   o.run.thread_insts = nullptr;
+  // Cancellation tokens are per-job, never session-wide configuration.
+  o.run.cancel = nullptr;
+  o.tuner.cancel = nullptr;
   return o;
 }
 
-workloads::PipelineOptions pipeline_options(const EngineOptions& o) {
+workloads::PipelineOptions pipeline_options(const EngineOptions& o,
+                                            workloads::PipelineStats* stats) {
   workloads::PipelineOptions p;
   p.use_disk_cache = o.use_disk_cache;
   p.cache_dir = o.cache_dir;
   p.tuner = o.tuner;
   p.run = o.run;
+  p.stats = stats;
   return p;
+}
+
+/// Map a cooperative stop to the Status the serving layer reports.
+Status stop_status(const common::CancelledError& e, const std::string& what) {
+  return e.reason() == common::StopReason::kDeadline
+             ? Status::DeadlineExceeded(what + ": " + e.what())
+             : Status::Cancelled(what + ": " + e.what());
+}
+
+/// Terminal JobState matching a terminal Status.
+JobState terminal_state_for(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kCancelled: return JobState::kCancelled;
+    case StatusCode::kDeadlineExceeded: return JobState::kDeadlineExceeded;
+    default: return JobState::kDone;  // success or ordinary failure
+  }
+}
+
+uint64_t wall_us_since(detail::JobImpl::Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          detail::JobImpl::Clock::now() - start)
+          .count());
 }
 
 }  // namespace
@@ -38,7 +67,7 @@ workloads::PipelineOptions pipeline_options(const EngineOptions& o) {
 Engine::Engine(EngineOptions opts)
     : opts_(resolve(std::move(opts))),
       pool_(opts_.threads),
-      pipelines_(pipeline_options(opts_)),
+      pipelines_(pipeline_options(opts_, &pipeline_stats_)),
       registry_(workloads::make_all_workloads()) {}
 
 Engine::~Engine() {
@@ -78,15 +107,18 @@ StatusOr<const workloads::Workload*> Engine::workload(
                           }());
 }
 
-StatusOr<const workloads::PipelineResult*> Engine::pipeline(
-    const workloads::Workload& w) {
+StatusOr<const workloads::PipelineResult*> Engine::pipeline_impl(
+    const workloads::Workload& w, common::CancelToken* cancel) {
   Scope scope(*this);
   // gpurf::Error is the core's recoverable, input-dependent tier
   // (GPURF_CHECK) — e.g. a workload whose metric fails at full precision —
-  // so it maps to FailedPrecondition; anything else escaping the core is
+  // so it maps to FailedPrecondition; a cooperative stop maps to
+  // kCancelled / kDeadlineExceeded; anything else escaping the core is
   // Internal.  GPURF_ASSERT (state corruption) still aborts by design.
   try {
-    return &pipelines_.get(w);
+    return &pipelines_.get(w, cancel);
+  } catch (const common::CancelledError& e) {
+    return stop_status(e, std::string("pipeline '") + w.spec().name + "'");
   } catch (const Error& e) {
     return Status::FailedPrecondition(std::string("pipeline '") +
                                       w.spec().name + "': " + e.what());
@@ -94,6 +126,11 @@ StatusOr<const workloads::PipelineResult*> Engine::pipeline(
     return Status::Internal(std::string("pipeline '") + w.spec().name +
                             "': " + e.what());
   }
+}
+
+StatusOr<const workloads::PipelineResult*> Engine::pipeline(
+    const workloads::Workload& w) {
+  return pipeline_impl(w, nullptr);
 }
 
 StatusOr<const workloads::PipelineResult*> Engine::pipeline(
@@ -125,24 +162,31 @@ StatusOr<std::string> Engine::pipeline_json(std::string_view name) {
   return api::to_json(**pr);
 }
 
-StatusOr<sim::SimResult> Engine::simulate(const workloads::Workload& w,
-                                          const SimRequest& req) {
+StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
+                                               const SimRequest& req,
+                                               common::CancelToken* cancel) {
   if (req.variant >= w.num_sample_variants() &&
       req.scale == workloads::Scale::kSample)
     return Status::InvalidArgument(
         "variant " + std::to_string(req.variant) + " out of range for '" +
         w.spec().name + "'");
-  auto pr = pipeline(w);
+  auto pr = pipeline_impl(w, cancel);
   if (!pr.ok()) return pr.status();
 
   Scope scope(*this);
   try {
+    if (cancel) {
+      cancel->set_stage(common::JobStage::kSimulating);
+      cancel->checkpoint();
+    }
     auto inst = w.make_instance(req.scale, req.variant);
     auto spec = workloads::make_launch_spec(w, inst, **pr, req.mode);
     const sim::CompressionConfig comp =
         req.compression ? *req.compression
                         : workloads::make_compression_config(req.mode);
-    return sim::simulate(opts_.gpu, comp, spec);
+    return sim::simulate(opts_.gpu, comp, spec, cancel);
+  } catch (const common::CancelledError& e) {
+    return stop_status(e, std::string("simulate '") + w.spec().name + "'");
   } catch (const Error& e) {
     return Status::FailedPrecondition(std::string("simulate '") +
                                       w.spec().name + "': " + e.what());
@@ -150,6 +194,11 @@ StatusOr<sim::SimResult> Engine::simulate(const workloads::Workload& w,
     return Status::Internal(std::string("simulate '") + w.spec().name +
                             "': " + e.what());
   }
+}
+
+StatusOr<sim::SimResult> Engine::simulate(const workloads::Workload& w,
+                                          const SimRequest& req) {
+  return simulate_impl(w, req, nullptr);
 }
 
 StatusOr<sim::SimResult> Engine::simulate(std::string_view name,
@@ -192,7 +241,7 @@ StatusOr<tuning::TuneResult> Engine::tune(const ir::Kernel& k,
   }
 }
 
-// --------------------------------------------------------- async executor
+// ----------------------------------------------------------------- Job API
 
 void Engine::ensure_executor() {
   std::lock_guard<std::mutex> lock(qmu_);
@@ -203,39 +252,176 @@ void Engine::ensure_executor() {
     executors_.emplace_back([this] { executor_loop(); });
 }
 
-void Engine::executor_loop() {
-  for (;;) {
-    std::function<void()> job;
-    {
-      std::unique_lock<std::mutex> lock(qmu_);
-      qcv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
+Job Engine::submit(JobRequest req) {
+  auto impl = std::make_shared<detail::JobImpl>();
+  impl->req = std::move(req);
+  impl->submitted_at = detail::JobImpl::Clock::now();
+  std::optional<detail::JobImpl::Clock::time_point> deadline;
+  if (impl->req.deadline_ms > 0) {
+    deadline = impl->submitted_at +
+               std::chrono::milliseconds(impl->req.deadline_ms);
+    impl->token.set_deadline(*deadline);
+  }
+  ensure_executor();
+
+  bool rejected = false;
+  {
+    std::unique_lock<std::mutex> lock(qmu_);
+    metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
+    // Bounded in-flight set.  Without a deadline this is pure
+    // backpressure (block until a slot frees, as before).  With one, the
+    // wait gives up at the deadline — the request's time budget covers
+    // queue admission too, so a saturated Engine sheds late work instead
+    // of blocking its callers indefinitely (ISSUE 4 satellite).
+    auto has_slot = [&] {
+      return stopping_ || inflight_ < opts_.max_inflight;
+    };
+    if (deadline) {
+      if (!slot_cv_.wait_until(lock, *deadline, has_slot)) rejected = true;
+    } else {
+      slot_cv_.wait(lock, has_slot);
     }
-    // The job itself releases its in-flight slot (before fulfilling its
-    // future, so inflight() is 0 once every future has been observed).
-    job();
+    GPURF_CHECK(!stopping_, "submit on a stopping Engine");
+    impl->id = next_job_id_++;
+    evict_terminal_jobs_locked();
+    jobs_[impl->id] = impl;
+    if (!rejected) {
+      ++inflight_;
+      queue_.push_back(impl);
+      qcv_.notify_one();
+    }
+  }
+  if (rejected) {
+    metrics_.record_terminal(JobState::kDeadlineExceeded, false,
+                             wall_us_since(impl->submitted_at));
+    impl->finalize(JobState::kDeadlineExceeded,
+                   Status::DeadlineExceeded(
+                       "no in-flight slot before the deadline (queue full)"));
+  }
+  return Job(impl);
+}
+
+StatusOr<Job> Engine::find_job(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(qmu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return Status::NotFound("no job with id " + std::to_string(id));
+  return Job(it->second);
+}
+
+void Engine::evict_terminal_jobs_locked() {
+  if (jobs_.size() < kMaxRetainedJobs) return;
+  std::vector<uint64_t> terminal_ids;
+  for (const auto& [id, j] : jobs_) {
+    std::lock_guard<std::mutex> lk(j->mu);
+    if (job_state_terminal(j->state)) terminal_ids.push_back(id);
+  }
+  std::sort(terminal_ids.begin(), terminal_ids.end());
+  // Evict in a batch (down to 3/4 of the cap, oldest first) so a daemon
+  // sitting at the cap does not pay the full registry scan on every
+  // subsequent submit.
+  const size_t target = kMaxRetainedJobs - kMaxRetainedJobs / 4;
+  for (uint64_t id : terminal_ids) {
+    if (jobs_.size() <= target) break;
+    jobs_.erase(id);
   }
 }
 
-void Engine::finish_job() {
+void Engine::release_slot() {
   std::lock_guard<std::mutex> lock(qmu_);
   --inflight_;
   slot_cv_.notify_one();
 }
 
-void Engine::enqueue(std::function<void()> job) {
-  ensure_executor();
-  std::unique_lock<std::mutex> lock(qmu_);
-  // Bounded in-flight queue: backpressure, not drop.  Counts queued +
-  // running jobs so a slow consumer cannot pile up unbounded work.
-  slot_cv_.wait(lock,
-                [&] { return stopping_ || inflight_ < opts_.max_inflight; });
-  GPURF_CHECK(!stopping_, "submit on a stopping Engine");
-  ++inflight_;
-  queue_.push_back(std::move(job));
-  qcv_.notify_one();
+void Engine::run_job(detail::JobImpl& job) {
+  Status st;
+  switch (job.req.kind) {
+    case JobKind::kPipeline: {
+      auto w = workload(job.req.workload);
+      if (!w.ok()) {
+        st = w.status();
+        break;
+      }
+      auto pr = pipeline_impl(**w, &job.token);
+      if (pr.ok()) {
+        // Value snapshot: the job owns its result independently of the
+        // Engine's memo (readers may outlive the Engine).  Written before
+        // finalize(), whose lock hand-off publishes it to readers.
+        job.pipeline_result = **pr;
+      } else {
+        st = pr.status();
+      }
+      break;
+    }
+    case JobKind::kSimulate: {
+      auto w = workload(job.req.workload);
+      if (!w.ok()) {
+        st = w.status();
+        break;
+      }
+      auto sr = simulate_impl(**w, job.req.sim, &job.token);
+      if (sr.ok()) {
+        job.sim_result = std::move(sr).value();
+      } else {
+        st = sr.status();
+      }
+      break;
+    }
+  }
+  const JobState terminal = terminal_state_for(st);
+  // Ordering contract for observers woken by finalize(): the slot is
+  // released first (PR 3's "inflight == 0 once every future resolved"
+  // still holds) and the metrics are recorded first (a wait() that
+  // returned sees this job in the terminal-state counters).
+  release_slot();
+  metrics_.record_terminal(terminal, st.ok(), wall_us_since(job.submitted_at));
+  job.finalize(terminal, std::move(st));
+}
+
+void Engine::executor_loop() {
+  for (;;) {
+    std::shared_ptr<detail::JobImpl> job;
+    uint64_t seq = 0;
+    {
+      std::unique_lock<std::mutex> lock(qmu_);
+      qcv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      // Highest priority first; FIFO (lowest id) within a level.  The
+      // queue is short-lived and bounded by max_inflight, so a linear
+      // scan beats heap bookkeeping.
+      size_t best = 0;
+      for (size_t i = 1; i < queue_.size(); ++i) {
+        const auto& a = *queue_[i];
+        const auto& b = *queue_[best];
+        if (a.req.priority > b.req.priority ||
+            (a.req.priority == b.req.priority && a.id < b.id))
+          best = i;
+      }
+      job = std::move(queue_[best]);
+      queue_.erase(queue_.begin() + best);
+      seq = next_run_seq_++;
+    }
+
+    if (job->start_running(seq)) {
+      run_job(*job);
+    } else {
+      // The job went terminal while queued (Job::cancel finalized it) or
+      // its token demands a stop before any work started.  Release the
+      // slot, make sure a terminal state is recorded, and count it (each
+      // popped-unstarted job is counted exactly here, exactly once).
+      release_slot();
+      const common::StopReason r = job->token.stop_reason();
+      JobState terminal = JobState::kCancelled;
+      Status st = Status::Cancelled("cancelled while queued");
+      if (r == common::StopReason::kDeadline) {
+        terminal = JobState::kDeadlineExceeded;
+        st = Status::DeadlineExceeded("deadline expired in queue");
+      }
+      metrics_.record_terminal(terminal, false,
+                               wall_us_since(job->submitted_at));
+      job->finalize(terminal, std::move(st));
+    }
+  }
 }
 
 size_t Engine::inflight() const {
@@ -243,31 +429,85 @@ size_t Engine::inflight() const {
   return inflight_;
 }
 
+std::string Engine::metrics_json() const {
+  api::JsonWriter w;
+  w.begin_object();
+  w.field("pipeline_memo_hits",
+          pipeline_stats_.memo_hits.load(std::memory_order_relaxed));
+  w.field("pipeline_memo_misses",
+          pipeline_stats_.memo_misses.load(std::memory_order_relaxed));
+  w.field("disk_cache_hits",
+          pipeline_stats_.disk_cache_hits.load(std::memory_order_relaxed));
+  w.field("disk_cache_stale_rejections",
+          pipeline_stats_.disk_cache_stale_rejections.load(
+              std::memory_order_relaxed));
+  w.field("analysis_cache_hits", analysis_cache_.hits());
+  w.field("analysis_cache_misses", analysis_cache_.misses());
+  size_t depth = 0, infl = 0;
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    depth = queue_.size();
+    infl = inflight_;
+  }
+  w.field("queue_depth", static_cast<uint64_t>(depth));
+  w.field("jobs_running", static_cast<uint64_t>(infl - depth));
+  w.field("inflight", static_cast<uint64_t>(infl));
+  w.field("jobs_submitted",
+          metrics_.jobs_submitted.load(std::memory_order_relaxed));
+  w.field("jobs_done", metrics_.jobs_done.load(std::memory_order_relaxed));
+  w.field("jobs_failed", metrics_.jobs_failed.load(std::memory_order_relaxed));
+  w.field("jobs_cancelled",
+          metrics_.jobs_cancelled.load(std::memory_order_relaxed));
+  w.field("jobs_deadline_exceeded",
+          metrics_.jobs_deadline_exceeded.load(std::memory_order_relaxed));
+  w.field("job_wall_ms_total",
+          metrics_.job_wall_us_total.load(std::memory_order_relaxed) /
+              1000.0);
+  w.end_object();
+  return w.str();
+}
+
+// ------------------------------------------------- legacy futures (PR 3)
+
 std::future<StatusOr<workloads::PipelineResult>> Engine::submit_pipeline(
     std::string name) {
+  Job job = submit(JobRequest::pipeline(std::move(name)));
+  auto impl = job.impl_;
   auto prom = std::make_shared<
       std::promise<StatusOr<workloads::PipelineResult>>>();
   auto fut = prom->get_future();
-  enqueue([this, prom, name = std::move(name)] {
-    StatusOr<workloads::PipelineResult> result = [&] {
-      auto pr = pipeline(name);  // binds Scope internally
-      return pr.ok() ? StatusOr<workloads::PipelineResult>(**pr)  // snapshot
-                     : StatusOr<workloads::PipelineResult>(pr.status());
-    }();
-    finish_job();
-    prom->set_value(std::move(result));
+  impl->add_listener([impl, prom] {
+    std::unique_lock<std::mutex> lk(impl->mu);
+    StatusOr<workloads::PipelineResult> out =
+        impl->pipeline_result
+            ? StatusOr<workloads::PipelineResult>(*impl->pipeline_result)
+            : StatusOr<workloads::PipelineResult>(
+                  impl->status.ok()
+                      ? Status::Internal("job finished without a result")
+                      : impl->status);
+    lk.unlock();
+    prom->set_value(std::move(out));
   });
   return fut;
 }
 
 std::future<StatusOr<sim::SimResult>> Engine::submit_simulate(std::string name,
                                                               SimRequest req) {
+  Job job = submit(JobRequest::simulate(std::move(name), req));
+  auto impl = job.impl_;
   auto prom = std::make_shared<std::promise<StatusOr<sim::SimResult>>>();
   auto fut = prom->get_future();
-  enqueue([this, prom, name = std::move(name), req] {
-    auto result = simulate(name, req);
-    finish_job();
-    prom->set_value(std::move(result));
+  impl->add_listener([impl, prom] {
+    std::unique_lock<std::mutex> lk(impl->mu);
+    StatusOr<sim::SimResult> out =
+        impl->sim_result
+            ? StatusOr<sim::SimResult>(*impl->sim_result)
+            : StatusOr<sim::SimResult>(
+                  impl->status.ok()
+                      ? Status::Internal("job finished without a result")
+                      : impl->status);
+    lk.unlock();
+    prom->set_value(std::move(out));
   });
   return fut;
 }

@@ -1,5 +1,6 @@
 #pragma once
-// gpurf::Engine — the session-scoped public API of the framework (ISSUE 3).
+// gpurf::Engine — the session-scoped public API of the framework (ISSUE 3,
+// job-oriented serving surface since ISSUE 4).
 //
 // Everything the paper's Fig.-7 flow needs (range analysis -> precision
 // tuning -> slice allocation -> timing simulation) is reachable from one
@@ -30,16 +31,24 @@
 // still abort (GPURF_ASSERT), as corrupted simulator state must never be
 // silently ignored.
 //
-// Concurrency: all methods are thread-safe.  submit_* enqueue work onto
-// the Engine's async executor and return std::futures; the in-flight queue
-// is bounded by EngineOptions::max_inflight, and a full queue blocks the
-// submitter (backpressure) rather than dropping work.
+// Serving surface (ISSUE 4): submit(JobRequest) returns a gpurf::Job — a
+// handle with a stable id, a queued/running/done/cancelled/deadline-
+// exceeded state machine, cooperative cancel(), a per-request deadline
+// that covers queue wait AND execution, a priority (higher first, FIFO
+// within a level), and a progress snapshot (pipeline stage, tuner
+// pass/evaluations, simulated cycles).  The executor's in-flight set is
+// bounded by EngineOptions::max_inflight: a deadline-less submit blocks
+// for a slot (backpressure), a submit with a deadline gives up when the
+// deadline passes and returns the job already in kDeadlineExceeded.  The
+// PR 3 futures API (submit_pipeline / submit_simulate) survives as a thin
+// shim over submit().  Engine-level metrics (cache hit counters, queue
+// depth, jobs by terminal state, wall times) export via metrics_json();
+// api/server.hpp speaks the whole surface over a local socket (gpurfd).
 //
 // The legacy free functions (workloads::run_pipeline, ...) remain as thin
 // shims over Engine::shared(), so existing callers migrate incrementally.
 
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -48,8 +57,11 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "api/job.hpp"
+#include "api/metrics.hpp"
 #include "api/status.hpp"
 #include "common/thread_pool.hpp"
 #include "exec/kernel_analysis.hpp"
@@ -75,10 +87,11 @@ struct EngineOptions {
   /// stale/corrupt ones are rejected and re-tuned).
   bool use_disk_cache = true;
   /// Tuner search knobs.  `level` is ignored (the pipeline always tunes
-  /// both paper thresholds); speculate_batch <= 0 resolves to `threads`.
+  /// both paper thresholds); speculate_batch <= 0 resolves to `threads`;
+  /// `cancel` is ignored (tokens are per-job).
   tuning::TunerOptions tuner;
   /// Interpreter strategy for every functional replay (SoA warp execution,
-  /// block-parallel grids).  `thread_insts` is ignored.
+  /// block-parallel grids).  `thread_insts` and `cancel` are ignored.
   workloads::RunOptions run;
   /// GPU model for occupancy and timing simulation.
   sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
@@ -87,7 +100,9 @@ struct EngineOptions {
   /// the Engine's pool.
   int async_workers = 0;
   /// Bound on queued + running async jobs; 0 resolves to
-  /// 2 * async_workers.  A full queue blocks submit_* callers.
+  /// 2 * async_workers.  A full queue blocks deadline-less submitters;
+  /// submitters with a deadline fail over to kDeadlineExceeded once it
+  /// passes.
   size_t max_inflight = 0;
 
   // Builder-style setters, chainable:
@@ -109,16 +124,6 @@ struct EngineOptions {
   EngineOptions& with_gpu(const sim::GpuConfig& g) { gpu = g; return *this; }
   EngineOptions& with_async_workers(int n) { async_workers = n; return *this; }
   EngineOptions& with_max_inflight(size_t n) { max_inflight = n; return *this; }
-};
-
-/// One timing-simulation request (§6 experiment configurations).
-struct SimRequest {
-  workloads::SimMode mode = workloads::SimMode::kOriginal;
-  workloads::Scale scale = workloads::Scale::kFull;
-  uint32_t variant = 0;
-  /// Override the compression pipeline parameters (e.g. the §6.3
-  /// writeback-delay sweep); unset derives the config from `mode`.
-  std::optional<sim::CompressionConfig> compression;
 };
 
 class Engine {
@@ -196,18 +201,41 @@ class Engine {
                                     tuning::QualityProbe& probe,
                                     quality::QualityLevel level);
 
-  // ------------------------------------------------------------- async API
+  // --------------------------------------------------------------- Job API
 
-  /// Enqueue a pipeline / simulation onto the Engine's executor.  Results
-  /// are value snapshots (safe to consume after other submissions).
-  /// Blocks while max_inflight jobs are queued or running.
+  /// Enqueue a pipeline / simulation job.  The returned handle is live
+  /// immediately: id(), state(), cancel(), wait_for(), progress().
+  /// Scheduling: highest priority first, FIFO within a level.  With a
+  /// deadline, the submit itself gives up once the deadline passes while
+  /// waiting for an in-flight slot (the job comes back already
+  /// kDeadlineExceeded); without one it blocks for a slot (backpressure).
+  /// Execution errors (unknown workload, failed verification, ...) land in
+  /// Job::status(), not here.
+  Job submit(JobRequest req);
+
+  /// Look up a previously submitted job by id (NotFound once it has been
+  /// evicted — the registry retains all live jobs and the most recent
+  /// terminal ones).
+  StatusOr<Job> find_job(uint64_t id) const;
+
+  /// Jobs currently queued or running on the async executor.
+  size_t inflight() const;
+
+  /// Point-in-time metrics snapshot as a JSON object: cache counters
+  /// (pipeline memo, kernel-analysis cache, disk cache), queue depth,
+  /// jobs by terminal state, and cumulative job wall time.  Embedded in
+  /// every gpurfd response envelope.
+  std::string metrics_json() const;
+
+  // ------------------------------------------------- legacy futures (PR 3)
+
+  /// Thin shims over submit(): same signatures and result values as the
+  /// PR 3 API.  Results are value snapshots (safe to consume after other
+  /// submissions).  Blocks while max_inflight jobs are queued or running.
   std::future<StatusOr<workloads::PipelineResult>> submit_pipeline(
       std::string name);
   std::future<StatusOr<sim::SimResult>> submit_simulate(std::string name,
                                                         SimRequest req = {});
-
-  /// Jobs currently queued or running on the async executor.
-  size_t inflight() const;
 
  private:
   /// Bind this Engine's pool + analysis cache to the calling thread for
@@ -222,22 +250,38 @@ class Engine {
     exec::ScopedAnalysisCache cache_;
   };
 
+  /// Jobs to retain in the id registry; terminal jobs are evicted oldest-
+  /// first beyond this (live jobs are never evicted).
+  static constexpr size_t kMaxRetainedJobs = 1024;
+
+  StatusOr<sim::SimResult> simulate_impl(const workloads::Workload& w,
+                                         const SimRequest& req,
+                                         common::CancelToken* cancel);
+  StatusOr<const workloads::PipelineResult*> pipeline_impl(
+      const workloads::Workload& w, common::CancelToken* cancel);
+
   void ensure_executor();
-  void enqueue(std::function<void()> job);
   void executor_loop();
-  void finish_job();
+  void run_job(detail::JobImpl& job);
+  void release_slot();
+  void evict_terminal_jobs_locked();
 
   EngineOptions opts_;
   common::ThreadPool pool_;
   exec::AnalysisCache analysis_cache_;
+  workloads::PipelineStats pipeline_stats_;
   workloads::PipelineCache pipelines_;
   std::vector<std::unique_ptr<workloads::Workload>> registry_;
+  EngineMetrics metrics_;
 
   // Async executor (threads spawned lazily on first submit).
   mutable std::mutex qmu_;
   std::condition_variable qcv_;    ///< wakes executor threads
   std::condition_variable slot_cv_;  ///< wakes blocked submitters
-  std::deque<std::function<void()>> queue_;
+  std::vector<std::shared_ptr<detail::JobImpl>> queue_;  ///< pending jobs
+  std::unordered_map<uint64_t, std::shared_ptr<detail::JobImpl>> jobs_;
+  uint64_t next_job_id_ = 1;
+  uint64_t next_run_seq_ = 1;
   size_t inflight_ = 0;  ///< queued + running
   bool stopping_ = false;
   bool executor_started_ = false;

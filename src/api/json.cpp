@@ -1,8 +1,10 @@
 #include "api/json.hpp"
 
+#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace gpurf::api {
 
@@ -95,6 +97,12 @@ void JsonWriter::field(const std::string& k, bool v) {
   need_comma_ = true;
 }
 
+void JsonWriter::raw(const std::string& k, const std::string& json) {
+  key(k);
+  out_ += json;
+  need_comma_ = true;
+}
+
 void JsonWriter::element(double v) {
   comma();
   out_ += fmt_double(v);
@@ -104,6 +112,14 @@ void JsonWriter::element(double v) {
 void JsonWriter::element(uint64_t v) {
   comma();
   out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::element(const std::string& v) {
+  comma();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
   need_comma_ = true;
 }
 
@@ -238,6 +254,241 @@ std::string to_json(const sim::SimResult& r) {
   w.end_object();
   w.end_object();
   return w.str();
+}
+
+// ------------------------------------------------------------ JSON parsing
+
+namespace {
+
+/// Recursive-descent parser over the RFC 8259 value grammar.  Errors
+/// record the byte offset; depth is bounded so hostile input cannot blow
+/// the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> parse() {
+    JsonValue v;
+    if (!value(v, 0)) return error();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      err_ = "trailing characters";
+      return error();
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status error() const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + err_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      err_ = "nesting too deep";
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      err_ = "unexpected end of input";
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.str_v);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_v = true;
+        if (literal("true")) return true;
+        err_ = "bad literal";
+        return false;
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_v = false;
+        if (literal("false")) return true;
+        err_ = "bad literal";
+        return false;
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        if (literal("null")) return true;
+        err_ = "bad literal";
+        return false;
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        err_ = "expected object key";
+        return false;
+      }
+      std::string key;
+      if (!string(key)) return false;
+      if (!consume(':')) {
+        err_ = "expected ':'";
+        return false;
+      }
+      JsonValue v;
+      if (!value(v, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      err_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (consume(']')) return true;
+    for (;;) {
+      JsonValue v;
+      if (!value(v, depth + 1)) return false;
+      out.items.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      err_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              err_ = "truncated \\u escape";
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+              else {
+                err_ = "bad \\u escape";
+                return false;
+              }
+            }
+            // BMP codepoint -> UTF-8 (surrogate pairs are passed through
+            // as two 3-byte sequences — tolerable for a local protocol
+            // whose emitters only escape control characters).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            err_ = "bad escape";
+            return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        err_ = "unescaped control character";
+        return false;
+      }
+      out += c;
+      ++pos_;
+    }
+    err_ = "unterminated string";
+    return false;
+  }
+
+  bool number(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) {
+      err_ = "unexpected character";
+      return false;
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.num_v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      err_ = "malformed number";
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string err_ = "invalid JSON";
+};
+
+}  // namespace
+
+StatusOr<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
 }
 
 }  // namespace gpurf::api

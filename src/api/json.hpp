@@ -7,7 +7,11 @@
 // snapshots stay diffable against header definitions.
 
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "api/status.hpp"
 #include "sim/gpu.hpp"
 #include "workloads/pipeline.hpp"
 
@@ -32,9 +36,14 @@ class JsonWriter {
   void field(const std::string& key, uint32_t v) { field(key, uint64_t(v)); }
   void field(const std::string& key, int v) { field(key, int64_t(v)); }
   void field(const std::string& key, bool v);
-  /// Bare array element (numeric).
+  /// Pre-serialized JSON value, spliced in verbatim (e.g. embedding a
+  /// metrics snapshot inside a response envelope).  The caller guarantees
+  /// `json` is well-formed.
+  void raw(const std::string& key, const std::string& json);
+  /// Bare array element (numeric / string).
   void element(double v);
   void element(uint64_t v);
+  void element(const std::string& v);
 
   const std::string& str() const { return out_; }
 
@@ -58,5 +67,59 @@ std::string to_json(const sim::SimStats& s);
 
 /// Full simulation snapshot: stats + occupancy.
 std::string to_json(const sim::SimResult& r);
+
+// ------------------------------------------------------------ JSON parsing
+//
+// The gpurfd wire protocol (ISSUE 4) speaks newline-delimited JSON both
+// ways, so the daemon needs to *read* JSON too — still without linking a
+// JSON library.  JsonValue + parse_json implement the RFC 8259 value
+// grammar (objects, arrays, strings with escapes, numbers, booleans,
+// null), enough for the flat request envelopes and for tests to verify
+// every emitted snapshot is well-formed.
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+  std::vector<JsonValue> items;                            ///< kArray
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup (first match); null for non-objects / misses.
+  const JsonValue* get(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  // Loose accessors with defaults — wire fields are optional by design.
+  std::string as_string(std::string dflt = "") const {
+    return kind == Kind::kString ? str_v : dflt;
+  }
+  double as_double(double dflt = 0.0) const {
+    return kind == Kind::kNumber ? num_v : dflt;
+  }
+  int64_t as_int(int64_t dflt = 0) const {
+    return kind == Kind::kNumber ? static_cast<int64_t>(num_v) : dflt;
+  }
+  bool as_bool(bool dflt = false) const {
+    return kind == Kind::kBool ? bool_v : dflt;
+  }
+};
+
+/// Parse one JSON document (the whole input must be consumed apart from
+/// trailing whitespace).  InvalidArgument with a position on malformed
+/// input; never throws.
+StatusOr<JsonValue> parse_json(std::string_view text);
 
 }  // namespace gpurf::api

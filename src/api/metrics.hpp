@@ -1,0 +1,55 @@
+#pragma once
+// Engine-level serving metrics (ISSUE 4 satellite, ROADMAP item).
+//
+// Plain atomic counters, bumped on the hot paths with relaxed ordering and
+// read without synchronisation: a snapshot is a set of independently-read
+// monotone counters, not a consistent cut — exactly what scrape-style
+// monitoring needs.  The cache-layer counters live with their caches
+// (workloads::PipelineStats on the pipeline memo / disk cache,
+// exec::AnalysisCache's internal hit counters); this struct holds the
+// job-lifecycle side, and Engine::metrics_json() merges all three into the
+// snapshot every gpurfd response envelope embeds.
+//
+// Only the Engine writes these (submit, the executor's run/discard paths),
+// so the struct lives by value inside the Engine; Job handles never touch
+// it and can safely outlive their Engine.
+
+#include <atomic>
+#include <cstdint>
+
+#include "api/job.hpp"
+
+namespace gpurf {
+
+struct EngineMetrics {
+  // Job lifecycle (terminal counters are exact: finalize runs once).
+  std::atomic<uint64_t> jobs_submitted{0};
+  std::atomic<uint64_t> jobs_done{0};       ///< finished with an OK status
+  std::atomic<uint64_t> jobs_failed{0};     ///< finished with a non-OK status
+  std::atomic<uint64_t> jobs_cancelled{0};
+  std::atomic<uint64_t> jobs_deadline_exceeded{0};
+
+  /// Sum of submit -> terminal wall time over all terminal jobs, in
+  /// microseconds (divide by the terminal-job count for the mean).
+  std::atomic<uint64_t> job_wall_us_total{0};
+
+  void record_terminal(JobState state, bool status_ok, uint64_t wall_us) {
+    switch (state) {
+      case JobState::kDone:
+        (status_ok ? jobs_done : jobs_failed)
+            .fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobState::kCancelled:
+        jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobState::kDeadlineExceeded:
+        jobs_deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;  // non-terminal states never reach here
+    }
+    job_wall_us_total.fetch_add(wall_us, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace gpurf

@@ -1,0 +1,405 @@
+#include "api/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace gpurf::api {
+
+namespace {
+
+namespace wl = gpurf::workloads;
+
+/// Response envelope builders: every reply — success or error — embeds the
+/// Engine's metrics snapshot (ISSUE 4 satellite).
+std::string envelope_error(Engine& e, const Status& st) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("ok", false);
+  w.begin_object("error");
+  w.field("code", status_code_name(st.code()));
+  w.field("message", st.message());
+  w.end_object();
+  w.raw("metrics", e.metrics_json());
+  w.end_object();
+  return w.str();
+}
+
+/// Start a success envelope; the caller adds payload fields, then calls
+/// envelope_finish.
+JsonWriter envelope_begin() {
+  JsonWriter w;
+  w.begin_object();
+  w.field("ok", true);
+  return w;
+}
+
+std::string envelope_finish(Engine& e, JsonWriter& w) {
+  w.raw("metrics", e.metrics_json());
+  w.end_object();
+  return w.str();
+}
+
+Status parse_sim_request(const JsonValue& req, SimRequest& out) {
+  const std::string mode =
+      req.get("mode") ? req.get("mode")->as_string("original") : "original";
+  if (mode == "original") out.mode = wl::SimMode::kOriginal;
+  else if (mode == "perfect") out.mode = wl::SimMode::kCompressedPerfect;
+  else if (mode == "high") out.mode = wl::SimMode::kCompressedHigh;
+  else
+    return Status::InvalidArgument("unknown mode '" + mode +
+                                   "' (original|perfect|high)");
+
+  const std::string scale =
+      req.get("scale") ? req.get("scale")->as_string("full") : "full";
+  if (scale == "full") out.scale = wl::Scale::kFull;
+  else if (scale == "sample") out.scale = wl::Scale::kSample;
+  else
+    return Status::InvalidArgument("unknown scale '" + scale +
+                                   "' (sample|full)");
+
+  if (const JsonValue* v = req.get("variant"))
+    out.variant = static_cast<uint32_t>(v->as_int(0));
+  if (const JsonValue* d = req.get("writeback_delay"))
+    out.compression = sim::CompressionConfig::with_writeback_delay(
+        static_cast<uint32_t>(d->as_int(0)));
+  return Status::Ok();
+}
+
+void write_job_fields(JsonWriter& w, const Job& job) {
+  const JobProgress p = job.progress();
+  w.field("job", job.id());
+  w.field("workload", job.workload());
+  w.field("kind", job.kind() == JobKind::kPipeline ? "pipeline" : "simulate");
+  w.field("priority", job.priority());
+  w.field("state", job_state_name(p.state));
+  w.begin_object("progress");
+  w.field("stage", common::job_stage_name(p.stage));
+  w.field("tuner_pass", p.tuner_pass);
+  w.field("tuner_evaluations", p.tuner_evaluations);
+  w.field("sim_cycles", p.sim_cycles);
+  w.field("run_seq", p.run_seq);
+  w.field("wall_ms", p.wall_ms);
+  w.end_object();
+  // Terminal jobs also report their status (and the error, if any) so a
+  // client can distinguish done / failed / cancelled / deadline-exceeded
+  // without a second round trip.
+  if (job_state_terminal(p.state)) {
+    const Status st = job.status();
+    w.field("status_code", status_code_name(st.code()));
+    if (!st.ok()) {
+      w.begin_object("job_error");
+      w.field("code", status_code_name(st.code()));
+      w.field("message", st.message());
+      w.end_object();
+    }
+  }
+}
+
+}  // namespace
+
+Server::Server(Engine& engine, ServerOptions opts)
+    : engine_(engine), opts_(std::move(opts)) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (opts_.socket_path.empty())
+    return Status::InvalidArgument("gpurfd: socket_path is empty");
+  sockaddr_un addr{};
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path))
+    return Status::InvalidArgument("gpurfd: socket path too long: " +
+                                   opts_.socket_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::Internal("bind " + opts_.socket_path + ": " +
+                                       std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::Ok();
+}
+
+void Server::stop() {
+  stopping_.store(true, std::memory_order_release);
+  const bool was_running = running_.exchange(false);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Kick every live connection (unblocks reads) and wait for the
+    // handlers to drain; a handler parked inside a long "wait" op notices
+    // running_ == false within one wait slice (see handle_request_line).
+    std::unique_lock<std::mutex> lock(mu_);
+    for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+  }
+  if (was_running) ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listener closed underneath us
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_.insert(fd);
+      ++active_;
+    }
+    // Detached: lifetime is tracked by active_, not by a join — a
+    // long-lived daemon must not accumulate one zombie thread per served
+    // connection.  stop() blocks until active_ drains to zero.
+    std::thread([this, fd] { serve_connection(fd); }).detach();
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF, shutdown, or error
+    buf.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line.empty()) continue;
+      std::string resp = handle_request_line(line);
+      resp += '\n';
+      size_t off = 0;
+      while (off < resp.size()) {
+        // MSG_NOSIGNAL: a client that hung up mid-response must produce
+        // EPIPE here, not a SIGPIPE that kills the whole daemon.
+        const ssize_t wr = ::send(fd, resp.data() + off, resp.size() - off,
+                                  MSG_NOSIGNAL);
+        if (wr <= 0) { off = resp.size(); break; }
+        off += static_cast<size_t>(wr);
+      }
+    }
+  }
+  // Deregister and close under one lock so stop() can never shutdown() an
+  // fd number this thread already closed (and the kernel reassigned).
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.erase(fd);
+  ::close(fd);
+  --active_;
+  done_cv_.notify_all();
+}
+
+std::string Server::handle_request_line(const std::string& line) {
+  StatusOr<JsonValue> parsed = parse_json(line);
+  if (!parsed.ok()) return envelope_error(engine_, parsed.status());
+  const JsonValue& req = *parsed;
+  if (!req.is_object())
+    return envelope_error(engine_,
+                          Status::InvalidArgument("request must be an object"));
+  const std::string op = req.get("op") ? req.get("op")->as_string() : "";
+
+  try {
+    if (op == "ping") {
+      JsonWriter w = envelope_begin();
+      w.field("pong", true);
+      return envelope_finish(engine_, w);
+    }
+
+    if (op == "list") {
+      JsonWriter w = envelope_begin();
+      w.begin_array("workloads");
+      for (const auto& n : engine_.workload_names()) w.element(n);
+      w.end_array();
+      return envelope_finish(engine_, w);
+    }
+
+    if (op == "metrics") {
+      JsonWriter w = envelope_begin();
+      return envelope_finish(engine_, w);
+    }
+
+    if (op == "submit") {
+      const std::string kind =
+          req.get("kind") ? req.get("kind")->as_string("pipeline")
+                          : "pipeline";
+      const JsonValue* wlname = req.get("workload");
+      if (!wlname || !wlname->is_string())
+        return envelope_error(
+            engine_, Status::InvalidArgument("submit requires 'workload'"));
+      JobRequest jr;
+      if (kind == "pipeline") {
+        jr = JobRequest::pipeline(wlname->as_string());
+      } else if (kind == "simulate") {
+        SimRequest sr;
+        const Status st = parse_sim_request(req, sr);
+        if (!st.ok()) return envelope_error(engine_, st);
+        jr = JobRequest::simulate(wlname->as_string(), sr);
+      } else {
+        return envelope_error(engine_,
+                              Status::InvalidArgument(
+                                  "unknown kind '" + kind +
+                                  "' (pipeline|simulate)"));
+      }
+      if (const JsonValue* p = req.get("priority"))
+        jr.priority = static_cast<int>(p->as_int(0));
+      if (const JsonValue* d = req.get("deadline_ms"))
+        jr.deadline_ms = d->as_int(0);
+      // Fail fast on unknown workloads: the submit itself reports
+      // NOT_FOUND instead of parking a doomed job in the queue.
+      auto wlp = engine_.workload(wlname->as_string());
+      if (!wlp.ok()) return envelope_error(engine_, wlp.status());
+      Job job = engine_.submit(std::move(jr));
+      JsonWriter w = envelope_begin();
+      write_job_fields(w, job);
+      return envelope_finish(engine_, w);
+    }
+
+    // Remaining ops address an existing job by id.
+    const JsonValue* idv = req.get("job");
+    if (op == "status" || op == "wait" || op == "cancel") {
+      if (!idv || !idv->is_number())
+        return envelope_error(
+            engine_, Status::InvalidArgument("'" + op + "' requires 'job'"));
+      auto job = engine_.find_job(static_cast<uint64_t>(idv->as_int()));
+      if (!job.ok()) return envelope_error(engine_, job.status());
+
+      if (op == "cancel") {
+        job->cancel();
+      } else if (op == "wait") {
+        int64_t timeout_ms =
+            req.get("timeout_ms") ? req.get("timeout_ms")->as_int(600000)
+                                  : 600000;
+        if (timeout_ms < 0) timeout_ms = 0;
+        // Sliced wait: a stopping server must not stay pinned behind a
+        // client's multi-minute wait — each slice rechecks stopping_, so
+        // stop() drains this handler within ~200ms (the response then
+        // reports whatever state the job reached).
+        while (timeout_ms > 0 && !stopping_.load(std::memory_order_acquire)) {
+          const int64_t slice = timeout_ms < 200 ? timeout_ms : 200;
+          if (job->wait_for(std::chrono::milliseconds(slice))) break;
+          timeout_ms -= slice;
+        }
+      }
+      JsonWriter w = envelope_begin();
+      write_job_fields(w, *job);
+      if (op == "wait" && job->state() == JobState::kDone) {
+        if (job->kind() == JobKind::kPipeline) {
+          auto pr = job->pipeline_result();
+          if (pr.ok()) w.raw("result", to_json(*pr));
+        } else {
+          auto sr = job->sim_result();
+          if (sr.ok()) w.raw("result", to_json(*sr));
+        }
+      }
+      return envelope_finish(engine_, w);
+    }
+
+    if (op == "shutdown") {
+      shutdown_.store(true, std::memory_order_release);
+      JsonWriter w = envelope_begin();
+      w.field("shutting_down", true);
+      return envelope_finish(engine_, w);
+    }
+
+    return envelope_error(
+        engine_, Status::InvalidArgument(
+                     "unknown op '" + op +
+                     "' (ping|list|metrics|submit|status|wait|cancel|"
+                     "shutdown)"));
+  } catch (const Error& e) {
+    return envelope_error(engine_, Status::FailedPrecondition(e.what()));
+  } catch (const std::exception& e) {
+    return envelope_error(engine_, Status::Internal(e.what()));
+  }
+}
+
+// ---------------------------------------------------------------- Client
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    status_ = Status::InvalidArgument("socket path too long: " + socket_path);
+    return;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    status_ = Status::Internal(std::string("socket: ") + std::strerror(errno));
+    return;
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    status_ = Status::Internal("connect " + socket_path + ": " +
+                               std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::string> Client::call(const std::string& request_line) {
+  if (!status_.ok()) return status_;
+  std::string out = request_line;
+  out += '\n';
+  size_t off = 0;
+  while (off < out.size()) {
+    // MSG_NOSIGNAL: a dead daemon surfaces as an error status, not a
+    // SIGPIPE that kills the client process.
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0)
+      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    off += static_cast<size_t>(n);
+  }
+  char chunk[4096];
+  for (;;) {
+    const size_t nl = rxbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rxbuf_.substr(0, nl);
+      rxbuf_.erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0)
+      return Status::Internal("connection closed before a response arrived");
+    rxbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<JsonValue> Client::call_json(const std::string& request_line) {
+  auto resp = call(request_line);
+  if (!resp.ok()) return resp.status();
+  return parse_json(*resp);
+}
+
+}  // namespace gpurf::api

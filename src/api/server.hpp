@@ -1,0 +1,131 @@
+#pragma once
+// gpurfd — the Engine's socket transport (ISSUE 4 tentpole).
+//
+// A Server wraps one Engine and speaks newline-delimited JSON over a local
+// (AF_UNIX stream) socket: one request object per line in, one response
+// object per line out, connections are long-lived and requests on a
+// connection are handled in order.  Requests map 1:1 onto the Job API —
+// submit / status / wait / cancel — plus introspection (ping, list,
+// metrics) and a cooperative shutdown.
+//
+// Wire protocol (all fields beyond "op" optional unless noted):
+//
+//   {"op":"ping"}
+//   {"op":"list"}                                   -> {"workloads":[...]}
+//   {"op":"submit","kind":"pipeline"|"simulate","workload":NAME,
+//    "mode":"original"|"perfect"|"high","scale":"sample"|"full",
+//    "variant":N,"writeback_delay":N,"priority":N,"deadline_ms":N}
+//                                                   -> {"job":ID,"state":..}
+//   {"op":"status","job":ID}                        -> state + progress
+//   {"op":"wait","job":ID,"timeout_ms":N}           -> state [+ "result"]
+//   {"op":"cancel","job":ID}                        -> state
+//   {"op":"metrics"}
+//   {"op":"shutdown"}
+//
+// Every response is an envelope:
+//
+//   {"ok":true, ...payload..., "metrics":{...}}
+//   {"ok":false,"error":{"code":"NOT_FOUND","message":...},"metrics":{...}}
+//
+// where "metrics" is Engine::metrics_json() at response time (the ISSUE 4
+// metrics satellite: every reply carries the serving counters) and error
+// codes are the StatusCode names from api/status.hpp.
+//
+// Threading: one accept thread plus one thread per connection — gpurfd
+// serves a handful of local clients, not the open internet; the Engine
+// underneath does the real scheduling.  stop() closes the listener and all
+// live connections and joins every thread.  The Client is intentionally
+// tiny and blocking: connect, send a line, read a line.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "api/engine.hpp"
+#include "api/json.hpp"
+
+namespace gpurf::api {
+
+struct ServerOptions {
+  std::string socket_path;  ///< AF_UNIX path; unlinked before bind
+};
+
+class Server {
+ public:
+  Server(Engine& engine, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept thread.  InvalidArgument / Internal
+  /// on socket errors.
+  Status start();
+
+  /// Close the listener and every live connection; join all threads.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return opts_.socket_path; }
+
+  /// True once a client requested {"op":"shutdown"}.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Handle one request line and produce the response envelope (no socket
+  /// involved) — the seam tests drive directly.
+  std::string handle_request_line(const std::string& line);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Engine& engine_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};  ///< stop() entered; drains waits
+  std::atomic<bool> shutdown_{false};
+  std::thread accept_thread_;
+  // Connection threads run detached; conns_/active_ track them so stop()
+  // can shut every socket down and block until the last handler exits —
+  // finished connections cost nothing in between (no zombie joins).
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::set<int> conns_;
+  size_t active_ = 0;
+};
+
+/// Minimal blocking client for the gpurfd protocol: connects in the
+/// constructor (check status()), call() sends one request line and returns
+/// the raw response line, call_json() additionally parses it.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// OK once connected; the connect error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Send one request line, block for the one-line response (stripped of
+  /// the trailing newline).
+  StatusOr<std::string> call(const std::string& request_line);
+
+  /// call() + parse_json in one step.
+  StatusOr<JsonValue> call_json(const std::string& request_line);
+
+ private:
+  int fd_ = -1;
+  Status status_;
+  std::string rxbuf_;  ///< bytes read past the previous response line
+};
+
+}  // namespace gpurf::api

@@ -25,6 +25,8 @@ enum class StatusCode {
   kDataLoss,            ///< corrupt or stale on-disk cache entry
   kResourceExhausted,   ///< bounded queue rejected the submission
   kInternal,            ///< unexpected failure inside the core
+  kCancelled,           ///< job cancelled by the caller
+  kDeadlineExceeded,    ///< per-request deadline elapsed (queued or running)
 };
 
 inline const char* status_code_name(StatusCode c) {
@@ -36,6 +38,8 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -64,6 +68,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -134,9 +134,12 @@ std::shared_ptr<const KernelAnalysis> AnalysisCache::get(const ir::Kernel& k) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(&k);
-    if (it != cache_.end() && it->second.fingerprint == fp)
+    if (it != cache_.end() && it->second.fingerprint == fp) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.analysis;
+    }
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   // Build outside the lock: analyses of distinct kernels proceed in
   // parallel, and a racing duplicate build of the same kernel is benign
   // (last writer wins, both results are equivalent).

@@ -21,6 +21,7 @@
 // code outside any Engine falls back to a process-wide default via
 // analyze_kernel().
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -105,6 +106,12 @@ class AnalysisCache {
   /// Number of live entries (diagnostics / tests).
   size_t size() const;
 
+  /// Lifetime hit/miss counters (ISSUE 4 metrics): a hit served a memoized
+  /// analysis, a miss built one.  Relaxed monotone counters, safe to read
+  /// concurrently with get().
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
  private:
   struct Entry {
     uint64_t fingerprint = 0;
@@ -117,6 +124,8 @@ class AnalysisCache {
 
   mutable std::mutex mu_;
   std::unordered_map<const gpurf::ir::Kernel*, Entry> cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 namespace detail {

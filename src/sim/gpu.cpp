@@ -545,7 +545,8 @@ void validate_launch_spec(const CompressionConfig& comp,
 }
 
 SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
-                   const KernelLaunchSpec& spec) {
+                   const KernelLaunchSpec& spec,
+                   gpurf::common::CancelToken* cancel) {
   validate_launch_spec(comp, spec);
 
   SimResult res;
@@ -577,6 +578,13 @@ SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
   uint64_t cycle = 0;
   for (;; ++cycle) {
     GPURF_CHECK(cycle < gpu.max_cycles, "simulation exceeded max_cycles");
+    // Cancellation/deadline checkpoint + progress heartbeat: every 4096
+    // cycles keeps the poll off the per-cycle hot path while bounding the
+    // stop latency to one slice.
+    if (cancel && (cycle & 0xFFF) == 0) {
+      cancel->sim_cycles.store(cycle, std::memory_order_relaxed);
+      cancel->checkpoint();
+    }
     bool all_idle = dispatcher.empty();
     for (auto& sm : sms) {
       sm->tick(cycle);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "alloc/slice_alloc.hpp"
+#include "common/cancel.hpp"
 #include "exec/interp.hpp"
 #include "exec/machine.hpp"
 #include "ir/kernel.hpp"
@@ -68,7 +69,13 @@ void validate_launch_spec(const CompressionConfig& comp,
                           const KernelLaunchSpec& spec);
 
 /// Run one kernel launch to completion.  Calls validate_launch_spec first.
+/// `cancel` (nullable) is the cooperative stop/progress channel: the cycle
+/// loop polls it every few thousand cycles, publishing the simulated-cycle
+/// count and throwing common::CancelledError once a stop was requested —
+/// the partially-advanced simulator state is simply discarded with the
+/// stack, so cancellation can never corrupt anything observable.
 SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
-                   const KernelLaunchSpec& spec);
+                   const KernelLaunchSpec& spec,
+                   gpurf::common::CancelToken* cancel = nullptr);
 
 }  // namespace gpurf::sim

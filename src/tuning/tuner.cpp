@@ -60,6 +60,17 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
   res.f32_regs = static_cast<int>(targets.size());
   res.slices_before = 8 * res.f32_regs;
 
+  // Cancellation/deadline checkpoint + progress mailbox.  Polled before
+  // every probe batch so a stop request is honoured within one batch; the
+  // evaluation counter is published after each batch returns.
+  auto checkpoint = [&] {
+    if (opt.cancel) {
+      opt.cancel->tuner_evaluations.store(res.evaluations,
+                                          std::memory_order_relaxed);
+      opt.cancel->checkpoint();
+    }
+  };
+
   const auto& formats = table3_formats();  // widest (32) .. narrowest (8)
 
   // Index of a register's current format in the Table-3 list.
@@ -71,6 +82,7 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
   };
   auto fmt_index = [&](uint32_t r) { return fmt_index_in(res.pmap, r); };
 
+  checkpoint();
   double last_score = probe.evaluate(res.pmap);
   ++res.evaluations;
   GPURF_CHECK(probe.meets(last_score, opt.level),
@@ -80,6 +92,8 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
 
   for (int pass = 0; pass < opt.max_passes; ++pass) {
     bool changed = false;
+    if (opt.cancel)
+      opt.cancel->tuner_pass.store(pass + 1, std::memory_order_relaxed);
     if (opt.speculate_batch <= 1) {
       // Original serial greedy descent.
       for (uint32_t r : targets) {
@@ -88,6 +102,7 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
           const FloatFormat trial = formats[idx + 1];
           const FloatFormat saved = res.pmap.per_reg[r];
           res.pmap.per_reg[r] = trial;
+          checkpoint();
           const double score = probe.evaluate(res.pmap);
           ++res.evaluations;
           if (probe.meets(score, opt.level)) {
@@ -143,6 +158,7 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
 
         std::vector<const PrecisionMap*> pmaps(chain.size());
         for (size_t i = 0; i < chain.size(); ++i) pmaps[i] = &chain[i].pmap;
+        checkpoint();
         const std::vector<double> scores = probe.evaluate_batch(pmaps);
         res.evaluations += static_cast<int>(chain.size());
 
@@ -195,11 +211,15 @@ TuneResult tune_precision(const ir::Kernel& k, QualityProbe& probe,
   if (opt.defer_validation) {
     res.final_score = last_score;
   } else {
+    checkpoint();
     res.final_score = probe.evaluate(res.pmap);
     ++res.evaluations;
     GPURF_ASSERT(probe.meets(res.final_score, opt.level),
                  "accepted assignment fails validation");
   }
+  if (opt.cancel)
+    opt.cancel->tuner_evaluations.store(res.evaluations,
+                                        std::memory_order_relaxed);
 
   res.slices_after = 0;
   for (uint32_t r : targets) res.slices_after += res.pmap.per_reg[r].slices();

@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "exec/machine.hpp"
 #include "ir/kernel.hpp"
 #include "quality/metrics.hpp"
@@ -79,6 +80,14 @@ struct TunerOptions {
   /// score) and the deferred validation must still be performed by the
   /// caller — see workloads::compute_pipeline.
   bool defer_validation = false;
+  /// Cooperative cancellation / deadline checkpoint, polled between probe
+  /// batches (never mid-probe), plus the tuner's progress mailbox
+  /// (pass / evaluation counters).  Null disables both.  When a stop is
+  /// requested, tune_precision throws common::CancelledError without
+  /// touching any caller-visible cache — partial descent state lives only
+  /// in the local TuneResult, so a cancelled tune leaves nothing behind.
+  /// (Non-const: the tuner writes the token's progress counters.)
+  gpurf::common::CancelToken* cancel = nullptr;
 };
 
 struct TuneResult {

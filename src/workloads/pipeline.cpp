@@ -209,16 +209,25 @@ gpurf::Status store_pmap_cache(const Workload& w, const std::string& dir,
   if (ec)
     return gpurf::Status::Internal("cannot create cache dir " + d + ": " +
                                    ec.message());
+  // Write-then-rename: the entry appears at its final path only complete.
+  // Readers (and crashed/cancelled writers) can therefore never observe a
+  // half-written cache file — they see either the old entry or the new
+  // one.  rename(2) is atomic within a filesystem and the temp file sits
+  // in the cache dir itself.
   const std::string path = pmap_cache_path(w, d);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return gpurf::Status::Internal("cannot open " + path);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return gpurf::Status::Internal("cannot open " + tmp);
   std::fprintf(f, "%s %d %d %" PRIu64 " %u\n", kPmapMagic, kPmapCacheVersion,
                gpurf::fp::kFormatTableVersion, kernel_cache_fingerprint(w),
                w.kernel().num_regs());
   for (uint32_t r = 0; r < w.kernel().num_regs(); ++r)
     std::fprintf(f, "%d %d\n", perfect.pmap.per_reg[r].total_bits,
                  high.pmap.per_reg[r].total_bits);
-  std::fclose(f);
+  if (std::fclose(f) != 0 || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return gpurf::Status::Internal("cannot commit " + path);
+  }
   return gpurf::Status::Ok();
 }
 
@@ -227,19 +236,43 @@ PipelineResult compute_pipeline(const Workload& w,
   PipelineResult pr;
   const auto& k = w.kernel();
 
+  // Per-job control channel: stage transitions double as cancellation/
+  // deadline checkpoints, so a stop request takes effect *between* the
+  // Fig.-7 stages (the tuner adds its own per-batch checkpoints inside
+  // stage 2).  The unwound exception leaves pr on the stack — no shared
+  // structure has been touched yet when it escapes.
+  gpurf::common::CancelToken* tok = opt.tuner.cancel;
+  auto enter_stage = [&](gpurf::common::JobStage s) {
+    if (!tok) return;
+    tok->set_stage(s);
+    tok->checkpoint();
+  };
+
   // Launch geometry of the full-scale run drives the special-register
   // ranges; sample and full instances share block dimensions.
   const auto inst = w.make_instance(Scale::kFull, 0);
 
   // 1. Integer range analysis (§4.2).
+  enter_stage(gpurf::common::JobStage::kRanges);
   pr.ranges = analysis::analyze_ranges(k, inst.launch);
 
   // 2. Float precision tuning (§4.1), two thresholds (§6.1).  A stale or
   // corrupt disk-cache entry (non-OK, non-NotFound load) falls through to
   // a fresh tune — the entry is overwritten with a current one below.
-  const bool cached =
-      opt.use_disk_cache &&
-      load_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high).ok();
+  enter_stage(gpurf::common::JobStage::kTuning);
+  bool cached = false;
+  if (opt.use_disk_cache) {
+    const gpurf::Status loaded =
+        load_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high);
+    cached = loaded.ok();
+    if (opt.stats) {
+      if (loaded.ok())
+        opt.stats->disk_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      else if (loaded.code() == gpurf::StatusCode::kDataLoss)
+        opt.stats->disk_cache_stale_rejections.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+  }
   if (!cached) {
     WorkloadProbe probe(w, opt.run);
     gpurf::tuning::TunerOptions topt = opt.tuner;
@@ -256,6 +289,7 @@ PipelineResult compute_pipeline(const Workload& w,
     topt.level = QualityLevel::kHigh;
     pr.tune_high = gpurf::tuning::tune_precision(k, probe, topt);
 
+    enter_stage(gpurf::common::JobStage::kValidating);
     const std::vector<const gpurf::exec::PrecisionMap*> finals = {
         &pr.tune_perfect.pmap, &pr.tune_high.pmap};
     const std::vector<double> scores = probe.evaluate_batch(finals);
@@ -267,11 +301,15 @@ PipelineResult compute_pipeline(const Workload& w,
                      probe.meets(scores[1], QualityLevel::kHigh),
                  "accepted assignment fails validation");
 
+    // Past this point the result is complete; the store is atomic
+    // (write-then-rename) and no checkpoint runs between validation and
+    // store, so the disk cache only ever holds fully-validated entries.
     if (opt.use_disk_cache)
       store_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high);
   }
 
   // 3. Slice allocation (§4.3) under each framework combination.
+  enter_stage(gpurf::common::JobStage::kAllocating);
   using gpurf::alloc::AllocOptions;
   using gpurf::alloc::allocate_slices;
   AllocOptions none{false, false}, ints{true, false}, floats{false, true},
@@ -296,7 +334,8 @@ PipelineResult compute_pipeline(const Workload& w,
   return pr;
 }
 
-const PipelineResult& PipelineCache::get(const Workload& w) {
+const PipelineResult& PipelineCache::get(const Workload& w,
+                                         gpurf::common::CancelToken* cancel) {
   // Per-workload once-entries instead of one cache-wide lock: independent
   // workloads requested from different threads tune concurrently, while
   // each workload's pipeline still runs exactly once per cache instance.
@@ -305,9 +344,23 @@ const PipelineResult& PipelineCache::get(const Workload& w) {
     std::lock_guard<std::mutex> lock(mu_);
     e = &cache_[w.spec().name];
   }
-  std::call_once(e->once,
-                 [&] { e->result = std::make_unique<PipelineResult>(
-                           compute_pipeline(w, opt_)); });
+  // If the compute throws (cancelled / deadline / core error), call_once
+  // leaves the flag unset: nothing partial is memoized and the next caller
+  // recomputes with its own token.  `computed` distinguishes a fresh
+  // compute from a memo hit for the stats.
+  bool computed = false;
+  std::call_once(e->once, [&] {
+    computed = true;
+    if (opt_.stats)
+      opt_.stats->memo_misses.fetch_add(1, std::memory_order_relaxed);
+    PipelineOptions o = opt_;
+    o.tuner.cancel = cancel;
+    o.run.cancel = cancel;
+    e->result =
+        std::make_unique<PipelineResult>(compute_pipeline(w, o));
+  });
+  if (!computed && opt_.stats)
+    opt_.stats->memo_hits.fetch_add(1, std::memory_order_relaxed);
   return *e->result;
 }
 

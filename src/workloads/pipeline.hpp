@@ -17,6 +17,7 @@
 // the process-default Engine for legacy callers; compute_pipeline() is the
 // raw, memo-free computation used by benches and determinism tests.
 
+#include <atomic>
 #include <memory>
 #include <map>
 #include <mutex>
@@ -57,6 +58,16 @@ struct PipelineResult {
 /// environment afterwards).
 const std::string& default_cache_dir();
 
+/// Cache-observability counters for the pipeline layer (ISSUE 4 metrics
+/// satellite).  Relaxed atomics bumped on the memo / disk-cache paths; an
+/// Engine owns one instance and merges it into metrics_json().
+struct PipelineStats {
+  std::atomic<uint64_t> memo_hits{0};    ///< PipelineCache served a result
+  std::atomic<uint64_t> memo_misses{0};  ///< PipelineCache computed fresh
+  std::atomic<uint64_t> disk_cache_hits{0};
+  std::atomic<uint64_t> disk_cache_stale_rejections{0};  ///< kDataLoss loads
+};
+
 /// Pipeline computation knobs.  An Engine fills every field from its
 /// EngineOptions at construction; default-constructed options reproduce
 /// the legacy env-driven behaviour.
@@ -74,6 +85,9 @@ struct PipelineOptions {
   /// Interpreter strategy for every functional replay the tuner's quality
   /// probes perform (thread_insts is ignored).
   RunOptions run;
+  /// Cache counters to bump (nullable).  Not owned; must outlive every
+  /// compute_pipeline / PipelineCache::get call using these options.
+  PipelineStats* stats = nullptr;
 };
 
 /// Compute a pipeline result directly — no memo, no Engine.  Benches and
@@ -89,8 +103,16 @@ class PipelineCache {
  public:
   explicit PipelineCache(PipelineOptions opt = {}) : opt_(std::move(opt)) {}
 
-  /// Run (or fetch the memoized) pipeline for a workload.
-  const PipelineResult& get(const Workload& w);
+  /// Run (or fetch the memoized) pipeline for a workload.  `cancel`
+  /// applies to a computation this call performs itself: its checkpoints
+  /// thread into the tuner and the functional replays, and a stop unwinds
+  /// as common::CancelledError *before* the memo entry is published — the
+  /// once-flag resets, so the next caller recomputes from a clean slate
+  /// (a cancelled job can never leave a partial memo).  A caller that
+  /// merely waits on another thread's in-flight computation is not
+  /// interruptible (it blocks on the winner's once-flag).
+  const PipelineResult& get(const Workload& w,
+                            gpurf::common::CancelToken* cancel = nullptr);
 
   const PipelineOptions& options() const { return opt_; }
 

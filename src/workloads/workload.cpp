@@ -33,6 +33,9 @@ std::vector<float> Workload::run(
     Instance& inst, const gpurf::exec::PrecisionMap* pmap,
     const analysis::RangeAnalysisResult* range_check,
     const RunOptions& opt) const {
+  // Replay-granular stop: a cancelled tuning job aborts before the next
+  // replay starts, never in the middle of one.
+  if (opt.cancel) opt.cancel->checkpoint();
   gpurf::exec::ExecContext ctx;
   ctx.kernel = &kernel_;
   ctx.launch = inst.launch;

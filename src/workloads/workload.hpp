@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "exec/interp.hpp"
 #include "exec/machine.hpp"
 #include "ir/kernel.hpp"
@@ -43,6 +44,10 @@ struct RunOptions {
   bool use_soa = true;
   bool block_parallel = true;
   uint64_t* thread_insts = nullptr;  ///< out: executed thread instructions
+  /// Cooperative cancellation/deadline checkpoint, polled at the start of
+  /// every functional replay (a replay itself always runs to completion,
+  /// so replays never leave partial state).  Null disables it.
+  gpurf::common::CancelToken* cancel = nullptr;
 };
 
 class Workload {

@@ -1,0 +1,186 @@
+// gpurfd wire protocol (ISSUE 4): request parsing, the response envelope
+// (ok/error + embedded metrics), and a full round-trip over a real AF_UNIX
+// socket — submit, wait, result payload, cancel semantics, shutdown.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "api/engine.hpp"
+#include "api/json.hpp"
+#include "api/server.hpp"
+
+namespace gpurf {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::path(".") / name).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+api::JsonValue parse_ok(const std::string& text) {
+  auto v = api::parse_json(text);
+  EXPECT_TRUE(v.ok()) << v.status().to_string() << "\n" << text;
+  return v.ok() ? *v : api::JsonValue{};
+}
+
+// --------------------------------------------------------- JSON parser
+
+TEST(JsonParse, ValuesRoundTrip) {
+  auto v = parse_ok(R"({"a":1,"b":-2.5e1,"s":"x\n\"yA","t":true,)"
+                    R"("n":null,"arr":[1,"two",{"k":3}]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get("a")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.get("b")->as_double(), -25.0);
+  EXPECT_EQ(v.get("s")->as_string(), "x\n\"yA");
+  EXPECT_TRUE(v.get("t")->as_bool());
+  EXPECT_TRUE(v.get("n")->is_null());
+  ASSERT_TRUE(v.get("arr")->is_array());
+  ASSERT_EQ(v.get("arr")->items.size(), 3u);
+  EXPECT_EQ(v.get("arr")->items[2].get("k")->as_int(), 3);
+
+  EXPECT_FALSE(api::parse_json("{\"a\":}").ok());
+  EXPECT_FALSE(api::parse_json("[1,2").ok());
+  EXPECT_FALSE(api::parse_json("{} trailing").ok());
+  EXPECT_FALSE(api::parse_json("nul").ok());
+  EXPECT_TRUE(api::parse_json("  [1, 2, 3]  ").ok());
+}
+
+TEST(JsonParse, EveryEmittedSnapshotParses) {
+  Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
+  EXPECT_TRUE(api::parse_json(engine.metrics_json()).ok());
+
+  SimRequest req;
+  req.scale = workloads::Scale::kSample;
+  auto sim = engine.simulate("Hotspot", req);
+  ASSERT_TRUE(sim.ok()) << sim.status().to_string();
+  EXPECT_TRUE(api::parse_json(api::to_json(*sim)).ok());
+  auto pj = engine.pipeline_json("Hotspot");
+  ASSERT_TRUE(pj.ok());
+  EXPECT_TRUE(api::parse_json(*pj).ok());
+}
+
+// ------------------------------------------------ request handling seam
+
+TEST(Daemon, HandlesRequestsWithoutSocket) {
+  Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
+  api::Server server(engine, api::ServerOptions{});  // never started
+
+  // Envelope shape: ok + metrics on every response, success or error.
+  auto pong = parse_ok(server.handle_request_line(R"({"op":"ping"})"));
+  EXPECT_TRUE(pong.get("ok")->as_bool());
+  ASSERT_NE(pong.get("metrics"), nullptr);
+  EXPECT_TRUE(pong.get("metrics")->is_object());
+
+  auto list = parse_ok(server.handle_request_line(R"({"op":"list"})"));
+  ASSERT_TRUE(list.get("workloads")->is_array());
+  EXPECT_EQ(list.get("workloads")->items.size(), 11u);
+
+  // Error mapping to Status codes.
+  auto bad = parse_ok(server.handle_request_line("this is not json"));
+  EXPECT_FALSE(bad.get("ok")->as_bool());
+  EXPECT_EQ(bad.get("error")->get("code")->as_string(), "INVALID_ARGUMENT");
+  ASSERT_NE(bad.get("metrics"), nullptr);
+
+  auto unknown_op =
+      parse_ok(server.handle_request_line(R"({"op":"frobnicate"})"));
+  EXPECT_EQ(unknown_op.get("error")->get("code")->as_string(),
+            "INVALID_ARGUMENT");
+
+  auto unknown_wl = parse_ok(server.handle_request_line(
+      R"({"op":"submit","kind":"pipeline","workload":"NoSuchKernel"})"));
+  EXPECT_FALSE(unknown_wl.get("ok")->as_bool());
+  EXPECT_EQ(unknown_wl.get("error")->get("code")->as_string(), "NOT_FOUND");
+
+  auto no_job = parse_ok(
+      server.handle_request_line(R"({"op":"status","job":424242})"));
+  EXPECT_EQ(no_job.get("error")->get("code")->as_string(), "NOT_FOUND");
+
+  auto bad_mode = parse_ok(server.handle_request_line(
+      R"({"op":"submit","kind":"simulate","workload":"DWT2D",)"
+      R"("mode":"ultra"})"));
+  EXPECT_EQ(bad_mode.get("error")->get("code")->as_string(),
+            "INVALID_ARGUMENT");
+}
+
+// ------------------------------------------------- socket round-trip
+
+TEST(Daemon, SocketRoundTripSubmitWaitResultShutdown) {
+  TempDir dir("gpurf_daemon_cache");
+  Engine engine(EngineOptions().with_threads(2).with_cache_dir(dir.path));
+  const std::string sock = "./gpurfd_test.sock";
+  api::Server server(engine, api::ServerOptions{sock});
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(server.running());
+
+  api::Client client(sock);
+  ASSERT_TRUE(client.status().ok()) << client.status().to_string();
+
+  auto pong = client.call_json(R"({"op":"ping"})");
+  ASSERT_TRUE(pong.ok()) << pong.status().to_string();
+  EXPECT_TRUE(pong->get("ok")->as_bool());
+
+  // Submit a sample-scale simulate job (tunes the pipeline on the way)
+  // and wait for it over the wire.
+  auto sub = client.call_json(
+      R"({"op":"submit","kind":"simulate","workload":"DWT2D",)"
+      R"("mode":"high","scale":"sample","priority":3})");
+  ASSERT_TRUE(sub.ok()) << sub.status().to_string();
+  ASSERT_TRUE(sub->get("ok")->as_bool());
+  ASSERT_NE(sub->get("job"), nullptr);
+  const int64_t id = sub->get("job")->as_int();
+  EXPECT_GT(id, 0);
+  EXPECT_EQ(sub->get("priority")->as_int(), 3);
+
+  auto done = client.call_json(R"({"op":"wait","job":)" +
+                               std::to_string(id) +
+                               R"(,"timeout_ms":600000})");
+  ASSERT_TRUE(done.ok()) << done.status().to_string();
+  ASSERT_TRUE(done->get("ok")->as_bool());
+  EXPECT_EQ(done->get("state")->as_string(), "done");
+  EXPECT_EQ(done->get("status_code")->as_string(), "OK");
+  const api::JsonValue* result = done->get("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_NE(result->get("stats"), nullptr);
+  EXPECT_GT(result->get("stats")->get("ipc")->as_double(), 0.0);
+  const api::JsonValue* progress = done->get("progress");
+  ASSERT_NE(progress, nullptr);
+  EXPECT_GT(progress->get("wall_ms")->as_double(), 0.0);
+
+  // A second status query still finds the job; cancel on a terminal job
+  // is a no-op that reports the final state.
+  auto cancelled = client.call_json(R"({"op":"cancel","job":)" +
+                                    std::to_string(id) + "}");
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_EQ(cancelled->get("state")->as_string(), "done");
+
+  // Metrics envelope: non-zero counters after the round trip.
+  auto metrics = client.call_json(R"({"op":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  const api::JsonValue* m = metrics->get("metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GE(m->get("jobs_done")->as_int(), 1);
+  EXPECT_GE(m->get("jobs_submitted")->as_int(), 1);
+  EXPECT_GE(m->get("pipeline_memo_misses")->as_int(), 1);
+  EXPECT_GT(m->get("job_wall_ms_total")->as_double(), 0.0);
+
+  // Cooperative shutdown over the wire.
+  auto bye = client.call_json(R"({"op":"shutdown"})");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_TRUE(bye->get("shutting_down")->as_bool());
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(fs::exists(sock));
+}
+
+}  // namespace
+}  // namespace gpurf

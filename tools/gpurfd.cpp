@@ -1,0 +1,102 @@
+// gpurfd — long-lived daemon serving one gpurf::Engine over a local socket
+// (ISSUE 4).  Clients speak newline-delimited JSON (see api/server.hpp for
+// the wire protocol): expensive tuning pipelines and timing simulations
+// become first-class jobs with deadlines, priorities, cancellation and
+// progress, and every response carries the Engine's metrics snapshot.
+//
+// Usage:
+//   gpurfd --socket PATH [--threads N] [--cache-dir DIR]
+//          [--async-workers N] [--max-inflight N] [--no-disk-cache]
+//
+// Runs until a client sends {"op":"shutdown"} or the process receives
+// SIGINT/SIGTERM, then tears the socket down cleanly.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "api/engine.hpp"
+#include "api/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--threads N] [--cache-dir DIR]\n"
+               "          [--async-workers N] [--max-inflight N] "
+               "[--no-disk-cache]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  gpurf::EngineOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0;
+    };
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg("--socket")) {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      socket_path = v;
+    } else if (arg("--threads")) {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.threads = std::atoi(v);
+    } else if (arg("--cache-dir")) {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.cache_dir = v;
+    } else if (arg("--async-workers")) {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.async_workers = std::atoi(v);
+    } else if (arg("--max-inflight")) {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.max_inflight = static_cast<size_t>(std::atoll(v));
+    } else if (arg("--no-disk-cache")) {
+      opts.use_disk_cache = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  gpurf::Engine engine(opts);
+  gpurf::api::Server server(engine, gpurf::api::ServerOptions{socket_path});
+  const gpurf::Status st = server.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "gpurfd: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("gpurfd listening on %s (threads=%d, async_workers=%d, "
+              "max_inflight=%zu)\n",
+              socket_path.c_str(), engine.options().threads,
+              engine.options().async_workers, engine.options().max_inflight);
+  std::fflush(stdout);
+
+  // Wait for a client shutdown request or a signal.
+  while (server.running() && !server.shutdown_requested() && !g_signal)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("gpurfd: shutting down\n");
+  server.stop();
+  return 0;
+}
