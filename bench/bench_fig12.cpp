@@ -29,6 +29,10 @@ int main() {
   std::printf("%-11s %8s %8s %8s %8s\n", "Kernel", "wb=0", "wb=2", "wb=4",
               "wb=8");
   gpurf::Engine engine(gpurf::EngineOptions().with_max_inflight(64));
+  // Simulations run multi-SM sharded (ISSUE 5, sim_shards = thread
+  // count); the writeback-delay sweep's IPC values are bit-identical to
+  // the serial schedule.
+  std::printf("[sim_shards=%d]\n", engine.options().sim_shards);
   const auto names = engine.workload_names();
   std::vector<gpurf::Job> jobs(names.size() * kNumDelays);
   for (size_t d = 0; d < kNumDelays; ++d)
@@ -75,8 +79,8 @@ int main() {
     std::printf("\n");
   }
   if (json) {
-    std::fprintf(json, "\n  ],\n  \"metrics\": %s\n}\n",
-                 engine.metrics_json().c_str());
+    std::fprintf(json, "\n  ],\n  \"sim_shards\": %d,\n  \"metrics\": %s\n}\n",
+                 engine.options().sim_shards, engine.metrics_json().c_str());
     std::fclose(json);
   }
   return 0;

@@ -18,6 +18,7 @@ EngineOptions resolve(EngineOptions o) {
   if (o.threads <= 0) o.threads = common::default_thread_count();
   if (o.cache_dir.empty()) o.cache_dir = workloads::default_cache_dir();
   if (o.tuner.speculate_batch <= 0) o.tuner.speculate_batch = o.threads;
+  if (o.sim_shards <= 0) o.sim_shards = o.threads;
   if (o.async_workers <= 0) o.async_workers = o.threads;
   if (o.max_inflight == 0)
     o.max_inflight = 2 * static_cast<size_t>(o.async_workers);
@@ -184,7 +185,9 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
     const sim::CompressionConfig comp =
         req.compression ? *req.compression
                         : workloads::make_compression_config(req.mode);
-    return sim::simulate(opts_.gpu, comp, spec, cancel);
+    sim::SimOptions so;
+    so.shards = req.sim_shards > 0 ? req.sim_shards : opts_.sim_shards;
+    return sim::simulate(opts_.gpu, comp, spec, cancel, so);
   } catch (const common::CancelledError& e) {
     return stop_status(e, std::string("simulate '") + w.spec().name + "'");
   } catch (const Error& e) {

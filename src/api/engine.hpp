@@ -95,6 +95,12 @@ struct EngineOptions {
   workloads::RunOptions run;
   /// GPU model for occupancy and timing simulation.
   sim::GpuConfig gpu = sim::GpuConfig::fermi_gtx480();
+  /// Multi-SM shard count for every timing simulation this Engine runs
+  /// (ISSUE 5): SMs tick in parallel on the Engine's pool with a
+  /// deterministic per-cycle barrier; SimStats are bit-identical at every
+  /// value.  <= 0 resolves to `threads`; 1 forces the serial schedule.
+  /// Overridable per request via SimRequest::sim_shards.
+  int sim_shards = 0;
   /// Async executor width; <= 0 resolves to `threads`.  Executor threads
   /// run submitted jobs concurrently; each job fans its inner work out on
   /// the Engine's pool.
@@ -122,6 +128,7 @@ struct EngineOptions {
     return *this;
   }
   EngineOptions& with_gpu(const sim::GpuConfig& g) { gpu = g; return *this; }
+  EngineOptions& with_sim_shards(int n) { sim_shards = n; return *this; }
   EngineOptions& with_async_workers(int n) { async_workers = n; return *this; }
   EngineOptions& with_max_inflight(size_t n) { max_inflight = n; return *this; }
 };

@@ -51,6 +51,10 @@ struct SimRequest {
   /// Override the compression pipeline parameters (e.g. the §6.3
   /// writeback-delay sweep); unset derives the config from `mode`.
   std::optional<sim::CompressionConfig> compression;
+  /// Multi-SM shard count for this simulation only: > 0 overrides the
+  /// Engine's resolved EngineOptions::sim_shards (1 = serial reference
+  /// schedule).  Timing results are bit-identical at every value.
+  int sim_shards = 0;
 };
 
 enum class JobState {
@@ -113,6 +117,11 @@ struct JobProgress {
   uint64_t sim_cycles = 0;    ///< simulated cycles so far
   uint64_t run_seq = 0;       ///< global start order (0 = not started yet)
   double wall_ms = 0.0;       ///< submit -> now (or -> terminal)
+  /// start -> now (or -> terminal); 0 while still queued.  Unlike
+  /// wall_ms this excludes queue wait, so per-job throughput metrics
+  /// (e.g. simulated cycles per second) are meaningful even when many
+  /// jobs were submitted up front.
+  double exec_ms = 0.0;
 };
 
 class Engine;
@@ -265,6 +274,10 @@ class Job {
     p.wall_ms = std::chrono::duration<double, std::milli>(
                     end - impl_->submitted_at)
                     .count();
+    if (impl_->run_seq > 0)
+      p.exec_ms = std::chrono::duration<double, std::milli>(
+                      end - impl_->started_at)
+                      .count();
     return p;
   }
 

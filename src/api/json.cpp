@@ -1,6 +1,7 @@
 #include "api/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -12,11 +13,15 @@ namespace {
 
 std::string fmt_double(double v) {
   // Shortest round-trippable-enough form; NaN/inf are not valid JSON, so
-  // they serialise as null.
+  // they serialise as null.  std::to_chars formats like printf %g *in the
+  // C locale* regardless of the process locale — snprintf would emit a
+  // comma decimal separator under e.g. de_DE, which is not valid JSON
+  // (ISSUE 5 locale fix, the emitting twin of the parse_json change).
   if (!std::isfinite(v)) return "null";
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
+  const auto r =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 9);
+  return std::string(buf, r.ptr);
 }
 
 }  // namespace
@@ -469,10 +474,13 @@ class JsonParser {
       err_ = "unexpected character";
       return false;
     }
-    const std::string tok(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    out.num_v = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size()) {
+    // std::from_chars is locale-independent: strtod consults LC_NUMERIC
+    // and rejects "1.5" under comma-decimal locales (ISSUE 5 fix), which
+    // would make the daemon's wire protocol depend on the host's locale.
+    const char* tok_begin = text_.data() + start;
+    const char* tok_end = text_.data() + pos_;
+    const auto r = std::from_chars(tok_begin, tok_end, out.num_v);
+    if (r.ec != std::errc() || r.ptr != tok_end) {
       err_ = "malformed number";
       return false;
     }

@@ -68,6 +68,8 @@ Status parse_sim_request(const JsonValue& req, SimRequest& out) {
   if (const JsonValue* d = req.get("writeback_delay"))
     out.compression = sim::CompressionConfig::with_writeback_delay(
         static_cast<uint32_t>(d->as_int(0)));
+  if (const JsonValue* s = req.get("sim_shards"))
+    out.sim_shards = static_cast<int>(s->as_int(0));
   return Status::Ok();
 }
 
@@ -85,6 +87,7 @@ void write_job_fields(JsonWriter& w, const Job& job) {
   w.field("sim_cycles", p.sim_cycles);
   w.field("run_seq", p.run_seq);
   w.field("wall_ms", p.wall_ms);
+  w.field("exec_ms", p.exec_ms);
   w.end_object();
   // Terminal jobs also report their status (and the error, if any) so a
   // client can distinguish done / failed / cancelled / deadline-exceeded
@@ -142,6 +145,26 @@ Status Server::start() {
   return Status::Ok();
 }
 
+void Server::reap_finished() {
+  // Collect the joinable handles under the lock, join them outside it:
+  // a handler's exit path takes mu_ to deregister itself, so joining
+  // while holding mu_ could deadlock against a thread that is *almost*
+  // finished.  Joining after its finished_ entry appeared is cheap — the
+  // handler has nothing left to run but its epilogue.
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : finished_) {
+      auto it = threads_.find(id);
+      if (it == threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      threads_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (auto& t : done) t.join();
+}
+
 void Server::stop() {
   stopping_.store(true, std::memory_order_release);
   const bool was_running = running_.exchange(false);
@@ -151,14 +174,19 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Kick every live connection (unblocks reads; a handler parked inside a
+  // long "wait" op notices stopping_ within one wait slice), then join
+  // every handler thread.  After the joins no connection code can run, so
+  // destroying the Server immediately afterwards is safe — this is the
+  // ISSUE 5 fix for the detached-thread shutdown race.
+  std::map<uint64_t, std::thread> remaining;
   {
-    // Kick every live connection (unblocks reads) and wait for the
-    // handlers to drain; a handler parked inside a long "wait" op notices
-    // running_ == false within one wait slice (see handle_request_line).
-    std::unique_lock<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
-    done_cv_.wait(lock, [&] { return active_ == 0; });
+    remaining.swap(threads_);
+    finished_.clear();
   }
+  for (auto& [id, t] : remaining) t.join();
   if (was_running) ::unlink(opts_.socket_path.c_str());
 }
 
@@ -170,19 +198,24 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listener closed underneath us
     }
+    // Joining finished predecessors here bounds the registry at the
+    // number of *live* connections plus the already-finished ones since
+    // the last accept — a long-lived daemon never accumulates handles.
+    reap_finished();
     {
+      // Register the socket and the handle atomically: stop() joins this
+      // accept thread before it swaps the registry out, so every spawned
+      // handler is guaranteed to be visible to the final join pass.
       std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t id = next_conn_id_++;
       conns_.insert(fd);
-      ++active_;
+      threads_.emplace(id,
+                       std::thread([this, fd, id] { serve_connection(fd, id); }));
     }
-    // Detached: lifetime is tracked by active_, not by a join — a
-    // long-lived daemon must not accumulate one zombie thread per served
-    // connection.  stop() blocks until active_ drains to zero.
-    std::thread([this, fd] { serve_connection(fd); }).detach();
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(int fd, uint64_t conn_id) {
   std::string buf;
   char chunk[4096];
   for (;;) {
@@ -207,13 +240,20 @@ void Server::serve_connection(int fd) {
       }
     }
   }
+  // Join predecessors that already finished — without this, a
+  // burst-then-idle daemon would retain exited-but-unjoined handles (and
+  // their stacks) until the next accept.  Safe here: this thread's own id
+  // is not on finished_ yet, so it never joins itself.
+  reap_finished();
   // Deregister and close under one lock so stop() can never shutdown() an
   // fd number this thread already closed (and the kernel reassigned).
+  // Parking the id on finished_ hands the joinable handle to the next
+  // reaper (a later handler exit or accept) or to stop(), whichever
+  // comes first.
   std::lock_guard<std::mutex> lock(mu_);
   conns_.erase(fd);
   ::close(fd);
-  --active_;
-  done_cv_.notify_all();
+  finished_.push_back(conn_id);
 }
 
 std::string Server::handle_request_line(const std::string& line) {

@@ -14,7 +14,8 @@
 //   {"op":"list"}                                   -> {"workloads":[...]}
 //   {"op":"submit","kind":"pipeline"|"simulate","workload":NAME,
 //    "mode":"original"|"perfect"|"high","scale":"sample"|"full",
-//    "variant":N,"writeback_delay":N,"priority":N,"deadline_ms":N}
+//    "variant":N,"writeback_delay":N,"sim_shards":N,"priority":N,
+//    "deadline_ms":N}
 //                                                   -> {"job":ID,"state":..}
 //   {"op":"status","job":ID}                        -> state + progress
 //   {"op":"wait","job":ID,"timeout_ms":N}           -> state [+ "result"]
@@ -33,16 +34,25 @@
 //
 // Threading: one accept thread plus one thread per connection — gpurfd
 // serves a handful of local clients, not the open internet; the Engine
-// underneath does the real scheduling.  stop() closes the listener and all
-// live connections and joins every thread.  The Client is intentionally
-// tiny and blocking: connect, send a line, read a line.
+// underneath does the real scheduling.  Connection threads are joinable
+// and tracked in a registry keyed by connection id: a finished handler
+// parks its id on a reap list that the accept loop joins before spawning
+// the next connection (so a long-lived daemon never accumulates zombie
+// handles), and stop() joins every remaining thread after shutting the
+// sockets down — destruction can therefore never free Server state a
+// still-running handler touches (ISSUE 5 shutdown-race fix; previously
+// the threads were detached and tracked only by a counter, leaving a
+// window between the counter hitting zero and the handler's last
+// instructions).  The Client is intentionally tiny and blocking: connect,
+// send a line, read a line.
 
 #include <atomic>
-#include <condition_variable>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "api/engine.hpp"
 #include "api/json.hpp"
@@ -83,7 +93,10 @@ class Server {
 
  private:
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(int fd, uint64_t conn_id);
+  /// Join and erase every registry entry whose handler already returned.
+  /// Called with mu_ held *released* — takes it internally.
+  void reap_finished();
 
   Engine& engine_;
   ServerOptions opts_;
@@ -92,13 +105,15 @@ class Server {
   std::atomic<bool> stopping_{false};  ///< stop() entered; drains waits
   std::atomic<bool> shutdown_{false};
   std::thread accept_thread_;
-  // Connection threads run detached; conns_/active_ track them so stop()
-  // can shut every socket down and block until the last handler exits —
-  // finished connections cost nothing in between (no zombie joins).
+  // Joinable connection-thread registry (see the threading note above).
+  // mu_ guards the registry shape and the live-socket set; joins happen
+  // outside the lock so a handler's final deregistration never deadlocks
+  // against the reaper.
   std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::set<int> conns_;
-  size_t active_ = 0;
+  std::set<int> conns_;                       ///< live sockets (for stop())
+  std::map<uint64_t, std::thread> threads_;   ///< conn id -> handler thread
+  std::vector<uint64_t> finished_;            ///< ids ready to join
+  uint64_t next_conn_id_ = 0;
 };
 
 /// Minimal blocking client for the gpurfd protocol: connects in the

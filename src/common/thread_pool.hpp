@@ -17,7 +17,9 @@
 // resize() the singleton at runtime to compare serial vs parallel runs in
 // one process.
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
@@ -100,6 +102,13 @@ class ThreadPool {
       return;
     }
 
+    // NOTE: parallel_for is fork-join for *short* fan-outs — it holds
+    // submit_mu_ for the duration of the job, so long-resident occupants
+    // (e.g. the sharded timing simulator, whose shards live for the whole
+    // run) must NOT route through the pool: they would serialise every
+    // other session's probe batches — and with them their cancellation
+    // checkpoints — behind a multi-second mutex hold.  sim/gpu.cpp spawns
+    // a dedicated, globally-gated shard crew instead, sized by size().
     std::lock_guard<std::mutex> submit(submit_mu_);
     const int nshards =
         static_cast<int>(std::min<size_t>(n, static_cast<size_t>(num_threads_)));
@@ -211,6 +220,59 @@ class ThreadPool {
   uint64_t job_id_ = 0;
   std::exception_ptr error_;
   bool stop_ = false;
+};
+
+/// Reusable cycle barrier for lockstep phase execution (ISSUE 5: the
+/// sharded timing simulator ticks all SMs in parallel, then runs a serial
+/// commit phase — L2 replay, block dispatch — between cycles).
+///
+/// Epoch-based: every participant calls arrive_and_wait(fn) once per
+/// cycle; the last arriver runs `fn` alone (exclusive access to shared
+/// state) and then releases the epoch.  Writes made before an arrival
+/// happen-before the completion function, and writes made inside the
+/// completion function happen-before every participant's return — so a
+/// stop flag set in `fn` is safely readable right after the barrier.
+///
+/// `fn` must not throw (catch internally and latch an exception_ptr); a
+/// participant that abandons the barrier mid-simulation would deadlock the
+/// remaining ones, which is why the simulator's shard loops route every
+/// exception through a shared error slot instead of unwinding.
+///
+/// Waiting spins briefly (per-cycle latency matters: a simulation runs
+/// millions of epochs) and then yields, so oversubscribed hosts — e.g. a
+/// one-core CI runner with GPURF_THREADS=4 — degrade to scheduler-paced
+/// progress instead of livelock.
+class CycleBarrier {
+ public:
+  explicit CycleBarrier(int participants) : total_(participants) {}
+
+  CycleBarrier(const CycleBarrier&) = delete;
+  CycleBarrier& operator=(const CycleBarrier&) = delete;
+
+  template <typename Fn>
+  void arrive_and_wait(Fn&& fn) {
+    const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      fn();
+      // Reset the arrival count *before* publishing the new epoch: a
+      // participant can only re-arrive after it observed the epoch bump.
+      arrived_.store(0, std::memory_order_relaxed);
+      epoch_.store(epoch + 1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (epoch_.load(std::memory_order_acquire) == epoch) {
+        if (spins < 1024)
+          ++spins;  // saturate: don't overflow during a very long wait
+        else
+          std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const int total_;
+  std::atomic<int> arrived_{0};
+  std::atomic<uint64_t> epoch_{0};
 };
 
 /// RAII: bind `pool` as the calling thread's current pool for the scope.

@@ -1,6 +1,14 @@
 #pragma once
 // Set-associative LRU cache model.  Tag-only (data comes from the
 // functional interpreter); a probe updates LRU state and fills on miss.
+//
+// NOT thread-safe, and deliberately so: access() advances an internal
+// tick_ that stamps LRU recency, so both the hit/miss outcome and the
+// replacement state depend on the exact global order of probes.  Callers
+// that share a cache across threads (the sharded simulator's L2) must
+// therefore serialise a deterministic access order themselves — per-SM
+// probe streams are buffered during the parallel tick and replayed here
+// in SM-index order at the cycle barrier (see sim/gpu.cpp).
 
 #include <cstdint>
 #include <vector>

@@ -1,10 +1,16 @@
 #include "sim/gpu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <functional>
+#include <mutex>
+#include <optional>
 #include <queue>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/cache.hpp"
 
 namespace gpurf::sim {
@@ -17,6 +23,33 @@ using ir::UnitClass;
 namespace {
 
 constexpr int kNoIndex = -1;
+
+/// Process-wide token bounding sharded-sim thread usage: at most one
+/// simulation runs a dedicated shard crew at a time.  A second concurrent
+/// sharded simulate degrades to the serial schedule (bit-identical by the
+/// determinism contract — only wall-clock changes) instead of
+/// oversubscribing the host with additional spin-barrier crews.  The sims
+/// deliberately do NOT route through ThreadPool::parallel_for: that holds
+/// the pool's submit mutex for the whole job, which would serialise every
+/// other session's short fan-outs (tuner probe batches, and with them
+/// their cancellation checkpoints) behind a multi-second hold.
+std::atomic<bool> shard_crew_busy{false};
+
+class ShardCrewToken {
+ public:
+  ShardCrewToken()
+      : acquired_(!shard_crew_busy.exchange(true, std::memory_order_acquire)) {}
+  ~ShardCrewToken() {
+    if (acquired_) shard_crew_busy.store(false, std::memory_order_release);
+  }
+  ShardCrewToken(const ShardCrewToken&) = delete;
+  ShardCrewToken& operator=(const ShardCrewToken&) = delete;
+
+  bool acquired() const { return acquired_; }
+
+ private:
+  bool acquired_;
+};
 
 /// Execution latency by instruction class.
 uint32_t latency_of(const GpuConfig& g, const ir::Instruction& in) {
@@ -96,22 +129,37 @@ class BlockDispatcher {
   uint64_t next_ = 0;
 };
 
+/// One LDST dispatch whose L2-dependent latency is resolved at the
+/// barrier: the probe stream (`lines`) replays against the shared L2 in
+/// SM-index order, because both the hit/miss outcome and the cache's
+/// tick_-based LRU state depend on global access order.
+struct PendingL2 {
+  int warp = kNoIndex;        ///< destination warp (kNoIndex: no writeback)
+  uint32_t reg = 0;           ///< destination register
+  uint64_t issued_at = 0;     ///< dispatch cycle
+  uint32_t base_latency = 0;  ///< latency floor (L1 / texture hit path)
+  uint32_t extra = 0;         ///< serialisation cycles (transactions - 1)
+  size_t line_begin = 0;      ///< range into SmCore::l2_lines_
+  size_t line_end = 0;
+};
+
 class SmCore {
  public:
+  /// Each SM owns a *copy* of the launch's ExecContext so that functional
+  /// execution (thread_insts accumulation, analysis handle) never shares
+  /// mutable state across SMs during a parallel tick.  Global memory stays
+  /// shared: blocks of one launch write disjoint words (see gpu.hpp).
   SmCore(const GpuConfig& g, const CompressionConfig& cc,
-         const KernelLaunchSpec& spec, exec::ExecContext& ctx,
-         const Occupancy& occ, BlockDispatcher& dispatcher, Cache& l2,
-         SimStats& stats)
+         const KernelLaunchSpec& spec, const exec::ExecContext& base_ctx,
+         const Occupancy& occ)
       : g_(g),
         cc_(cc),
         spec_(spec),
-        ctx_(ctx),
+        ctx_(base_ctx),
         occ_(occ),
-        dispatcher_(dispatcher),
         l1_(g.l1),
-        tex_(g.tex),
-        l2_(l2),
-        stats_(stats) {
+        tex_(g.tex) {
+    ctx_.thread_insts = 0;
     cus_.resize(g.collector_units);
     const uint32_t wpb = spec.launch.warps_per_block();
     warps_.resize(size_t(occ.blocks_per_sm) * wpb);
@@ -123,7 +171,6 @@ class SmCore {
         wc.pending.assign(spec.kernel->num_regs(), 0);
       }
     blocks_.resize(occ.blocks_per_sm);
-    fill_blocks();
   }
 
   bool idle() const {
@@ -132,31 +179,45 @@ class SmCore {
     return true;
   }
 
+  /// Parallel phase: everything an SM does in one cycle that touches only
+  /// SM-private state.  L2-bound memory dispatches are buffered (see
+  /// PendingL2) instead of probing the shared L2; block refill moved to
+  /// fill_blocks() in the barrier phase.
   void tick(uint64_t now) {
     retire_writebacks(now);
     dispatch_ready(now);
     arbitrate_banks(now);
     run_converters(now);
     issue(now);
-    fill_blocks();
   }
 
-  /// L1 / texture miss-rate bookkeeping is merged into the shared stats at
-  /// the end of the run.
-  void flush_cache_stats() {
-    stats_.l1.accesses += l1_.stats().accesses;
-    stats_.l1.misses += l1_.stats().misses;
-    stats_.tex.accesses += tex_.stats().accesses;
-    stats_.tex.misses += tex_.stats().misses;
+  /// Barrier phase 1 (serial, SM-index order): replay this SM's buffered
+  /// L2 probes against the shared L2 and schedule the writebacks whose
+  /// latency depended on the hit/miss outcomes.
+  void commit_memory(Cache& l2) {
+    for (const PendingL2& p : pending_) {
+      uint32_t worst = p.base_latency;
+      for (size_t i = p.line_begin; i < p.line_end; ++i)
+        worst = std::max(
+            worst, l2.access(l2_lines_[i]) ? g_.lat_l2_hit : g_.lat_dram);
+      if (p.warp != kNoIndex) {
+        const uint64_t wb_extra = cc_.enabled ? cc_.writeback_delay : 0;
+        wb_.push(WriteBack{p.issued_at + worst + p.extra + wb_extra, p.warp,
+                           p.reg});
+      }
+    }
+    pending_.clear();
+    l2_lines_.clear();
   }
 
- private:
-  uint32_t warps_per_block() const { return spec_.launch.warps_per_block(); }
-
-  void fill_blocks() {
+  /// Barrier phase 2 (serial, SM-index order): claim blocks from the
+  /// shared dispatcher.  Running this at the barrier — instead of
+  /// on-demand inside tick() — is what makes block placement a pure
+  /// function of the cycle number and the SM index.
+  void fill_blocks(BlockDispatcher& dispatcher) {
     for (uint32_t slot = 0; slot < blocks_.size(); ++slot) {
-      if (blocks_[slot].exec || dispatcher_.empty()) continue;
-      auto [bx, by] = dispatcher_.pop();
+      if (blocks_[slot].exec || dispatcher.empty()) continue;
+      auto [bx, by] = dispatcher.pop();
       BlockCtx& b = blocks_[slot];
       b.exec = std::make_unique<exec::BlockExec>(ctx_, bx, by);
       b.warps_live = warps_per_block();
@@ -171,6 +232,19 @@ class SmCore {
       }
     }
   }
+
+  /// L1 / texture miss-rate bookkeeping is merged into this SM's stats at
+  /// the end of the run; simulate() folds per-SM stats in SM-index order.
+  void flush_cache_stats() {
+    stats_.l1.merge(l1_.stats());
+    stats_.tex.merge(tex_.stats());
+  }
+
+  const SimStats& stats() const { return stats_; }
+  uint64_t thread_insts() const { return ctx_.thread_insts; }
+
+ private:
+  uint32_t warps_per_block() const { return spec_.launch.warps_per_block(); }
 
   void retire_writebacks(uint64_t now) {
     while (!wb_.empty() && wb_.top().cycle <= now) {
@@ -199,9 +273,16 @@ class SmCore {
       uint64_t done_at = 0;
       if (unit == UnitClass::LDST) {
         if (now < ldst_free_) continue;
-        const auto [transactions, latency] = memory_access(cu);
-        ldst_free_ = now + transactions;
-        done_at = now + latency;
+        const MemAccess ma = memory_access(now, cu);
+        ldst_free_ = now + ma.transactions;
+        if (ma.deferred) {
+          // L2-dependent latency: the writeback (if any) is scheduled by
+          // commit_memory() at this cycle's barrier, once the buffered L2
+          // probes have resolved hit/miss in SM-index order.
+          cu.valid = false;
+          continue;
+        }
+        done_at = now + ma.latency;
       } else if (unit == UnitClass::SFU) {
         if (now < sfu_free_) continue;
         sfu_free_ = now + g_.sfu_initiation;
@@ -437,8 +518,17 @@ class SmCore {
   }
 
   // ----------------------------------------------------------------- memory
-  /// Returns {transactions, latency}.
-  std::pair<uint32_t, uint32_t> memory_access(const CuEntry& cu) {
+  struct MemAccess {
+    uint32_t transactions = 1;
+    uint32_t latency = 0;   ///< valid when !deferred
+    bool deferred = false;  ///< resolved by commit_memory() at the barrier
+  };
+
+  /// Classify one memory dispatch.  Shared-memory traffic is entirely
+  /// SM-private and resolves immediately; global / texture traffic probes
+  /// the private L1 / texture caches now but buffers its L2 stream (the
+  /// only cross-SM cache) for the in-order barrier replay.
+  MemAccess memory_access(uint64_t now, const CuEntry& cu) {
     const ir::Instruction& in = *cu.step.inst;
     const uint32_t mask = cu.step.active_mask;
 
@@ -455,7 +545,15 @@ class SmCore {
       uint32_t degree = 1;
       for (const auto& v : per_bank)
         degree = std::max<uint32_t>(degree, uint32_t(v.size()));
-      return {degree, g_.lat_shared + (degree - 1)};
+      return {degree, g_.lat_shared + (degree - 1), false};
+    }
+
+    PendingL2 p;
+    p.issued_at = now;
+    p.line_begin = l2_lines_.size();
+    if (in.info().has_dst) {
+      p.warp = cu.warp;
+      p.reg = in.dst;
     }
 
     if (in.op == Opcode::TEX2D) {
@@ -467,16 +565,17 @@ class SmCore {
         if (std::find(lines.begin(), lines.end(), line) == lines.end())
           lines.push_back(line);
       }
-      uint32_t worst = g_.lat_tex_hit;
       for (uint64_t line : lines) {
         if (tex_.access(line)) continue;
         // Texture miss: L2, then DRAM.  Tag texture space into L2.
-        const uint64_t l2line = line | (uint64_t(1) << 60);
-        worst = std::max(worst,
-                         l2_.access(l2line) ? g_.lat_l2_hit : g_.lat_dram);
+        l2_lines_.push_back(line | (uint64_t(1) << 60));
       }
       const uint32_t n = std::max<uint32_t>(1, uint32_t(lines.size()));
-      return {n, worst + n - 1};
+      p.base_latency = g_.lat_tex_hit;
+      p.extra = n - 1;
+      p.line_end = l2_lines_.size();
+      pending_.push_back(p);
+      return {n, 0, true};
     }
 
     // Global loads/stores: coalesce into 128-byte (32-word) lines.
@@ -488,32 +587,36 @@ class SmCore {
         lines.push_back(line);
     }
     const bool is_store = in.op == Opcode::ST_GLOBAL;
-    uint32_t worst = g_.lat_l1_hit;
     for (uint64_t line : lines) {
       if (is_store) {
         // Write-evict L1 (Fermi global stores): go straight to L2.
-        l2_.access(line);
+        l2_lines_.push_back(line);
         continue;
       }
       if (l1_.access(line)) continue;
-      worst =
-          std::max(worst, l2_.access(line) ? g_.lat_l2_hit : g_.lat_dram);
+      l2_lines_.push_back(line);
     }
     const uint32_t n = std::max<uint32_t>(1, uint32_t(lines.size()));
-    return {n, worst + n - 1};
+    p.base_latency = g_.lat_l1_hit;
+    p.extra = n - 1;
+    p.line_end = l2_lines_.size();
+    pending_.push_back(p);
+    return {n, 0, true};
   }
 
   const GpuConfig& g_;
   const CompressionConfig& cc_;
   const KernelLaunchSpec& spec_;
-  exec::ExecContext& ctx_;
+  exec::ExecContext ctx_;  ///< SM-private copy (thread_insts, analysis)
   const Occupancy& occ_;
-  BlockDispatcher& dispatcher_;
 
   Cache l1_;
   Cache tex_;
-  Cache& l2_;
-  SimStats& stats_;
+  SimStats stats_;  ///< SM-private; merged in SM-index order at the end
+
+  /// L2 probes buffered during the parallel tick (see PendingL2).
+  std::vector<PendingL2> pending_;
+  std::vector<uint64_t> l2_lines_;
 
   std::vector<BlockCtx> blocks_;
   std::vector<WarpCtx> warps_;
@@ -534,9 +637,11 @@ void validate_launch_spec(const CompressionConfig& comp,
                           const KernelLaunchSpec& spec) {
   GPURF_CHECK(spec.kernel && spec.gmem, "incomplete launch spec");
   GPURF_CHECK(spec.regs_per_thread > 0, "regs_per_thread must be set");
-  GPURF_CHECK(spec.launch.num_blocks() > 0 &&
-                  spec.launch.threads_per_block() > 0,
-              "launch '" << spec.kernel->name << "' has an empty grid");
+  // Zero *blocks* is a legal degenerate launch (simulates in zero
+  // cycles); a block shape with zero threads is malformed.
+  GPURF_CHECK(spec.launch.threads_per_block() > 0,
+              "launch '" << spec.kernel->name
+                         << "' has an empty block shape");
   // Note: comp.enabled without an allocation is legal — the compressed
   // pipeline overheads (conversion, writeback delay) apply even when every
   // operand still maps 1:1 (sim_test pins this); the allocation only adds
@@ -546,7 +651,8 @@ void validate_launch_spec(const CompressionConfig& comp,
 
 SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
                    const KernelLaunchSpec& spec,
-                   gpurf::common::CancelToken* cancel) {
+                   gpurf::common::CancelToken* cancel,
+                   const SimOptions& opt) {
   validate_launch_spec(comp, spec);
 
   SimResult res;
@@ -571,31 +677,150 @@ SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
 
   std::vector<std::unique_ptr<SmCore>> sms;
   for (uint32_t s = 0; s < gpu.num_sms; ++s)
-    sms.push_back(std::make_unique<SmCore>(gpu, comp, spec, ctx,
-                                           res.occupancy, dispatcher, l2,
-                                           res.stats));
+    sms.push_back(
+        std::make_unique<SmCore>(gpu, comp, spec, ctx, res.occupancy));
 
-  uint64_t cycle = 0;
-  for (;; ++cycle) {
-    GPURF_CHECK(cycle < gpu.max_cycles, "simulation exceeded max_cycles");
-    // Cancellation/deadline checkpoint + progress heartbeat: every 4096
-    // cycles keeps the poll off the per-cycle hot path while bounding the
-    // stop latency to one slice.
-    if (cancel && (cycle & 0xFFF) == 0) {
-      cancel->sim_cycles.store(cycle, std::memory_order_relaxed);
-      cancel->checkpoint();
-    }
-    bool all_idle = dispatcher.empty();
-    for (auto& sm : sms) {
-      sm->tick(cycle);
-      if (!sm->idle()) all_idle = false;
-    }
-    if (all_idle && dispatcher.empty()) break;
+  // Initial block placement: one barrier-phase fill before cycle 0, in
+  // SM-index order — identical for the serial and every sharded schedule.
+  for (auto& sm : sms) sm->fill_blocks(dispatcher);
+
+  const auto all_idle = [&] {
+    for (const auto& sm : sms)
+      if (!sm->idle()) return false;
+    return true;
+  };
+
+  // Shard resolution: <= 0 means "current pool width"; clamp to the SM
+  // count; nested calls (pool workers) and one-thread pools run serial.
+  // The pool only *sizes* the crew — see ShardCrewToken for why the
+  // shards run on dedicated threads rather than pool workers.
+  common::ThreadPool& pool = common::ThreadPool::current();
+  int nshards = opt.shards <= 0 ? pool.size() : opt.shards;
+  nshards = std::min<int>(nshards, static_cast<int>(gpu.num_sms));
+  nshards = std::min<int>(nshards, pool.size());
+  if (nshards < 1 || common::in_pool_worker()) nshards = 1;
+
+  std::optional<ShardCrewToken> crew;
+  if (nshards > 1) {
+    crew.emplace();
+    // Another simulation already runs a shard crew: take the serial
+    // schedule (identical results) instead of stacking spinning threads.
+    if (!crew->acquired()) nshards = 1;
   }
 
-  res.stats.cycles = cycle + 1;
-  res.stats.thread_insts = ctx.thread_insts;
-  for (auto& sm : sms) sm->flush_cache_stats();
+  // Per-cycle schedule, identical at every shard count:
+  //   1. parallel: every SM ticks against private state (L2 buffered);
+  //   2. barrier (one thread): L2 replay + writeback scheduling in
+  //      SM-index order, then block refill in SM-index order, then the
+  //      cycle counter / cancellation / termination bookkeeping.
+  // `stop` and `cycle` are written only inside the serial phase and read
+  // by the shards after the barrier release (the barrier's epoch ordering
+  // publishes them); `err` latches the first exception — shard loops must
+  // never unwind past the barrier, or the remaining shards would hang.
+  uint64_t cycle = 0;
+  bool stop = dispatcher.empty() && all_idle();
+  std::exception_ptr err;
+  std::mutex err_mu;
+  const auto record_error = [&] {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!err) err = std::current_exception();
+  };
+
+  const auto serial_phase = [&]() noexcept {
+    try {
+      if (err) {
+        stop = true;
+        return;
+      }
+      for (auto& sm : sms) sm->commit_memory(l2);
+      for (auto& sm : sms) sm->fill_blocks(dispatcher);
+      ++cycle;
+      // Cancellation/deadline checkpoint + progress heartbeat: every 4096
+      // cycles keeps the poll off the per-cycle hot path while bounding
+      // the stop latency to one slice (unchanged from the serial-only
+      // simulator — Job cancellation latency does not grow with shards).
+      if (cancel && (cycle & 0xFFF) == 0) {
+        cancel->sim_cycles.store(cycle, std::memory_order_relaxed);
+        cancel->checkpoint();
+      }
+      if (dispatcher.empty() && all_idle()) {
+        stop = true;
+        return;
+      }
+      GPURF_CHECK(cycle < gpu.max_cycles, "simulation exceeded max_cycles");
+    } catch (...) {
+      record_error();
+      stop = true;
+    }
+  };
+
+  if (nshards <= 1) {
+    while (!stop) {
+      for (auto& sm : sms) sm->tick(cycle);
+      serial_phase();
+    }
+  } else {
+    common::CycleBarrier barrier(nshards);
+    const auto shard_loop = [&](size_t shard) {
+      // Contiguous static SM partition, same formula as parallel_for's
+      // shard split: a pure function of (num_sms, nshards, shard).
+      const size_t n = sms.size();
+      const size_t lo = n * shard / static_cast<size_t>(nshards);
+      const size_t hi = n * (shard + 1) / static_cast<size_t>(nshards);
+      for (;;) {
+        if (stop) break;
+        try {
+          for (size_t s = lo; s < hi; ++s) sms[s]->tick(cycle);
+        } catch (...) {
+          record_error();
+        }
+        barrier.arrive_and_wait(serial_phase);
+      }
+    };
+    // Dedicated crew: the caller runs shard 0, nshards-1 spawned threads
+    // run the rest.  shard_loop never throws (exceptions latch into
+    // `err`), so every started thread always reaches its join.  Spawned
+    // threads park on a start gate until the whole crew exists — if a
+    // std::thread constructor fails mid-crew (thread rlimit), the partial
+    // crew is told to abort and joined, and the run degrades to the
+    // serial schedule instead of leaving threads at a barrier that can
+    // never fill (or terminating on a joinable ~thread during unwind).
+    std::atomic<int> gate{0};  // 0 = hold, 1 = run, -1 = abort
+    const auto crew_main = [&](size_t s) {
+      int g;
+      while ((g = gate.load(std::memory_order_acquire)) == 0)
+        std::this_thread::yield();
+      if (g > 0) shard_loop(s);
+    };
+    std::vector<std::thread> extra;
+    extra.reserve(static_cast<size_t>(nshards - 1));
+    try {
+      for (int s = 1; s < nshards; ++s)
+        extra.emplace_back([&crew_main, s] { crew_main(size_t(s)); });
+    } catch (...) {
+      gate.store(-1, std::memory_order_release);
+      for (auto& t : extra) t.join();
+      extra.clear();
+    }
+    if (static_cast<int>(extra.size()) == nshards - 1) {
+      gate.store(1, std::memory_order_release);
+      shard_loop(0);
+      for (auto& t : extra) t.join();
+    } else {
+      while (!stop) {
+        for (auto& sm : sms) sm->tick(cycle);
+        serial_phase();
+      }
+    }
+  }
+  if (err) std::rethrow_exception(err);
+
+  res.stats.cycles = cycle;
+  for (auto& sm : sms) {
+    sm->flush_cache_stats();
+    res.stats.merge_sm(sm->stats());
+    res.stats.thread_insts += sm->thread_insts();
+  }
   res.stats.l2 = l2.stats();
   return res;
 }

@@ -21,6 +21,34 @@
 // through collection, execution and writeback.  Precision maps quantize
 // f32 writes during compressed runs, so timing results correspond to the
 // same numerics the quality metrics scored.
+//
+// Sharded execution (ISSUE 5): SimOptions::shards > 1 partitions the SMs
+// into contiguous index ranges ticked in parallel with a deterministic
+// per-cycle barrier.  The shards run on a dedicated, process-gated thread
+// crew sized by the current thread pool's width — not on pool workers,
+// because a simulation occupies its threads for the whole run and must
+// not starve other sessions' short fan-outs (see sim/gpu.cpp); when
+// another simulation already holds the crew token, the run degrades to
+// the serial schedule with identical results.  Each SM owns private
+// SimStats, a private ExecContext (thread_insts) and its private L1 /
+// texture caches; the only cross-SM structures — the block dispatcher and
+// the shared L2 — are touched exclusively in the serial barrier phase, in
+// SM-index order (per-SM L2 accesses are buffered during the parallel
+// tick and replayed at the barrier, because the cache's LRU state is
+// order-sensitive).  SimStats are therefore bit-identical to the serial
+// schedule at every shard count.
+//
+// Sharded memory contract (stricter than block-parallel run_functional,
+// which replays a write log in grid order): blocks of one launch must
+// neither read another block's global-memory writes NOR store to a word
+// another block stores to — SMs execute functionally against the one
+// shared GlobalMemory during the parallel tick, so overlapping stores
+// from different SMs would be an unsynchronized data race.  Every
+// bundled workload writes disjoint per-block outputs (the CUDA
+// contract; pinned by the determinism tests).  A custom kernel that
+// violates this must run with shards = 1 — the default for direct
+// sim::simulate calls; only the Engine (bundled workloads) shards by
+// default.
 
 #include <memory>
 #include <vector>
@@ -58,24 +86,41 @@ struct SimResult {
   Occupancy occupancy;
 };
 
+/// Execution-strategy knobs for one simulate() call (timing results are
+/// identical for every setting; only wall-clock changes).
+struct SimOptions {
+  /// Number of SM shards ticked in parallel per cycle.  1 = serial (the
+  /// reference schedule); <= 0 resolves to the current thread pool's
+  /// width; values are clamped to min(pool width, num_sms).  Nested calls
+  /// from inside a pool worker always degrade to serial.
+  int shards = 1;
+};
+
 /// Validate a launch spec before committing simulator resources.  Bad
-/// input (missing kernel/memory, unset register pressure, empty grid)
-/// raises gpurf::Error via GPURF_CHECK — recoverable at the Engine
-/// boundary, which converts it to a Status instead of terminating.  Note
+/// input (missing kernel/memory, unset register pressure, a block shape
+/// with zero threads) raises gpurf::Error via GPURF_CHECK — recoverable
+/// at the Engine boundary, which converts it to a Status instead of
+/// terminating.  An *empty grid* (zero blocks) is legal: it is a
+/// degenerate launch that simulates in exactly zero cycles (ISSUE 5 fixed
+/// the drain-tick off-by-one that used to charge one cycle for it).  Note
 /// that compressed mode (comp.enabled) without a slice allocation is
-/// legal: the conversion/writeback overheads apply even when operands map
-/// 1:1 (`comp` is taken for future mode-dependent checks).
+/// legal: the conversion/writeback overheads apply even when every
+/// operand still maps 1:1 (`comp` is taken for future mode-dependent
+/// checks).
 void validate_launch_spec(const CompressionConfig& comp,
                           const KernelLaunchSpec& spec);
 
 /// Run one kernel launch to completion.  Calls validate_launch_spec first.
-/// `cancel` (nullable) is the cooperative stop/progress channel: the cycle
-/// loop polls it every few thousand cycles, publishing the simulated-cycle
-/// count and throwing common::CancelledError once a stop was requested —
-/// the partially-advanced simulator state is simply discarded with the
-/// stack, so cancellation can never corrupt anything observable.
+/// `cancel` (nullable) is the cooperative stop/progress channel: the
+/// barrier phase polls it every few thousand cycles, publishing the
+/// simulated-cycle count and throwing common::CancelledError once a stop
+/// was requested — the partially-advanced simulator state is simply
+/// discarded with the stack, so cancellation can never corrupt anything
+/// observable.  `opt.shards` selects serial vs. multi-SM sharded
+/// execution; SimStats are bit-identical either way.
 SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
                    const KernelLaunchSpec& spec,
-                   gpurf::common::CancelToken* cancel = nullptr);
+                   gpurf::common::CancelToken* cancel = nullptr,
+                   const SimOptions& opt = {});
 
 }  // namespace gpurf::sim

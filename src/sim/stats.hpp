@@ -14,6 +14,13 @@ struct CacheStats {
   double miss_rate() const {
     return accesses == 0 ? 0.0 : double(misses) / double(accesses);
   }
+
+  void merge(const CacheStats& o) {
+    accesses += o.accesses;
+    misses += o.misses;
+  }
+
+  bool operator==(const CacheStats&) const = default;
 };
 
 struct SimStats {
@@ -38,6 +45,31 @@ struct SimStats {
 
   double ipc() const {
     return cycles == 0 ? 0.0 : double(thread_insts) / double(cycles);
+  }
+
+  /// Field-wise equality — the determinism contract of the sharded
+  /// simulator ("bit-identical SimStats") is checked against this, so a
+  /// newly added counter is compared automatically (defaulted ==) but
+  /// must still be added to merge_sm below.
+  bool operator==(const SimStats&) const = default;
+
+  /// Fold one SM's private counters into an aggregate (ISSUE 5: the
+  /// sharded simulator gives every SmCore its own SimStats and merges
+  /// them in SM-index order at the end of the run).  `cycles` and
+  /// `thread_insts` are launch-wide values owned by simulate() itself
+  /// and are deliberately not summed here.
+  void merge_sm(const SimStats& sm) {
+    warp_insts += sm.warp_insts;
+    blocks_run += sm.blocks_run;
+    l1.merge(sm.l1);
+    tex.merge(sm.tex);
+    stall_scoreboard += sm.stall_scoreboard;
+    stall_no_cu += sm.stall_no_cu;
+    stall_barrier += sm.stall_barrier;
+    stall_empty += sm.stall_empty;
+    operand_fetches += sm.operand_fetches;
+    double_fetches += sm.double_fetches;
+    conversions += sm.conversions;
   }
 };
 

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <clocale>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/engine.hpp"
 #include "api/json.hpp"
@@ -52,6 +56,57 @@ TEST(JsonParse, ValuesRoundTrip) {
   EXPECT_FALSE(api::parse_json("{} trailing").ok());
   EXPECT_FALSE(api::parse_json("nul").ok());
   EXPECT_TRUE(api::parse_json("  [1, 2, 3]  ").ok());
+}
+
+TEST(JsonParse, FractionalAndExponentLiteralsAreLocaleIndependent) {
+  // ISSUE 5: parse_json used strtod, which consults LC_NUMERIC — under a
+  // comma-decimal locale "1.5" failed to parse and the daemon's wire
+  // protocol broke.  std::from_chars is locale-independent; these
+  // literals must round-trip regardless of the process locale.
+  const struct { const char* text; double want; } cases[] = {
+      {"1.5", 1.5},          {"-2.25", -2.25},
+      {"0.125", 0.125},      {"1e3", 1000.0},
+      {"1.5e3", 1500.0},     {"-4.5E-2", -0.045},
+      {"2e+8", 2e8},         {"123456.789", 123456.789},
+      {"0.0", 0.0},          {"-0.5e0", -0.5},
+  };
+  for (const auto& c : cases) {
+    auto v = api::parse_json(c.text);
+    ASSERT_TRUE(v.ok()) << c.text << ": " << v.status().to_string();
+    EXPECT_DOUBLE_EQ(v->as_double(), c.want) << c.text;
+  }
+
+  // Writer side of the same bug class: doubles must serialise with a '.'
+  // decimal separator (to_chars, C-locale semantics) and re-parse.
+  api::JsonWriter w;
+  w.begin_object();
+  w.field("x", 1.5);
+  w.field("y", -0.045);
+  w.end_object();
+  auto round = parse_ok(w.str());
+  EXPECT_DOUBLE_EQ(round.get("x")->as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(round.get("y")->as_double(), -0.045);
+
+  // If a comma-decimal locale is installed, pin the independence for
+  // real; otherwise the C-locale assertions above still cover the
+  // from_chars/to_chars contract.
+  const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+  std::string saved_name = saved ? saved : "C";
+  for (const char* loc : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"}) {
+    if (!std::setlocale(LC_NUMERIC, loc)) continue;
+    auto v = api::parse_json("1.5");
+    EXPECT_TRUE(v.ok()) << "under locale " << loc;
+    if (v.ok()) {
+      EXPECT_DOUBLE_EQ(v->as_double(), 1.5);
+    }
+    api::JsonWriter lw;
+    lw.begin_object();
+    lw.field("x", 2.5);
+    lw.end_object();
+    EXPECT_EQ(lw.str(), "{\"x\":2.5}") << "under locale " << loc;
+    break;
+  }
+  std::setlocale(LC_NUMERIC, saved_name.c_str());
 }
 
 TEST(JsonParse, EveryEmittedSnapshotParses) {
@@ -180,6 +235,62 @@ TEST(Daemon, SocketRoundTripSubmitWaitResultShutdown) {
   server.stop();
   EXPECT_FALSE(server.running());
   EXPECT_FALSE(fs::exists(sock));
+}
+
+// ----------------------------------------------------- shutdown stress
+//
+// ISSUE 5: connection handlers used to run on *detached* threads tracked
+// only by a counter, so Server destruction could free state the last few
+// instructions of a handler still touched.  Handlers are joinable now and
+// stop() joins them all; this test hammers the shutdown path with
+// concurrent clients — under TSan/ASan the old race is a hard failure,
+// and even without sanitizers the mid-traffic stop()+destruction would
+// crash intermittently.
+
+TEST(Daemon, ShutdownUnderConcurrentClients) {
+  Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
+  for (int round = 0; round < 3; ++round) {
+    const std::string sock =
+        "./gpurfd_stress_" + std::to_string(round) + ".sock";
+    std::atomic<bool> go{false};
+    std::atomic<int> responses{0};
+    {
+      api::Server server(engine, api::ServerOptions{sock});
+      ASSERT_TRUE(server.start().ok());
+
+      std::vector<std::thread> clients;
+      for (int c = 0; c < 8; ++c) {
+        clients.emplace_back([&, c] {
+          api::Client client(sock);
+          if (!client.status().ok()) return;
+          while (!go.load(std::memory_order_acquire)) {}
+          for (int i = 0; i < 50; ++i) {
+            // Mix cheap round trips with job waits on nonexistent ids so
+            // some handlers sit inside the sliced-wait path when stop()
+            // lands; any response (or a clean connection error once the
+            // server is gone) is acceptable.
+            const std::string req =
+                (c + i) % 4 == 0
+                    ? R"({"op":"wait","job":999999,"timeout_ms":50})"
+                    : R"({"op":"ping"})";
+            auto resp = client.call(req);
+            if (!resp.ok()) return;  // server went down mid-call
+            responses.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      go.store(true, std::memory_order_release);
+      // Let the traffic overlap the stop: some requests complete, some
+      // race the shutdown.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      server.stop();
+      // The Server object is destroyed at this scope's end while client
+      // threads may still be draining their last call() — the joinable
+      // registry guarantees no handler outlives stop().
+      for (auto& t : clients) t.join();
+    }
+    EXPECT_GT(responses.load(), 0) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -198,6 +198,62 @@ TEST(Job, CancelWhileQueuedIsImmediate) {
   blocker.wait();
 }
 
+TEST(Job, CancelMidFlightShardedSimulate) {
+  // ISSUE 5: the cancel/progress checkpoint threads through the sharded
+  // simulator's per-cycle barrier, so cancelling a multi-SM simulation
+  // stops it within one 4096-cycle slice, exactly like the serial path.
+  TempDir dir("gpurf_job_cache_simcancel");
+  // 10x memory latencies stretch the DWT2D full-scale run to ~150k cycles
+  // (dozens of heartbeat slices) so the cancel reliably lands mid-sim.
+  sim::GpuConfig slow = sim::GpuConfig::fermi_gtx480();
+  slow.lat_l1_hit *= 10;
+  slow.lat_l2_hit *= 10;
+  slow.lat_dram *= 10;
+  Engine engine(EngineOptions()
+                    .with_threads(2)
+                    .with_sim_shards(2)
+                    .with_cache_dir(dir.path)
+                    .with_gpu(slow));
+  SimRequest req;
+  req.mode = wl::SimMode::kOriginal;
+  req.sim_shards = 2;
+  Job job = engine.submit(JobRequest::simulate("DWT2D", req));
+
+  // Wait for the first simulated-cycle heartbeat (published every 4096
+  // cycles from the barrier phase), then cancel.
+  JobProgress p;
+  do {
+    ASSERT_FALSE(job.done())
+        << "simulation finished before a heartbeat was observed";
+    std::this_thread::sleep_for(milliseconds(1));
+    p = job.progress();
+  } while (p.sim_cycles == 0);
+  EXPECT_EQ(p.stage, common::JobStage::kSimulating);
+  job.cancel();
+  job.wait();
+  EXPECT_EQ(job.state(), JobState::kCancelled);
+  EXPECT_EQ(job.status().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(job.sim_result().ok());
+  EXPECT_EQ(engine.inflight(), 0u);
+
+  // A re-run on the same Engine is unaffected by the abandoned run and
+  // matches a sharded=1 serial reference bit for bit.
+  SimRequest serial_req = req;
+  serial_req.sim_shards = 1;
+  auto serial = engine.simulate("DWT2D", serial_req);
+  ASSERT_TRUE(serial.ok()) << serial.status().to_string();
+  Job rerun = engine.submit(JobRequest::simulate("DWT2D", req));
+  rerun.wait();
+  ASSERT_TRUE(rerun.status().ok()) << rerun.status().to_string();
+  auto sharded = rerun.sim_result();
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(serial->stats.cycles, sharded->stats.cycles);
+  EXPECT_EQ(serial->stats.thread_insts, sharded->stats.thread_insts);
+  EXPECT_EQ(serial->stats.l2.accesses, sharded->stats.l2.accesses);
+  EXPECT_EQ(serial->stats.l2.misses, sharded->stats.l2.misses);
+  EXPECT_GT(rerun.progress().sim_cycles, 0u);
+}
+
 // ----------------------------------------------------------- deadlines
 
 TEST(Job, DeadlineExceededWhileRunning) {

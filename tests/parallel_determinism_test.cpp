@@ -15,10 +15,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "alloc/slice_alloc.hpp"
 #include "common/bitutil.hpp"
 #include "common/thread_pool.hpp"
 #include "rf/value_extractor.hpp"
 #include "rf/value_truncator.hpp"
+#include "sim/gpu.hpp"
 #include "testing_util.hpp"
 #include "workloads/pipeline.hpp"
 #include "workloads/workload.hpp"
@@ -171,6 +173,79 @@ TEST(BlockParallelDeterminism, RepeatedParallelReplaysAreIdentical) {
   EXPECT_EQ(a.insts, b.insts);
 }
 
+// ------------------------------------------------- multi-SM sharded sim
+//
+// ISSUE 5 contract: sim::simulate with SimOptions::shards > 1 ticks SM
+// index ranges in parallel with a per-cycle barrier, and every SimStats
+// field is bit-identical to the serial schedule at every shard count —
+// for every bundled workload.  The L2 stream replays in SM-index order at
+// the barrier and per-SM stats merge in SM-index order, so nothing about
+// the result depends on thread scheduling.
+
+using gpurf::testing::expect_same_sim_stats;
+
+/// One sample-scale timing simulation of `w` with the given shard count.
+/// The launch uses the original register pressure (a cheap
+/// allocate_slices call — no tuning), so the whole 11-workload sweep
+/// stays fast enough for tier-1.
+gpurf::sim::SimStats sharded_sim_stats(const Workload& w,
+                                       const gpurf::sim::CompressionConfig& cc,
+                                       int shards) {
+  PipelineResult pr;
+  pr.pressure.original =
+      gpurf::alloc::allocate_slices(w.kernel(), nullptr, nullptr,
+                                    {false, false})
+          .num_physical_regs;
+  auto inst = w.make_instance(Scale::kSample, 0);
+  auto spec = make_launch_spec(w, inst, pr, SimMode::kOriginal);
+  gpurf::sim::SimOptions so;
+  so.shards = shards;
+  return gpurf::sim::simulate(gpurf::sim::GpuConfig::fermi_gtx480(), cc,
+                              spec, nullptr, so)
+      .stats;
+}
+
+TEST(ShardedSimDeterminism, AllWorkloadsBitIdenticalAcrossShardCounts) {
+  PoolWidth width(8);
+  for (const auto& w : make_all_workloads()) {
+    const auto serial =
+        sharded_sim_stats(*w, gpurf::sim::CompressionConfig::baseline(), 1);
+    for (int shards : {2, 8})
+      expect_same_sim_stats(
+          serial,
+          sharded_sim_stats(*w, gpurf::sim::CompressionConfig::baseline(),
+                            shards),
+          w->spec().name + " baseline T=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedSimDeterminism, CompressedPipelineBitIdenticalAcrossShardCounts) {
+  // Compression enables the deeper operand-collector pipeline (writeback
+  // delay, indirection stage) without needing a tuned allocation — the
+  // cheap way to cover the compressed timing path for every workload.
+  PoolWidth width(8);
+  for (const auto& w : make_all_workloads()) {
+    const auto serial = sharded_sim_stats(
+        *w, gpurf::sim::CompressionConfig::paper_default(), 1);
+    for (int shards : {2, 8})
+      expect_same_sim_stats(
+          serial,
+          sharded_sim_stats(
+              *w, gpurf::sim::CompressionConfig::paper_default(), shards),
+          w->spec().name + " compressed T=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedSimDeterminism, RepeatedShardedRunsAreIdentical) {
+  PoolWidth width(4);
+  const auto w = make_gicov();
+  const auto a =
+      sharded_sim_stats(*w, gpurf::sim::CompressionConfig::baseline(), 4);
+  const auto b =
+      sharded_sim_stats(*w, gpurf::sim::CompressionConfig::baseline(), 4);
+  expect_same_sim_stats(a, b, "GICOV repeat");
+}
+
 // ------------------------------------------------------------ thread pool
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
@@ -201,6 +276,35 @@ TEST(ThreadPool, ExceptionsPropagateToCaller) {
             if (i == 57) throw std::runtime_error("boom");
           }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, CycleBarrierRunsCompletionExactlyOncePerEpoch) {
+  // Four participants, many epochs: the completion function must run
+  // exactly once per epoch, with every participant's pre-barrier writes
+  // visible, and its own writes visible to every participant afterwards.
+  constexpr int kParts = 4;
+  constexpr int kEpochs = 200;
+  PoolWidth width(kParts);
+  gpurf::common::CycleBarrier barrier(kParts);
+  std::vector<int> contributions(kParts, 0);
+  int completions = 0;
+  int total = 0;
+  std::atomic<int> mismatches{0};
+  gpurf::common::parallel_for(kParts, [&](size_t p) {
+    for (int e = 0; e < kEpochs; ++e) {
+      contributions[p] = e + 1;  // pre-barrier write, distinct slot
+      barrier.arrive_and_wait([&] {
+        ++completions;
+        total = 0;
+        for (int c : contributions) total += c;
+      });
+      // Post-barrier: the completion's aggregate must reflect all four
+      // contributions of this epoch.
+      if (total != kParts * (e + 1)) mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(completions, kEpochs);
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(ThreadPool, SmallerIterationCountThanThreads) {

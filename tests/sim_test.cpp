@@ -11,6 +11,7 @@
 #include "sim/cache.hpp"
 #include "sim/gpu.hpp"
 #include "sim/occupancy.hpp"
+#include "testing_util.hpp"
 
 namespace gpurf::sim {
 namespace {
@@ -317,6 +318,157 @@ TEST(Simulate, SplitOperandsGenerateDoubleFetches) {
   const auto res = simulate(GpuConfig::fermi_gtx480(),
                             CompressionConfig::paper_default(), rig.spec);
   EXPECT_GT(res.stats.double_fetches, 0u);
+}
+
+// ------------------------------------------------------ cycle accounting
+//
+// ISSUE 5: cycles must count exactly the ticks in which the machine could
+// do work — the old loop always ran (and charged) at least one tick, so a
+// degenerate launch cost a phantom cycle.
+
+constexpr std::string_view kRetOnly = R"(
+.kernel tiny
+entry:
+  ret
+)";
+
+TEST(Simulate, EmptyGridSimulatesInZeroCycles) {
+  // Zero blocks is a legal degenerate launch: nothing runs, nothing is
+  // charged.
+  SimRig rig(kRetOnly, LaunchConfig{0, 1, 32, 1});
+  rig.spec.regs_per_thread = 4;
+  const auto res = simulate(GpuConfig::fermi_gtx480(),
+                            CompressionConfig::baseline(), rig.spec);
+  EXPECT_EQ(res.stats.cycles, 0u);
+  EXPECT_EQ(res.stats.blocks_run, 0u);
+  EXPECT_EQ(res.stats.warp_insts, 0u);
+  EXPECT_EQ(res.stats.thread_insts, 0u);
+  EXPECT_EQ(res.stats.ipc(), 0.0);
+}
+
+TEST(Simulate, OneInstructionKernelCountsExactCycles) {
+  // A single warp issues its ret in cycle 0 and the machine is idle: one
+  // cycle total, no drain tick.
+  SimRig one(kRetOnly, LaunchConfig{1, 1, 32, 1});
+  one.spec.regs_per_thread = 4;
+  const auto r1 = simulate(GpuConfig::fermi_gtx480(),
+                           CompressionConfig::baseline(), one.spec);
+  EXPECT_EQ(r1.stats.cycles, 1u);
+  EXPECT_EQ(r1.stats.warp_insts, 1u);
+
+  // Four warps through two schedulers: two issue per cycle -> two cycles.
+  SimRig four(kRetOnly, LaunchConfig{1, 1, 128, 1});
+  four.spec.regs_per_thread = 4;
+  const auto r4 = simulate(GpuConfig::fermi_gtx480(),
+                           CompressionConfig::baseline(), four.spec);
+  EXPECT_EQ(r4.stats.cycles, 2u);
+  EXPECT_EQ(r4.stats.warp_insts, 4u);
+}
+
+TEST(Simulate, ZeroThreadBlockShapeIsRejected) {
+  SimRig rig(kRetOnly, LaunchConfig{1, 1, 0, 1});
+  rig.spec.regs_per_thread = 4;
+  EXPECT_THROW(simulate(GpuConfig::fermi_gtx480(),
+                        CompressionConfig::baseline(), rig.spec),
+               gpurf::Error);
+}
+
+// -------------------------------------------------- multi-SM sharded sim
+
+void expect_same_stats(const SimStats& a, const SimStats& b) {
+  gpurf::testing::expect_same_sim_stats(a, b);
+}
+
+TEST(ShardedSimulate, AxpyStatsMatchSerialAtEveryShardCount) {
+  gpurf::testing::PoolWidth width(8);
+  const uint32_t n = 128 * 30;
+  auto run = [&](int shards) {
+    SimRig rig(kAxpy, LaunchConfig{30, 1, 128, 1});
+    std::vector<float> x(n, 1.5f), y(n, 0.25f);
+    const uint32_t xb = rig.gmem.alloc_f32(x);
+    const uint32_t yb = rig.gmem.alloc_f32(y);
+    rig.spec.params = {xb, yb, n};
+    rig.spec.regs_per_thread = 8;
+    SimOptions so;
+    so.shards = shards;
+    auto res = simulate(GpuConfig::fermi_gtx480(),
+                        CompressionConfig::baseline(), rig.spec, nullptr, so);
+    // The functional outputs stay correct under sharded ticking too.
+    for (uint32_t i = 0; i < n; ++i)
+      EXPECT_EQ(rig.gmem.read_f32(yb + i, 1)[0], 1.5f * 2.0f + 0.25f);
+    return res;
+  };
+  const auto serial = run(1);
+  for (int shards : {2, 4, 8}) {
+    const auto sharded = run(shards);
+    expect_same_stats(serial.stats, sharded.stats);
+  }
+}
+
+TEST(ShardedSimulate, CompressedSplitAllocationMatchesSerial) {
+  // Exercises the compressed-pipeline counters (double fetches,
+  // conversions) and the deferred L2 replay under a split allocation.
+  gpurf::testing::PoolWidth width(8);
+  auto run = [&](int shards) {
+    SimRig rig(kChain, LaunchConfig{16, 1, 64, 1});
+    const uint32_t out = rig.gmem.alloc(64 * 16);
+    rig.spec.params = {out};
+    rig.spec.regs_per_thread = 8;
+    gpurf::alloc::AllocationResult alloc;
+    alloc.table.assign(rig.k.num_regs(), {});
+    for (uint32_t r = 0; r < rig.k.num_regs(); ++r) {
+      auto& e = alloc.table[r];
+      e.valid = true;
+      e.slices = 8;
+      e.r0 = {r, 0xf0};
+      e.r1 = {r + 1, 0x0f};
+      e.split = true;
+    }
+    alloc.num_physical_regs = rig.k.num_regs() + 1;
+    rig.spec.allocation = &alloc;
+    SimOptions so;
+    so.shards = shards;
+    return simulate(GpuConfig::fermi_gtx480(),
+                    CompressionConfig::paper_default(), rig.spec, nullptr,
+                    so);
+  };
+  const auto serial = run(1);
+  EXPECT_GT(serial.stats.double_fetches, 0u);
+  for (int shards : {2, 8}) expect_same_stats(serial.stats, run(shards).stats);
+}
+
+TEST(ShardedSimulate, ShardCountBeyondPoolDegradesGracefully) {
+  // shards > pool width clamps; shards <= 0 resolves to the pool width.
+  gpurf::testing::PoolWidth width(2);
+  SimRig rig(kAxpy, LaunchConfig{8, 1, 128, 1});
+  const uint32_t n = 128 * 8;
+  std::vector<float> x(n, 1.0f), y(n, 2.0f);
+  rig.spec.params = {rig.gmem.alloc_f32(x), rig.gmem.alloc_f32(y), n};
+  rig.spec.regs_per_thread = 8;
+  SimOptions serial;  // shards = 1
+  SimRig rig2(kAxpy, LaunchConfig{8, 1, 128, 1});
+  rig2.spec.params = {rig2.gmem.alloc_f32(x), rig2.gmem.alloc_f32(y), n};
+  rig2.spec.regs_per_thread = 8;
+  SimOptions wide;
+  wide.shards = 64;  // clamped to min(pool, num_sms)
+  const auto a = simulate(GpuConfig::fermi_gtx480(),
+                          CompressionConfig::baseline(), rig.spec, nullptr,
+                          serial);
+  const auto b = simulate(GpuConfig::fermi_gtx480(),
+                          CompressionConfig::baseline(), rig2.spec, nullptr,
+                          wide);
+  expect_same_stats(a.stats, b.stats);
+
+  // shards <= 0 resolves to the pool width (the Engine default path).
+  SimRig rig3(kAxpy, LaunchConfig{8, 1, 128, 1});
+  rig3.spec.params = {rig3.gmem.alloc_f32(x), rig3.gmem.alloc_f32(y), n};
+  rig3.spec.regs_per_thread = 8;
+  SimOptions auto_width;
+  auto_width.shards = 0;
+  const auto c = simulate(GpuConfig::fermi_gtx480(),
+                          CompressionConfig::baseline(), rig3.spec, nullptr,
+                          auto_width);
+  expect_same_stats(a.stats, c.stats);
 }
 
 TEST(Simulate, RejectsOversizedKernel) {
