@@ -1,0 +1,189 @@
+// bench_faults — permanent-fault degradation curves (PR 6, ROADMAP 4a).
+// For each workload the same compressed (perfect-quality) launch is
+// simulated under seeded fault maps of rising density; the bench reports
+// how the compression-directed redirection absorbs the faults: coverage
+// (% of affected registers redirected into compression-freed slices
+// rather than spilled), cycle overhead against the fault-free run, and —
+// when quality scoring is on — the output-quality delta.
+//
+// Usage: bench_faults [--smoke] [--quality] [workload ...]
+//          default workloads: DWT2D Hotspot Hybridsort SSAO
+//          --smoke: sample scale, one workload, fewer densities; exits
+//                   non-zero on violated invariants (cheap CI tripwire)
+//          --quality: also score output quality per faulty map (three
+//                   sample-scale functional runs each)
+//
+// Invariants checked (any violation exits non-zero):
+//   * density 0 reproduces the fault-free SimStats bit for bit and
+//     reports no active fault injection,
+//   * coverage stays within [0, 100] %,
+//   * the number of injected fault sites is non-decreasing in density.
+//
+// Emits BENCH_faults.json: one entry per (workload x density x seed) with
+// coverage, redirection/spill counts, cycles, IPC and the overhead factor
+// over the fault-free run.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/pipeline.hpp"
+
+namespace wl = gpurf::workloads;
+
+namespace {
+
+struct Point {
+  double density = 0.0;
+  uint64_t seed = 0;
+  gpurf::sim::SimResult res;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_faults [--smoke] [--quality] [workload ...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool quality = false;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--quality") == 0)
+      quality = true;
+    else if (argv[i][0] == '-')
+      return usage();
+    else
+      names.push_back(argv[i]);
+  }
+  if (names.empty())
+    names = smoke ? std::vector<std::string>{"DWT2D"}
+                  : std::vector<std::string>{"DWT2D", "Hotspot",
+                                             "Hybridsort", "SSAO"};
+  const std::vector<double> densities =
+      smoke ? std::vector<double>{0.0, 0.02, 0.08}
+            : std::vector<double>{0.0, 0.005, 0.01, 0.02, 0.05};
+  const int seeds_per_density = smoke ? 1 : 2;
+
+  gpurf::Engine engine;
+  const wl::Scale scale = smoke ? wl::Scale::kSample : wl::Scale::kFull;
+
+  std::printf("bench_faults: compression-directed fault redirection "
+              "(%s scale, perfect quality)\n",
+              smoke ? "sample" : "full");
+  std::printf("%-11s %8s %8s %10s %6s %6s %10s %9s%s\n", "Kernel", "density",
+              "faults", "coverage", "redir", "spill", "cycles", "overhead",
+              quality ? "   qdelta" : "");
+
+  std::FILE* json = std::fopen("BENCH_faults.json", "w");
+  if (json)
+    std::fprintf(json, "{\n  \"scale\": \"%s\",\n  \"runs\": [",
+                 smoke ? "sample" : "full");
+
+  int violations = 0;
+  bool first_row = true;
+  for (const auto& name : names) {
+    // Fault-free reference: the zero-density curve point must reproduce
+    // this run bit for bit (the redirection machinery must be inert).
+    gpurf::SimRequest base;
+    base.mode = wl::SimMode::kCompressedPerfect;
+    base.scale = scale;
+    auto ref = engine.simulate(name, base);
+    if (!ref.ok()) {
+      std::fprintf(stderr, "bench_faults: %s: %s\n", name.c_str(),
+                   ref.status().to_string().c_str());
+      ++violations;
+      continue;
+    }
+
+    uint32_t prev_faults = 0;
+    double prev_density = -1.0;
+    for (double density : densities) {
+      for (int s = 0; s < seeds_per_density; ++s) {
+        Point pt;
+        pt.density = density;
+        pt.seed = 1 + static_cast<uint64_t>(s);
+        gpurf::SimRequest req = base;
+        req.fault.seed = pt.seed;
+        req.fault.density = density;
+        req.fault.score_quality = quality && density > 0.0;
+        auto res = engine.simulate(name, req);
+        if (!res.ok()) {
+          std::fprintf(stderr, "bench_faults: %s d=%.3f: %s\n", name.c_str(),
+                       density, res.status().to_string().c_str());
+          ++violations;
+          continue;
+        }
+        pt.res = *res;
+        const auto& f = pt.res.fault;
+
+        bool bad = false;
+        if (density <= 0.0 &&
+            !(pt.res.stats == ref->stats && !f.active)) {
+          bad = true;  // zero-fault path must be bit-identical + inert
+        }
+        if (f.coverage_pct < 0.0 || f.coverage_pct > 100.0) bad = true;
+        if (density > prev_density) {
+          // New density step: sites are a fixed geometry, so the injected
+          // count must not shrink as density rises.
+          if (f.faults_total < prev_faults) bad = true;
+          prev_faults = f.faults_total;
+          prev_density = density;
+        }
+        if (bad) ++violations;
+
+        const double overhead =
+            ref->stats.cycles
+                ? double(pt.res.stats.cycles) / double(ref->stats.cycles)
+                : 0.0;
+        std::printf("%-11s %8.3f %8u %9.1f%% %6u %6u %10llu %8.3fx",
+                    name.c_str(), density, f.faults_total, f.coverage_pct,
+                    f.registers_redirected, f.registers_spilled,
+                    static_cast<unsigned long long>(pt.res.stats.cycles),
+                    overhead);
+        if (quality && f.quality_scored)
+          std::printf("   %+.4f", f.quality_delta);
+        std::printf("%s\n", bad ? "   <-- INVARIANT VIOLATED" : "");
+
+        if (json) {
+          std::fprintf(
+              json,
+              "%s\n    {\"kernel\": \"%s\", \"density\": %.4f, "
+              "\"seed\": %llu, \"faults_total\": %u, "
+              "\"faults_in_footprint\": %u, \"coverage_pct\": %.2f, "
+              "\"registers_redirected\": %u, \"registers_spilled\": %u, "
+              "\"cycles\": %llu, \"ipc\": %.4f, \"overhead\": %.4f, "
+              "\"quality_scored\": %s, \"quality_delta\": %.6f, "
+              "\"ok\": %s}",
+              first_row ? "" : ",", name.c_str(), density,
+              static_cast<unsigned long long>(pt.seed), f.faults_total,
+              f.faults_in_footprint, f.coverage_pct, f.registers_redirected,
+              f.registers_spilled,
+              static_cast<unsigned long long>(pt.res.stats.cycles),
+              pt.res.stats.ipc(), overhead,
+              f.quality_scored ? "true" : "false", f.quality_delta,
+              bad ? "false" : "true");
+          first_row = false;
+        }
+      }
+    }
+  }
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+  }
+
+  if (violations) {
+    std::printf("\n%d invariant violation(s)\n", violations);
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "analysis/uses.hpp"
 #include "common/bitutil.hpp"
 #include "common/error.hpp"
+#include "rf/fault_map.hpp"
 
 namespace gpurf::alloc {
 
@@ -126,16 +127,28 @@ AllocationResult allocate_slices(const ir::Kernel& k,
   });
 
   std::vector<PhysReg> phys;
-  for (const Item& it : items) {
-    auto& e = res.table[it.reg];
-    res.total_slices += static_cast<uint32_t>(it.slices);
 
-    // Pass 1: best-fit into a single physical register.
+  // Faulty slice-columns are simply masked out of availability — that is
+  // the whole redirection policy: operands land in the space static
+  // compression left free, away from broken slices.  An empty map keeps
+  // placement bit-identical to the fault-free allocator.
+  const gpurf::rf::FaultMap* faults =
+      (opt.faults && !opt.faults->empty()) ? opt.faults : nullptr;
+  const auto usable = [&](size_t p) -> uint8_t {
+    return faults ? static_cast<uint8_t>(
+                        0xffu & ~faults->faulty_mask(static_cast<uint32_t>(p)))
+                  : uint8_t{0xff};
+  };
+
+  // Pass 1: best-fit into a single physical register.  Pass 2: split
+  // across the two fullest candidates (at most 2 physical registers per
+  // operand, §4.3).
+  const auto try_place = [&](const Item& it, IndirectionEntry& e) -> bool {
     int best = -1;
     int best_avail = 9;
     std::vector<uint8_t> avail(phys.size());
     for (size_t p = 0; p < phys.size(); ++p) {
-      avail[p] = available_mask(phys[p], it.reg, adj);
+      avail[p] = available_mask(phys[p], it.reg, adj) & usable(p);
       const int a = std::popcount(avail[p]);
       if (a >= it.slices && a < best_avail) {
         best = static_cast<int>(p);
@@ -147,11 +160,9 @@ AllocationResult allocate_slices(const ir::Kernel& k,
       occupy(phys[best], m, it.reg);
       e.r0 = SliceLoc{static_cast<uint32_t>(best), m};
       e.split = false;
-      continue;
+      return true;
     }
 
-    // Pass 2: split across the two fullest candidates (at most 2 physical
-    // registers per operand, §4.3).
     int p1 = -1, p2 = -1;
     for (size_t p = 0; p < phys.size(); ++p) {
       if (std::popcount(avail[p]) == 0) continue;
@@ -177,24 +188,63 @@ AllocationResult allocate_slices(const ir::Kernel& k,
       e.r1 = SliceLoc{static_cast<uint32_t>(p2), m2};
       e.split = true;
       ++res.split_operands;
+      return true;
+    }
+    return false;
+  };
+
+  for (const Item& it : items) {
+    auto& e = res.table[it.reg];
+    const size_t base = phys.size();
+    bool placed = try_place(it, e);
+
+    // Pass 3: open new physical registers until the operand fits.  With no
+    // faults a fresh register always fits the operand whole (pass 1 picks
+    // it as the sole candidate), so the operand stays unsplit, which the
+    // paper's §6.5 power discussion prefers (fewer double-fetches).  Under
+    // faults a fresh register may itself be partially broken, so keep
+    // growing — a split against an existing register can still resolve it
+    // — up to the indirection table's 256-register cap.
+    while (!placed && phys.size() < 256) {
+      phys.emplace_back();
+      placed = try_place(it, e);
+    }
+    if (!placed) {
+      // Graceful degradation: the operand cannot be placed in <= 2 pieces
+      // inside the compressed file.  Give it a full-width slot in the
+      // uncompressed spill store instead of aborting, and roll back the
+      // registers speculatively opened above (no occupants yet).
+      phys.resize(base);
+      e.spilled = true;
+      e.split = false;
+      e.slices = 8;
+      e.is_signed = false;
+      e.float_bits = 32;
+      e.r0 = SliceLoc{res.spill_regs++, 0xff};
+      e.r1 = SliceLoc{};
+      ++res.registers_spilled;
       continue;
     }
 
-    // Pass 3: open a new physical register.  A final split opportunity:
-    // place the head in the fullest existing register and only the tail in
-    // the new one when this saves nothing — we keep the operand whole in
-    // the new register, which the paper's §6.5 power discussion prefers
-    // (fewer double-fetches).
-    phys.emplace_back();
-    const uint8_t m = take_slices(0xff, it.slices);
-    occupy(phys.back(), m, it.reg);
-    e.r0 = SliceLoc{static_cast<uint32_t>(phys.size() - 1), m};
-    e.split = false;
+    res.total_slices += static_cast<uint32_t>(it.slices);
+    if (faults) {
+      const uint8_t fm =
+          faults->faulty_mask(e.r0.phys_reg) |
+          (e.split ? faults->faulty_mask(e.r1.phys_reg) : uint8_t{0});
+      if (fm) {
+        e.redirected = true;
+        ++res.registers_redirected;
+      }
+    }
   }
 
   res.num_physical_regs = static_cast<uint32_t>(phys.size());
   GPURF_CHECK(res.num_physical_regs <= 256,
               "allocation exceeds the 256-entry indirection table");
+  if (faults)
+    for (uint32_t p = 0; p < res.num_physical_regs; ++p)
+      res.faulty_slices_avoided +=
+          static_cast<uint32_t>(std::popcount(faults->faulty_mask(p)));
   return res;
 }
 

@@ -5,8 +5,12 @@
 #include <utility>
 
 #include "api/json.hpp"
+#include "common/rng.hpp"
+#include "fp/format.hpp"
 #include "ir/parser.hpp"
 #include "ir/verifier.hpp"
+#include "quality/degradation.hpp"
+#include "rf/fault_map.hpp"
 
 namespace gpurf {
 
@@ -78,6 +82,10 @@ Engine::~Engine() {
     qcv_.notify_all();
     slot_cv_.notify_all();
   }
+  // Campaign orchestrators first: a stopping campaign cancels its child
+  // jobs (further child submits throw), and the executors below then
+  // drain and finalize those children before exiting.
+  for (auto& t : campaign_threads_) t.join();
   for (auto& t : executors_) t.join();
 }
 
@@ -171,6 +179,12 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
     return Status::InvalidArgument(
         "variant " + std::to_string(req.variant) + " out of range for '" +
         w.spec().name + "'");
+  const bool inject = req.fault.density > 0.0;
+  if (inject && req.mode == workloads::SimMode::kOriginal)
+    return Status::InvalidArgument(
+        "fault injection on '" + w.spec().name +
+        "' requires a compressed mode (faults live in the compressed "
+        "register file)");
   auto pr = pipeline_impl(w, cancel);
   if (!pr.ok()) return pr.status();
 
@@ -187,7 +201,69 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
                         : workloads::make_compression_config(req.mode);
     sim::SimOptions so;
     so.shards = req.sim_shards > 0 ? req.sim_shards : opts_.sim_shards;
-    return sim::simulate(opts_.gpu, comp, spec, cancel, so);
+    if (!inject) return sim::simulate(opts_.gpu, comp, spec, cancel, so);
+
+    // Fault injection (PR 6): generate the deterministic map, re-run the
+    // slice allocator fault-aware (redirection + graceful spill) and
+    // swap the launch's allocation for the redirected one.  The memoized
+    // pipeline stays untouched — fault-free requests keep serving its
+    // bit-identical allocation.
+    const rf::FaultMap fm =
+        rf::FaultMap::generate(req.fault.seed, req.fault.density);
+    const auto& tune = req.mode == workloads::SimMode::kCompressedPerfect
+                           ? (*pr)->tune_perfect
+                           : (*pr)->tune_high;
+    alloc::AllocOptions aopt;
+    aopt.faults = &fm;
+    const alloc::AllocationResult fa = alloc::allocate_slices(
+        w.kernel(), &(*pr)->ranges, &tune.pmap, aopt);
+    // Spilled f32 registers live full-width in the spill store, so the
+    // interpreter must not quantize them.
+    exec::PrecisionMap adj = tune.pmap;
+    if (adj.active())
+      for (uint32_t r = 0;
+           r < fa.table.size() && r < adj.per_reg.size(); ++r)
+        if (fa.table[r].valid && fa.table[r].spilled)
+          adj.per_reg[r] = fp::format_for_bits(32);
+    spec.allocation = &fa;
+    spec.regs_per_thread = fa.total_phys_regs();
+    spec.precision = &adj;
+
+    sim::SimResult result = sim::simulate(opts_.gpu, comp, spec, cancel, so);
+    sim::FaultInjectionReport& rep = result.fault;
+    rep.active = true;
+    rep.seed = req.fault.seed;
+    rep.density = fm.density();
+    rep.faults_total = static_cast<uint32_t>(fm.num_faults());
+    rep.faults_in_footprint = fa.faulty_slices_avoided;
+    rep.registers_redirected = fa.registers_redirected;
+    rep.registers_spilled = fa.registers_spilled;
+    rep.spill_regs = fa.spill_regs;
+    rep.coverage_pct = fa.fault_coverage_pct();
+
+    if (req.fault.score_quality) {
+      // Three sample-scale functional runs score output degradation:
+      // exact reference, fault-free tuned, faulty-redirected.
+      // Redirection never changes numerics and spilled registers revert
+      // to full precision, so the delta is expected <= 0 ("no worse") —
+      // measured rather than asserted, which is the point of the report.
+      auto qinst = w.make_instance(workloads::Scale::kSample, 0);
+      const auto metric = w.make_metric(qinst);
+      workloads::RunOptions ro = opts_.run;
+      ro.cancel = cancel;
+      auto ref_inst = qinst;
+      const auto ref = w.run(ref_inst, nullptr, nullptr, ro);
+      auto ff_inst = qinst;
+      const auto fault_free = w.run(ff_inst, &tune.pmap, nullptr, ro);
+      auto fy_inst = std::move(qinst);
+      const auto faulty = w.run(fy_inst, &adj, nullptr, ro);
+      rep.quality_scored = true;
+      rep.quality_fault_free = metric->score(ref, fault_free);
+      rep.quality_faulty = metric->score(ref, faulty);
+      rep.quality_delta = quality::degradation_delta(
+          metric->kind(), rep.quality_fault_free, rep.quality_faulty);
+    }
+    return result;
   } catch (const common::CancelledError& e) {
     return stop_status(e, std::string("simulate '") + w.spec().name + "'");
   } catch (const Error& e) {
@@ -266,6 +342,22 @@ Job Engine::submit(JobRequest req) {
     impl->token.set_deadline(*deadline);
   }
   ensure_executor();
+
+  if (impl->req.kind == JobKind::kFaultCampaign) {
+    // Campaigns bypass the executor queue and its in-flight accounting:
+    // the orchestrator is a coordinator that mostly waits on the child
+    // simulate jobs it submits (those children take normal slots, so a
+    // large campaign self-throttles against max_inflight).  Running the
+    // coordinator on an executor worker could deadlock a width-1 pool.
+    std::lock_guard<std::mutex> lock(qmu_);
+    metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
+    GPURF_CHECK(!stopping_, "submit on a stopping Engine");
+    impl->id = next_job_id_++;
+    evict_terminal_jobs_locked();
+    jobs_[impl->id] = impl;
+    campaign_threads_.emplace_back([this, impl] { run_campaign(impl); });
+    return Job(impl);
+  }
 
   bool rejected = false;
   {
@@ -370,6 +462,10 @@ void Engine::run_job(detail::JobImpl& job) {
       }
       break;
     }
+    case JobKind::kFaultCampaign:
+      // Campaign jobs never enter the executor queue (see submit()).
+      st = Status::Internal("fault-campaign job on the executor queue");
+      break;
   }
   const JobState terminal = terminal_state_for(st);
   // Ordering contract for observers woken by finalize(): the slot is
@@ -427,6 +523,172 @@ void Engine::executor_loop() {
   }
 }
 
+void Engine::run_campaign(std::shared_ptr<detail::JobImpl> job) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    seq = next_run_seq_++;
+  }
+  if (!job->start_running(seq)) {
+    // Cancelled (or deadline-expired) before the orchestrator started.
+    const common::StopReason r = job->token.stop_reason();
+    const bool dl = r == common::StopReason::kDeadline;
+    const JobState terminal =
+        dl ? JobState::kDeadlineExceeded : JobState::kCancelled;
+    metrics_.record_terminal(terminal, false,
+                             wall_us_since(job->submitted_at));
+    job->finalize(terminal,
+                  dl ? Status::DeadlineExceeded("deadline before campaign start")
+                     : Status::Cancelled("cancelled before campaign start"));
+    return;
+  }
+
+  const FaultCampaignRequest& creq = job->req.campaign;
+  // Faults live in the compressed register file: a campaign over the
+  // baseline RF is meaningless, so reject it before spawning children
+  // instead of letting every child fail with the same error.
+  if (creq.sim.mode == workloads::SimMode::kOriginal) {
+    const Status bad = Status::InvalidArgument(
+        "fault campaign '" + job->req.workload +
+        "' requires a compressed mode (perfect|high)");
+    const JobState terminal = terminal_state_for(bad);
+    metrics_.record_terminal(terminal, false,
+                             wall_us_since(job->submitted_at));
+    job->finalize(terminal, bad);
+    return;
+  }
+  const int maps_per = std::max(1, creq.maps_per_density);
+  job->token.campaign_maps_total.store(
+      static_cast<int>(creq.densities.size()) * maps_per,
+      std::memory_order_relaxed);
+  job->token.set_stage(common::JobStage::kSimulating);
+
+  // Submit one child simulate job per (density, map).  Per-map seeds are
+  // a deterministic splitmix64 stream off base_seed, so the same request
+  // reruns the exact same maps.  Children inherit the parent's priority
+  // and the remainder of its deadline.
+  FaultCampaignResult result;
+  result.workload = job->req.workload;
+  std::vector<Job> children;
+  Status st;
+  try {
+    uint64_t seed_state = creq.base_seed;
+    for (double density : creq.densities) {
+      for (int m = 0; m < maps_per; ++m) {
+        job->token.checkpoint();  // stop submitting once cancelled
+        FaultCampaignPoint pt;
+        pt.density = density;
+        pt.seed = splitmix64(seed_state);
+        SimRequest sr = creq.sim;
+        sr.fault.seed = pt.seed;
+        sr.fault.density = density;
+        JobRequest child =
+            JobRequest::simulate(job->req.workload, sr)
+                .with_priority(job->req.priority);
+        if (job->token.has_deadline()) {
+          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+              job->token.deadline() - detail::JobImpl::Clock::now());
+          child.deadline_ms = std::max<int64_t>(1, left.count());
+        }
+        result.points.push_back(pt);
+        children.push_back(submit(std::move(child)));
+      }
+    }
+
+    // Collect in submission order, polling the parent token so a
+    // campaign cancel propagates to every child at the next slice.
+    for (size_t i = 0; i < children.size(); ++i) {
+      while (!children[i].wait_for(std::chrono::milliseconds(50)))
+        job->token.checkpoint();
+      FaultCampaignPoint& pt = result.points[i];
+      pt.state = children[i].state();
+      auto child_res = children[i].sim_result();
+      if (child_res.ok()) {
+        pt.fault = child_res->fault;
+        pt.cycles = child_res->stats.cycles;
+        pt.ipc = child_res->stats.ipc();
+      } else {
+        pt.error = child_res.status().to_string();
+      }
+      job->token.campaign_maps_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const common::CancelledError& e) {
+    st = stop_status(e, "fault campaign '" + job->req.workload + "'");
+  } catch (const Error& e) {
+    // submit() on a stopping Engine, or a child rejection.
+    st = Status::Cancelled("fault campaign '" + job->req.workload +
+                           "' aborted: " + e.what());
+  } catch (const std::exception& e) {
+    st = Status::Internal("fault campaign '" + job->req.workload + "': " +
+                          e.what());
+  }
+  if (!st.ok()) {
+    // Propagate the stop to every child before finalizing the parent, so
+    // a cancelled campaign never leaves orphan work running.
+    for (auto& c : children) c.cancel();
+    for (auto& c : children) c.wait();
+  } else if (result.points.empty()) {
+    st = Status::InvalidArgument("fault campaign '" + job->req.workload +
+                                 "' has no density points");
+  } else {
+    job->campaign_result = std::move(result);
+  }
+  const JobState terminal = terminal_state_for(st);
+  metrics_.record_terminal(terminal, st.ok(),
+                           wall_us_since(job->submitted_at));
+  job->finalize(terminal, std::move(st));
+}
+
+Status Engine::drain(int64_t budget_ms) {
+  const auto deadline =
+      detail::JobImpl::Clock::now() +
+      std::chrono::milliseconds(budget_ms > 0 ? budget_ms : 0);
+  std::vector<std::shared_ptr<detail::JobImpl>> live;
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    live.reserve(jobs_.size());
+    for (const auto& [id, j] : jobs_) live.push_back(j);
+  }
+  // Shed still-queued jobs immediately: drain means "finish what is
+  // running, start nothing new".  (The executor releases their slots when
+  // it pops the finalized entries.)
+  for (auto& j : live) {
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lk(j->mu);
+      queued = j->state == JobState::kQueued;
+    }
+    if (queued) {
+      j->token.cancel();
+      j->finalize(JobState::kCancelled,
+                  Status::Cancelled("cancelled by drain while queued"));
+    }
+  }
+  // Running jobs get the budget...
+  size_t cancelled = 0;
+  for (auto& j : live) {
+    std::unique_lock<std::mutex> lk(j->mu);
+    if (!j->cv.wait_until(lk, deadline,
+                          [&] { return job_state_terminal(j->state); })) {
+      lk.unlock();
+      j->token.cancel();
+      ++cancelled;
+    }
+  }
+  // ...then the stragglers are cancelled cooperatively and we wait for
+  // their next checkpoint, so the caller can destroy the Engine without
+  // racing in-flight results.
+  for (auto& j : live) {
+    std::unique_lock<std::mutex> lk(j->mu);
+    j->cv.wait(lk, [&] { return job_state_terminal(j->state); });
+  }
+  return cancelled == 0
+             ? Status::Ok()
+             : Status::DeadlineExceeded(
+                   std::to_string(cancelled) +
+                   " running job(s) cancelled at the drain budget");
+}
+
 size_t Engine::inflight() const {
   std::lock_guard<std::mutex> lock(qmu_);
   return inflight_;
@@ -444,6 +706,11 @@ std::string Engine::metrics_json() const {
   w.field("disk_cache_stale_rejections",
           pipeline_stats_.disk_cache_stale_rejections.load(
               std::memory_order_relaxed));
+  w.field("disk_cache_write_failures",
+          pipeline_stats_.disk_cache_write_failures.load(
+              std::memory_order_relaxed));
+  w.field("disk_cache_disabled",
+          pipeline_stats_.disk_cache_disabled.load(std::memory_order_relaxed));
   w.field("analysis_cache_hits", analysis_cache_.hits());
   w.field("analysis_cache_misses", analysis_cache_.misses());
   size_t depth = 0, infl = 0;

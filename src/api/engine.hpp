@@ -228,6 +228,15 @@ class Engine {
   /// Jobs currently queued or running on the async executor.
   size_t inflight() const;
 
+  /// Graceful shutdown helper (PR 6): cancel every still-queued job
+  /// immediately, let running jobs finish within `budget_ms`, then
+  /// cooperatively cancel the stragglers and wait for them to stop at
+  /// their next checkpoint.  Returns OK when everything finished inside
+  /// the budget, DeadlineExceeded when stragglers had to be cancelled.
+  /// The Engine stays usable afterwards; gpurfd calls this between
+  /// stopping its accept loop and destroying the Engine (--drain-ms).
+  Status drain(int64_t budget_ms);
+
   /// Point-in-time metrics snapshot as a JSON object: cache counters
   /// (pipeline memo, kernel-analysis cache, disk cache), queue depth,
   /// jobs by terminal state, and cumulative job wall time.  Embedded in
@@ -270,6 +279,7 @@ class Engine {
   void ensure_executor();
   void executor_loop();
   void run_job(detail::JobImpl& job);
+  void run_campaign(std::shared_ptr<detail::JobImpl> job);
   void release_slot();
   void evict_terminal_jobs_locked();
 
@@ -293,6 +303,13 @@ class Engine {
   bool stopping_ = false;
   bool executor_started_ = false;
   std::vector<std::thread> executors_;
+  /// Fault-campaign orchestrator threads (one per campaign job).  They
+  /// bypass the executor queue — a campaign is a coordinator that mostly
+  /// waits on its child simulate jobs, so parking it on an executor
+  /// worker could deadlock a small pool.  Joined in the destructor
+  /// *before* the executors: a stopping campaign cancels its children,
+  /// which the draining executors then finalize.
+  std::vector<std::thread> campaign_threads_;
 };
 
 }  // namespace gpurf

@@ -43,6 +43,19 @@
 
 namespace gpurf {
 
+/// Permanent-fault injection for one simulation (PR 6).  The Engine
+/// generates rf::FaultMap::generate(seed, density), runs the slice
+/// allocator fault-aware (redirection + graceful spill) and reports
+/// coverage/degradation in SimResult::fault.  density <= 0 disables
+/// injection entirely (bit-identical to a fault-free run).
+struct FaultSpec {
+  uint64_t seed = 0;
+  double density = 0.0;  ///< fraction of slice sites faulty, clamped [0,1]
+  /// Also score output quality of the faulty allocation against the
+  /// fault-free tuned run (adds two sample-scale functional runs).
+  bool score_quality = false;
+};
+
 /// One timing-simulation request (§6 experiment configurations).
 struct SimRequest {
   workloads::SimMode mode = workloads::SimMode::kOriginal;
@@ -55,6 +68,23 @@ struct SimRequest {
   /// Engine's resolved EngineOptions::sim_shards (1 = serial reference
   /// schedule).  Timing results are bit-identical at every value.
   int sim_shards = 0;
+  /// Permanent-fault injection; density <= 0 (default) = fault-free.
+  /// Requires a compressed mode — faults live in the compressed file.
+  FaultSpec fault;
+};
+
+/// A fault-injection campaign (ROADMAP 4a): sweep `maps_per_density`
+/// seeded fault maps at each density in `densities`, every map one
+/// child simulate Job on the Engine's executor.  Per-map seeds are
+/// derived deterministically from `base_seed`, so a campaign is exactly
+/// reproducible; per-map progress is published through
+/// JobProgress::campaign_maps_{done,total} and cancel stops the sweep at
+/// the next map boundary.
+struct FaultCampaignRequest {
+  SimRequest sim;                 ///< template for every child simulation
+  std::vector<double> densities = {0.005, 0.01, 0.02, 0.05};
+  int maps_per_density = 3;       ///< seeded maps per density point
+  uint64_t base_seed = 1;         ///< per-map seeds derived from this
 };
 
 enum class JobState {
@@ -80,16 +110,42 @@ inline bool job_state_terminal(JobState s) {
   return s != JobState::kQueued && s != JobState::kRunning;
 }
 
-enum class JobKind { kPipeline, kSimulate };
+/// Outcome of one fault map inside a campaign.
+struct FaultCampaignPoint {
+  double density = 0.0;   ///< requested density of this point
+  uint64_t seed = 0;      ///< derived per-map seed
+  JobState state = JobState::kDone;  ///< child terminal state
+  std::string error;      ///< non-empty when the child failed
+  sim::FaultInjectionReport fault;   ///< empty when the child failed
+  uint64_t cycles = 0;
+  double ipc = 0.0;
+};
+
+struct FaultCampaignResult {
+  std::string workload;
+  std::vector<FaultCampaignPoint> points;  ///< density-major, seed order
+};
+
+enum class JobKind { kPipeline, kSimulate, kFaultCampaign };
+
+inline const char* job_kind_name(JobKind k) {
+  switch (k) {
+    case JobKind::kPipeline: return "pipeline";
+    case JobKind::kSimulate: return "simulate";
+    case JobKind::kFaultCampaign: return "fault_campaign";
+  }
+  return "unknown";
+}
 
 /// What to run and how to schedule it.
 struct JobRequest {
   JobKind kind = JobKind::kPipeline;
-  std::string workload;     ///< bundled Table-4 workload name
-  SimRequest sim;           ///< kSimulate only
-  int priority = 0;         ///< higher runs first; FIFO within a level
-  int64_t deadline_ms = 0;  ///< relative to submit(), covers queue wait and
-                            ///< execution; <= 0 means no deadline
+  std::string workload;        ///< bundled Table-4 workload name
+  SimRequest sim;              ///< kSimulate only
+  FaultCampaignRequest campaign;  ///< kFaultCampaign only
+  int priority = 0;            ///< higher runs first; FIFO within a level
+  int64_t deadline_ms = 0;     ///< relative to submit(), covers queue wait
+                               ///< and execution; <= 0 means no deadline
 
   static JobRequest pipeline(std::string name) {
     JobRequest r;
@@ -102,6 +158,14 @@ struct JobRequest {
     r.kind = JobKind::kSimulate;
     r.workload = std::move(name);
     r.sim = req;
+    return r;
+  }
+  static JobRequest fault_campaign(std::string name,
+                                   FaultCampaignRequest req = {}) {
+    JobRequest r;
+    r.kind = JobKind::kFaultCampaign;
+    r.workload = std::move(name);
+    r.campaign = std::move(req);
     return r;
   }
   JobRequest& with_priority(int p) { priority = p; return *this; }
@@ -122,6 +186,9 @@ struct JobProgress {
   /// (e.g. simulated cycles per second) are meaningful even when many
   /// jobs were submitted up front.
   double exec_ms = 0.0;
+  // Fault-campaign jobs only: per-map sweep progress.
+  int campaign_maps_done = 0;
+  int campaign_maps_total = 0;
 };
 
 class Engine;
@@ -145,6 +212,7 @@ struct JobImpl {
   Status status;  ///< terminal status (OK for a successful kDone)
   std::optional<workloads::PipelineResult> pipeline_result;
   std::optional<sim::SimResult> sim_result;
+  std::optional<FaultCampaignResult> campaign_result;
   std::vector<std::function<void()>> on_terminal;
 
   Clock::time_point submitted_at{};
@@ -267,6 +335,10 @@ class Job {
     p.tuner_evaluations =
         impl_->token.tuner_evaluations.load(std::memory_order_relaxed);
     p.sim_cycles = impl_->token.sim_cycles.load(std::memory_order_relaxed);
+    p.campaign_maps_done =
+        impl_->token.campaign_maps_done.load(std::memory_order_relaxed);
+    p.campaign_maps_total =
+        impl_->token.campaign_maps_total.load(std::memory_order_relaxed);
     p.run_seq = impl_->run_seq;
     const auto end = job_state_terminal(impl_->state)
                          ? impl_->finished_at
@@ -299,6 +371,15 @@ class Job {
     if (impl_->sim_result) return *impl_->sim_result;
     if (!impl_->status.ok()) return impl_->status;
     return Status::FailedPrecondition("not a simulate job");
+  }
+
+  StatusOr<FaultCampaignResult> campaign_result() const {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!job_state_terminal(impl_->state))
+      return Status::FailedPrecondition("job is not finished");
+    if (impl_->campaign_result) return *impl_->campaign_result;
+    if (!impl_->status.ok()) return impl_->status;
+    return Status::FailedPrecondition("not a fault-campaign job");
   }
 
  private:

@@ -174,6 +174,10 @@ void write_alloc(JsonWriter& w, const std::string& k,
   w.field("total_slices", a.total_slices);
   w.field("split_operands", a.split_operands);
   w.field("packing_density", a.packing_density());
+  w.field("registers_redirected", a.registers_redirected);
+  w.field("registers_spilled", a.registers_spilled);
+  w.field("spill_regs", a.spill_regs);
+  w.field("fault_coverage_pct", a.fault_coverage_pct());
   w.end_object();
 }
 
@@ -214,6 +218,29 @@ void write_stats_fields(JsonWriter& w, const sim::SimStats& s) {
   w.field("operand_fetches", s.operand_fetches);
   w.field("double_fetches", s.double_fetches);
   w.field("conversions", s.conversions);
+  w.field("fault_redirected_fetches", s.fault_redirected_fetches);
+  w.field("fault_spill_fetches", s.fault_spill_fetches);
+}
+
+void write_fault_report(JsonWriter& w, const std::string& k,
+                        const sim::FaultInjectionReport& f) {
+  w.begin_object(k);
+  w.field("active", f.active);
+  w.field("seed", f.seed);
+  w.field("density", f.density);
+  w.field("faults_total", f.faults_total);
+  w.field("faults_in_footprint", f.faults_in_footprint);
+  w.field("registers_redirected", f.registers_redirected);
+  w.field("registers_spilled", f.registers_spilled);
+  w.field("spill_regs", f.spill_regs);
+  w.field("coverage_pct", f.coverage_pct);
+  w.field("quality_scored", f.quality_scored);
+  if (f.quality_scored) {
+    w.field("quality_fault_free", f.quality_fault_free);
+    w.field("quality_faulty", f.quality_faulty);
+    w.field("quality_delta", f.quality_delta);
+  }
+  w.end_object();
 }
 
 }  // namespace
@@ -257,6 +284,28 @@ std::string to_json(const sim::SimResult& r) {
   w.begin_object("stats");
   write_stats_fields(w, r.stats);
   w.end_object();
+  write_fault_report(w, "fault", r.fault);
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const FaultCampaignResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("workload", r.workload);
+  w.begin_array("points");
+  for (const auto& pt : r.points) {
+    w.begin_object();
+    w.field("density", pt.density);
+    w.field("seed", pt.seed);
+    w.field("state", job_state_name(pt.state));
+    if (!pt.error.empty()) w.field("error", pt.error);
+    w.field("cycles", pt.cycles);
+    w.field("ipc", pt.ipc);
+    write_fault_report(w, "fault", pt.fault);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/job.hpp"
 #include "api/status.hpp"
 #include "sim/gpu.hpp"
 #include "workloads/pipeline.hpp"
@@ -65,8 +66,12 @@ std::string to_json(const workloads::PipelineResult& pr);
 /// compression traffic.
 std::string to_json(const sim::SimStats& s);
 
-/// Full simulation snapshot: stats + occupancy.
+/// Full simulation snapshot: stats + occupancy + fault-injection report.
 std::string to_json(const sim::SimResult& r);
+
+/// Fault-campaign snapshot (PR 6): one entry per (density, seed) point
+/// with the child's state, degradation report, cycles and IPC.
+std::string to_json(const FaultCampaignResult& r);
 
 // ------------------------------------------------------------ JSON parsing
 //

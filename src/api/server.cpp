@@ -1,13 +1,19 @@
 #include "api/server.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
+
+#include "common/rng.hpp"
 
 namespace gpurf::api {
 
@@ -46,14 +52,17 @@ std::string envelope_finish(Engine& e, JsonWriter& w) {
 }
 
 Status parse_sim_request(const JsonValue& req, SimRequest& out) {
-  const std::string mode =
-      req.get("mode") ? req.get("mode")->as_string("original") : "original";
-  if (mode == "original") out.mode = wl::SimMode::kOriginal;
-  else if (mode == "perfect") out.mode = wl::SimMode::kCompressedPerfect;
-  else if (mode == "high") out.mode = wl::SimMode::kCompressedHigh;
-  else
-    return Status::InvalidArgument("unknown mode '" + mode +
-                                   "' (original|perfect|high)");
+  // A missing "mode" keeps the caller's pre-set default (original for
+  // simulate, perfect for fault campaigns).
+  if (req.get("mode")) {
+    const std::string mode = req.get("mode")->as_string("original");
+    if (mode == "original") out.mode = wl::SimMode::kOriginal;
+    else if (mode == "perfect") out.mode = wl::SimMode::kCompressedPerfect;
+    else if (mode == "high") out.mode = wl::SimMode::kCompressedHigh;
+    else
+      return Status::InvalidArgument("unknown mode '" + mode +
+                                     "' (original|perfect|high)");
+  }
 
   const std::string scale =
       req.get("scale") ? req.get("scale")->as_string("full") : "full";
@@ -70,6 +79,14 @@ Status parse_sim_request(const JsonValue& req, SimRequest& out) {
         static_cast<uint32_t>(d->as_int(0)));
   if (const JsonValue* s = req.get("sim_shards"))
     out.sim_shards = static_cast<int>(s->as_int(0));
+  // Permanent-fault injection (PR 6): density > 0 turns it on; the Engine
+  // rejects it for mode=original (faults live in the compressed file).
+  if (const JsonValue* fs = req.get("fault_seed"))
+    out.fault.seed = static_cast<uint64_t>(fs->as_int(0));
+  if (const JsonValue* fd = req.get("fault_density"))
+    out.fault.density = fd->as_double(0.0);
+  if (const JsonValue* fq = req.get("fault_quality"))
+    out.fault.score_quality = fq->as_bool(false);
   return Status::Ok();
 }
 
@@ -77,7 +94,7 @@ void write_job_fields(JsonWriter& w, const Job& job) {
   const JobProgress p = job.progress();
   w.field("job", job.id());
   w.field("workload", job.workload());
-  w.field("kind", job.kind() == JobKind::kPipeline ? "pipeline" : "simulate");
+  w.field("kind", job_kind_name(job.kind()));
   w.field("priority", job.priority());
   w.field("state", job_state_name(p.state));
   w.begin_object("progress");
@@ -88,6 +105,10 @@ void write_job_fields(JsonWriter& w, const Job& job) {
   w.field("run_seq", p.run_seq);
   w.field("wall_ms", p.wall_ms);
   w.field("exec_ms", p.exec_ms);
+  if (job.kind() == JobKind::kFaultCampaign) {
+    w.field("campaign_maps_done", p.campaign_maps_done);
+    w.field("campaign_maps_total", p.campaign_maps_total);
+  }
   w.end_object();
   // Terminal jobs also report their status (and the error, if any) so a
   // client can distinguish done / failed / cancelled / deadline-exceeded
@@ -301,11 +322,37 @@ std::string Server::handle_request_line(const std::string& line) {
         const Status st = parse_sim_request(req, sr);
         if (!st.ok()) return envelope_error(engine_, st);
         jr = JobRequest::simulate(wlname->as_string(), sr);
+      } else if (kind == "fault_campaign") {
+        FaultCampaignRequest cr;
+        // A campaign is compressed by construction; default the template
+        // mode to perfect quality when the request names none.
+        if (!req.get("mode")) cr.sim.mode = wl::SimMode::kCompressedPerfect;
+        const Status st = parse_sim_request(req, cr.sim);
+        if (!st.ok()) return envelope_error(engine_, st);
+        if (const JsonValue* ds = req.get("densities")) {
+          if (!ds->is_array())
+            return envelope_error(
+                engine_, Status::InvalidArgument(
+                             "'densities' must be an array of numbers"));
+          cr.densities.clear();
+          for (const JsonValue& d : ds->items) {
+            if (!d.is_number())
+              return envelope_error(
+                  engine_, Status::InvalidArgument(
+                               "'densities' must be an array of numbers"));
+            cr.densities.push_back(d.num_v);
+          }
+        }
+        if (const JsonValue* m = req.get("maps_per_density"))
+          cr.maps_per_density = static_cast<int>(m->as_int(3));
+        if (const JsonValue* b = req.get("base_seed"))
+          cr.base_seed = static_cast<uint64_t>(b->as_int(1));
+        jr = JobRequest::fault_campaign(wlname->as_string(), std::move(cr));
       } else {
         return envelope_error(engine_,
                               Status::InvalidArgument(
                                   "unknown kind '" + kind +
-                                  "' (pipeline|simulate)"));
+                                  "' (pipeline|simulate|fault_campaign)"));
       }
       if (const JsonValue* p = req.get("priority"))
         jr.priority = static_cast<int>(p->as_int(0));
@@ -353,6 +400,9 @@ std::string Server::handle_request_line(const std::string& line) {
         if (job->kind() == JobKind::kPipeline) {
           auto pr = job->pipeline_result();
           if (pr.ok()) w.raw("result", to_json(*pr));
+        } else if (job->kind() == JobKind::kFaultCampaign) {
+          auto cr = job->campaign_result();
+          if (cr.ok()) w.raw("result", to_json(*cr));
         } else {
           auto sr = job->sim_result();
           if (sr.ok()) w.raw("result", to_json(*sr));
@@ -382,24 +432,104 @@ std::string Server::handle_request_line(const std::string& line) {
 
 // ---------------------------------------------------------------- Client
 
-Client::Client(const std::string& socket_path) {
+namespace {
+
+/// Transient connect failures worth a retry: the daemon is starting up
+/// (socket not bound yet / nothing listening) or momentarily saturated.
+bool connect_errno_transient(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+         err == EWOULDBLOCK || err == EINTR || err == ECONNRESET ||
+         err == ETIMEDOUT;
+}
+
+/// One connect attempt with a deadline: non-blocking connect + poll so a
+/// daemon wedged inside accept() cannot hang the caller.  Returns the
+/// connected (blocking-mode) fd, or -1 with errno describing the failure
+/// (ETIMEDOUT for a poll timeout).
+int connect_once(const sockaddr_un& addr, int timeout_ms) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const int err = errno;
+      ::close(fd);
+      errno = err;
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms < 0 ? -1 : timeout_ms);
+    if (pr <= 0) {
+      ::close(fd);
+      errno = pr == 0 ? ETIMEDOUT : errno;
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
+        soerr != 0) {
+      ::close(fd);
+      errno = soerr != 0 ? soerr : errno;
+      return -1;
+    }
+  }
+  // Back to blocking mode: call() relies on SO_RCVTIMEO/SO_SNDTIMEO.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  return fd;
+}
+
+void set_socket_timeout(int fd, int opt, int timeout_ms) {
+  if (timeout_ms <= 0) return;  // 0 = no timeout (kernel default)
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, ClientOptions opts)
+    : opts_(opts) {
   sockaddr_un addr{};
   if (socket_path.size() >= sizeof(addr.sun_path)) {
     status_ = Status::InvalidArgument("socket path too long: " + socket_path);
     return;
   }
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    status_ = Status::Internal(std::string("socket: ") + std::strerror(errno));
-    return;
-  }
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    status_ = Status::Internal("connect " + socket_path + ": " +
-                               std::strerror(errno));
-    ::close(fd_);
-    fd_ = -1;
+
+  // Bounded retry with exponential backoff + jitter (PR 6 satellite): a
+  // client racing a daemon's startup sees ECONNREFUSED/ENOENT for a few
+  // milliseconds; retrying with jittered backoff absorbs that without a
+  // thundering herd.  Non-transient errors (EACCES, ...) fail immediately.
+  uint64_t jitter_state = static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ULL ^
+                          reinterpret_cast<uintptr_t>(this);
+  int backoff_ms = opts_.backoff_initial_ms;
+  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+    fd_ = connect_once(addr, opts_.connect_timeout_ms);
+    if (fd_ >= 0) {
+      set_socket_timeout(fd_, SO_RCVTIMEO, opts_.read_timeout_ms);
+      set_socket_timeout(fd_, SO_SNDTIMEO, opts_.read_timeout_ms);
+      status_ = Status::Ok();
+      return;
+    }
+    const int err = errno;
+    if (!connect_errno_transient(err) || attempt == opts_.retries) {
+      const std::string what =
+          "connect " + socket_path + ": " + std::strerror(err) +
+          (attempt ? " (after " + std::to_string(attempt + 1) + " attempts)"
+                   : "");
+      status_ = connect_errno_transient(err) ? Status::Unavailable(what)
+                                             : Status::Internal(what);
+      return;
+    }
+    // Full jitter: sleep a uniform slice of the current backoff window.
+    const int sleep_ms =
+        1 + static_cast<int>(gpurf::splitmix64(jitter_state) %
+                             static_cast<uint64_t>(backoff_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min(backoff_ms * 2, opts_.backoff_max_ms);
   }
 }
 
@@ -417,8 +547,14 @@ StatusOr<std::string> Client::call(const std::string& request_line) {
     // SIGPIPE that kills the client process.
     const ssize_t n =
         ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-    if (n <= 0)
-      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    if (n <= 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Status::Unavailable(
+            "write timed out after " + std::to_string(opts_.read_timeout_ms) +
+            "ms");
+      return Status::Unavailable(std::string("write: ") +
+                                 std::strerror(errno));
+    }
     off += static_cast<size_t>(n);
   }
   char chunk[4096];
@@ -430,8 +566,15 @@ StatusOr<std::string> Client::call(const std::string& request_line) {
       return line;
     }
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      // A read timeout leaves the stream position unknown, so the caller
+      // must not resend on this connection — reconnect instead.
+      return Status::Unavailable(
+          "read timed out after " + std::to_string(opts_.read_timeout_ms) +
+          "ms");
     if (n <= 0)
-      return Status::Internal("connection closed before a response arrived");
+      return Status::Unavailable(
+          "connection closed before a response arrived");
     rxbuf_.append(chunk, static_cast<size_t>(n));
   }
 }

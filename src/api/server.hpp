@@ -12,16 +12,26 @@
 //
 //   {"op":"ping"}
 //   {"op":"list"}                                   -> {"workloads":[...]}
-//   {"op":"submit","kind":"pipeline"|"simulate","workload":NAME,
+//   {"op":"submit","kind":"pipeline"|"simulate"|"fault_campaign",
+//    "workload":NAME,
 //    "mode":"original"|"perfect"|"high","scale":"sample"|"full",
 //    "variant":N,"writeback_delay":N,"sim_shards":N,"priority":N,
-//    "deadline_ms":N}
+//    "deadline_ms":N,
+//    // simulate only (PR 6 fault injection; needs a compressed mode):
+//    "fault_seed":N,"fault_density":F,"fault_quality":B,
+//    // fault_campaign only (mode defaults to "perfect" here):
+//    "densities":[F,...],"maps_per_density":N,"base_seed":N}
 //                                                   -> {"job":ID,"state":..}
 //   {"op":"status","job":ID}                        -> state + progress
 //   {"op":"wait","job":ID,"timeout_ms":N}           -> state [+ "result"]
 //   {"op":"cancel","job":ID}                        -> state
 //   {"op":"metrics"}
 //   {"op":"shutdown"}
+//
+// Fault-campaign jobs report per-map sweep progress
+// (campaign_maps_done/total) in the "progress" object, and their "wait"
+// result is the degradation curve: one point per (density, seed) with the
+// child's state, FaultInjectionReport, cycles and IPC.
 //
 // Every response is an envelope:
 //
@@ -116,22 +126,39 @@ class Server {
   uint64_t next_conn_id_ = 0;
 };
 
+/// Client transport knobs (PR 6 satellite).  Connect failures on
+/// *transient* errno values (ECONNREFUSED, ENOENT, EAGAIN, ...) retry up
+/// to `retries` extra attempts with exponential backoff + full jitter;
+/// everything that exhausts the budget — and every socket timeout —
+/// surfaces as StatusCode::kUnavailable, the retry-me code.
+struct ClientOptions {
+  int connect_timeout_ms = 2000;  ///< per-attempt connect deadline
+  int read_timeout_ms = 600000;   ///< SO_RCVTIMEO/SO_SNDTIMEO; <= 0 = none
+  int retries = 3;                ///< extra connect attempts after the first
+  int backoff_initial_ms = 25;    ///< first backoff window
+  int backoff_max_ms = 1000;      ///< backoff window cap
+};
+
 /// Minimal blocking client for the gpurfd protocol: connects in the
 /// constructor (check status()), call() sends one request line and returns
-/// the raw response line, call_json() additionally parses it.
+/// the raw response line, call_json() additionally parses it.  A timed-out
+/// call() leaves the stream position unknown — reconnect rather than
+/// resending on the same Client.
 class Client {
  public:
-  explicit Client(const std::string& socket_path);
+  explicit Client(const std::string& socket_path, ClientOptions opts = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// OK once connected; the connect error otherwise.
+  /// OK once connected; the connect error otherwise (kUnavailable when
+  /// every attempt failed transiently).
   const Status& status() const { return status_; }
 
   /// Send one request line, block for the one-line response (stripped of
-  /// the trailing newline).
+  /// the trailing newline).  kUnavailable on timeout or a dropped
+  /// connection.
   StatusOr<std::string> call(const std::string& request_line);
 
   /// call() + parse_json in one step.
@@ -140,6 +167,7 @@ class Client {
  private:
   int fd_ = -1;
   Status status_;
+  ClientOptions opts_;
   std::string rxbuf_;  ///< bytes read past the previous response line
 };
 

@@ -27,6 +27,8 @@ enum class StatusCode {
   kInternal,            ///< unexpected failure inside the core
   kCancelled,           ///< job cancelled by the caller
   kDeadlineExceeded,    ///< per-request deadline elapsed (queued or running)
+  kUnavailable,         ///< transient transport failure (daemon not up,
+                        ///< connection lost, socket timeout) — retryable
 };
 
 inline const char* status_code_name(StatusCode c) {
@@ -40,6 +42,7 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -74,6 +77,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

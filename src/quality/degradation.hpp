@@ -1,0 +1,26 @@
+#pragma once
+// Output-quality degradation under fault-directed redirection (PR 6).
+//
+// A fault campaign compares three functional runs of one workload
+// instance: the exact reference (no precision map), the fault-free tuned
+// run, and the faulty run whose allocation was steered around broken
+// slices (spilled registers revert to full precision, so a fault can
+// only *improve* numerics — the interesting signal is the latency/
+// pressure cost, but the delta keeps the claim honest).  The helpers
+// here normalize "how much worse" across the three metric families,
+// whose score directions differ.
+
+#include "quality/metrics.hpp"
+
+namespace gpurf::quality {
+
+/// Signed degradation of `faulty` relative to `fault_free`, oriented so
+/// positive always means worse output: deviation grows with error, SSIM
+/// and binary shrink.
+inline double degradation_delta(MetricKind kind, double fault_free,
+                                double faulty) {
+  return kind == MetricKind::kDeviation ? faulty - fault_free
+                                        : fault_free - faulty;
+}
+
+}  // namespace gpurf::quality

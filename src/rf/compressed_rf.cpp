@@ -1,5 +1,6 @@
 #include "rf/compressed_rf.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.hpp"
@@ -21,12 +22,28 @@ CompressedRegisterFile::CompressedRegisterFile(
           static_cast<int>((num_phys_regs * warps + 15) / 16) + 1, 1024}) {
   src_table_.load(table_);
   dst_table_.load(table_);  // identical content, separate structure (§3.2.2)
+  for (const IndirectionEntry& e : table_)
+    if (e.valid && e.spilled)
+      num_spill_ = std::max(num_spill_, e.r0.phys_reg + 1);
+  spill_.assign(size_t(num_spill_) * warps, WarpRegister{});
+}
+
+size_t CompressedRegisterFile::spill_index(uint32_t warp,
+                                           uint32_t slot) const {
+  GPURF_ASSERT(slot < num_spill_, "spill slot " << slot << " out of range");
+  return size_t(warp) * num_spill_ + slot;
 }
 
 void CompressedRegisterFile::write_operand(uint32_t warp, uint32_t arch_reg,
                                            const WarpRegister& values) {
   const IndirectionEntry& e = table_.at(arch_reg);
   GPURF_ASSERT(e.valid, "write to unallocated register " << arch_reg);
+  if (e.spilled) {
+    // Uncompressed spill store: full-width write, no truncation.
+    spill_[spill_index(warp, e.r0.phys_reg)] = values;
+    ++stats_.spill_accesses;
+    return;
+  }
   // Destination indirection lookup (content equals the packed entry).
   (void)dst_table_.lookup(arch_reg);
 
@@ -55,6 +72,11 @@ WarpRegister CompressedRegisterFile::read_operand(uint32_t warp,
                                                   uint32_t arch_reg) {
   const IndirectionEntry& e = table_.at(arch_reg);
   GPURF_ASSERT(e.valid, "read of unallocated register " << arch_reg);
+  if (e.spilled) {
+    // Uncompressed spill store: full-width read, no extraction/conversion.
+    ++stats_.spill_accesses;
+    return spill_[spill_index(warp, e.r0.phys_reg)];
+  }
   const PackedEntry& packed = src_table_.lookup(arch_reg);
   GPURF_ASSERT(packed.m0() == e.r0.mask, "table content mismatch");
 

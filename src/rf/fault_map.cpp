@@ -1,0 +1,139 @@
+#include "rf/fault_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "api/json.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gpurf::rf {
+
+FaultMap::FaultMap(uint32_t banks, uint32_t rows_per_bank)
+    : banks_(banks), rows_(rows_per_bank) {
+  GPURF_CHECK(banks_ > 0 && rows_ > 0, "fault map needs a non-empty geometry");
+  GPURF_CHECK(uint64_t(banks_) * rows_ * 8 <= (1ull << 32) - 1,
+              "fault map geometry too large");
+  masks_.assign(size_t(banks_) * rows_, 0);
+}
+
+void FaultMap::add_fault(uint32_t bank, uint32_t row, uint8_t slice) {
+  GPURF_CHECK(bank < banks_ && row < rows_ && slice < 8,
+              "fault site (" << bank << "," << row << ","
+                             << unsigned(slice) << ") outside geometry "
+                             << banks_ << "x" << rows_ << "x8");
+  const uint32_t phys = row * banks_ + bank;
+  const uint8_t bit = static_cast<uint8_t>(1u << slice);
+  if (masks_[phys] & bit) return;  // idempotent
+  masks_[phys] |= bit;
+  FaultSite site{bank, row, slice};
+  faults_.insert(std::upper_bound(faults_.begin(), faults_.end(), site,
+                                  [](const FaultSite& a, const FaultSite& b) {
+                                    if (a.bank != b.bank) return a.bank < b.bank;
+                                    if (a.row != b.row) return a.row < b.row;
+                                    return a.slice < b.slice;
+                                  }),
+                 site);
+}
+
+bool FaultMap::is_faulty(uint32_t bank, uint32_t row, uint8_t slice) const {
+  if (bank >= banks_ || row >= rows_ || slice >= 8) return false;
+  return (masks_[row * banks_ + bank] >> slice) & 1u;
+}
+
+FaultMap FaultMap::generate(uint64_t seed, double density, uint32_t banks,
+                            uint32_t rows_per_bank) {
+  FaultMap map(banks, rows_per_bank);
+  map.seed_ = seed;
+  const double d = std::clamp(density, 0.0, 1.0);
+  const uint64_t total = map.total_slice_sites();
+  const uint64_t count =
+      std::min<uint64_t>(total, uint64_t(std::llround(d * double(total))));
+  if (count == 0) return map;
+
+  // Partial Fisher-Yates over the flat site index space: the first `count`
+  // entries after the partial shuffle are a uniform sample without
+  // replacement, and depend only on (seed, density, geometry).
+  std::vector<uint32_t> sites(total);
+  std::iota(sites.begin(), sites.end(), 0u);
+  Pcg32 rng(seed, /*stream=*/0x6661756c74ULL);  // "fault"
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t j =
+        static_cast<uint32_t>(i) +
+        rng.next_below(static_cast<uint32_t>(total - i));
+    std::swap(sites[i], sites[j]);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t idx = sites[i];
+    const uint32_t phys = idx / 8;
+    map.add_fault(phys % banks, phys / banks,
+                  static_cast<uint8_t>(idx % 8));
+  }
+  return map;
+}
+
+std::string FaultMap::to_json() const {
+  std::string arr = "[";
+  for (size_t i = 0; i < faults_.size(); ++i) {
+    if (i) arr += ',';
+    arr += "[" + std::to_string(faults_[i].bank) + "," +
+           std::to_string(faults_[i].row) + "," +
+           std::to_string(unsigned(faults_[i].slice)) + "]";
+  }
+  arr += ']';
+
+  api::JsonWriter w;
+  w.begin_object();
+  w.field("version", 1);
+  w.field("banks", banks_);
+  w.field("rows", rows_);
+  w.field("seed", seed_);
+  w.field("density", density());
+  w.raw("faults", arr);
+  w.end_object();
+  return w.str();
+}
+
+StatusOr<FaultMap> FaultMap::from_json(const std::string& text) {
+  auto parsed = api::parse_json(text);
+  if (!parsed.ok()) return parsed.status();
+  const api::JsonValue& v = *parsed;
+  if (!v.is_object())
+    return Status::InvalidArgument("fault map: document must be an object");
+  const api::JsonValue* ver = v.get("version");
+  if (!ver || ver->as_int(0) != 1)
+    return Status::InvalidArgument("fault map: unsupported version");
+  const uint32_t banks = static_cast<uint32_t>(
+      v.get("banks") ? v.get("banks")->as_int(kDefaultBanks) : kDefaultBanks);
+  const uint32_t rows = static_cast<uint32_t>(
+      v.get("rows") ? v.get("rows")->as_int(kDefaultRowsPerBank)
+                    : kDefaultRowsPerBank);
+  if (banks == 0 || rows == 0)
+    return Status::InvalidArgument("fault map: empty geometry");
+  FaultMap map(banks, rows);
+  if (const api::JsonValue* s = v.get("seed"))
+    map.seed_ = static_cast<uint64_t>(s->as_int(0));
+  const api::JsonValue* faults = v.get("faults");
+  if (!faults || !faults->is_array())
+    return Status::InvalidArgument("fault map: missing 'faults' array");
+  for (const api::JsonValue& site : faults->items) {
+    if (!site.is_array() || site.items.size() != 3)
+      return Status::InvalidArgument(
+          "fault map: each fault must be [bank,row,slice]");
+    const int64_t bank = site.items[0].as_int(-1);
+    const int64_t row = site.items[1].as_int(-1);
+    const int64_t slice = site.items[2].as_int(-1);
+    if (bank < 0 || uint64_t(bank) >= banks || row < 0 ||
+        uint64_t(row) >= rows || slice < 0 || slice >= 8)
+      return Status::InvalidArgument(
+          "fault map: site (" + std::to_string(bank) + "," +
+          std::to_string(row) + "," + std::to_string(slice) +
+          ") outside geometry");
+    map.add_fault(static_cast<uint32_t>(bank), static_cast<uint32_t>(row),
+                  static_cast<uint8_t>(slice));
+  }
+  return map;
+}
+
+}  // namespace gpurf::rf

@@ -23,8 +23,11 @@ void IndirectionTable::load(
   GPURF_CHECK(table.size() <= kIndirectionEntries,
               "kernel uses more than 256 architectural registers");
   entries_.fill(PackedEntry{});
+  // Spilled registers live in the uncompressed spill store and are not
+  // addressed through the table (their slot ids are a separate space).
   for (size_t i = 0; i < table.size(); ++i)
-    if (table[i].valid) entries_[i] = PackedEntry::pack(table[i]);
+    if (table[i].valid && !table[i].spilled)
+      entries_[i] = PackedEntry::pack(table[i]);
 }
 
 const PackedEntry& IndirectionTable::lookup(uint32_t arch_reg) const {

@@ -68,6 +68,13 @@ struct CompressionConfig {
   /// cycles for all operands; §6.3 sweeps {0,2,4,8}).
   uint32_t writeback_delay = 3;
 
+  /// Extra collector-unit latency when an instruction touches a register
+  /// that was steered around permanent faults (RRCD-style redirection) or
+  /// lives in the uncompressed spill store.  Charged once per instruction
+  /// with at least one such source operand; zero-fault allocations never
+  /// pay it.
+  uint32_t fault_redirection_cycles = 1;
+
   static CompressionConfig baseline() { return CompressionConfig{}; }
   static CompressionConfig paper_default() {
     CompressionConfig c;

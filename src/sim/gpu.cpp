@@ -481,6 +481,7 @@ class SmCore {
     // Distinct register source operands -> bank fetch requests.
     uint32_t seen[3];
     int nseen = 0;
+    bool fault_penalty = false;  // >= 1 redirected/spilled source operand
     for (int i = 0; i < in.num_srcs; ++i) {
       if (!in.srcs[i].is_reg()) continue;
       const uint32_t r = in.srcs[i].index;
@@ -505,13 +506,25 @@ class SmCore {
               false});
           ++stats_.double_fetches;
         }
-        if (e.is_float && e.float_bits != 32) ++cu.conversions_left;
+        if (e.is_float && e.float_bits != 32 && !e.spilled)
+          ++cu.conversions_left;
+        if (e.spilled) {
+          ++stats_.fault_spill_fetches;
+          fault_penalty = true;
+        } else if (e.redirected) {
+          ++stats_.fault_redirected_fetches;
+          fault_penalty = true;
+        }
       } else {
         cu.fetches.push_back(FetchReq{
             static_cast<uint8_t>((r + wc.gwarp) % g_.register_banks),
             false});
       }
     }
+
+    // Fault redirection penalty (§RRCD): the extra remap stage delays the
+    // collector unit's first fetch, once per affected instruction.
+    if (fault_penalty) cu.active_from += cc_.fault_redirection_cycles;
 
     // Scoreboard: destination pends until writeback.
     if (in.info().has_dst) wc.pending[in.dst] = 1;

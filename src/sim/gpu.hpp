@@ -81,9 +81,33 @@ struct KernelLaunchSpec {
   const gpurf::alloc::AllocationResult* allocation = nullptr;
 };
 
+/// Fault-injection outcome of one simulated launch (PR 6).  The simulator
+/// itself only charges the redirection penalty — the report is assembled
+/// by the caller (Engine::simulate) from the fault map, the fault-aware
+/// allocation and the optional quality probe; `active == false` means the
+/// run was fault-free and every other field is at its default.
+struct FaultInjectionReport {
+  bool active = false;
+  uint64_t seed = 0;
+  double density = 0.0;             ///< actual density of the injected map
+  uint32_t faults_total = 0;        ///< faulty slice sites in the map
+  uint32_t faults_in_footprint = 0; ///< inside the allocated registers
+  uint32_t registers_redirected = 0;
+  uint32_t registers_spilled = 0;
+  uint32_t spill_regs = 0;          ///< spill-store slots consumed
+  double coverage_pct = 100.0;      ///< AllocationResult::fault_coverage_pct
+  bool quality_scored = false;      ///< quality delta below is meaningful
+  double quality_fault_free = 0.0;
+  double quality_faulty = 0.0;
+  double quality_delta = 0.0;       ///< positive = worse than fault-free
+
+  bool operator==(const FaultInjectionReport&) const = default;
+};
+
 struct SimResult {
   SimStats stats;
   Occupancy occupancy;
+  FaultInjectionReport fault;
 };
 
 /// Execution-strategy knobs for one simulate() call (timing results are

@@ -43,6 +43,12 @@ struct SimStats {
   uint64_t double_fetches = 0;
   uint64_t conversions = 0;
 
+  // Fault tolerance (PR 6): source-operand fetches from registers that
+  // were redirected around faulty slices / spilled to the uncompressed
+  // store.  Both stay zero for fault-free allocations.
+  uint64_t fault_redirected_fetches = 0;
+  uint64_t fault_spill_fetches = 0;
+
   double ipc() const {
     return cycles == 0 ? 0.0 : double(thread_insts) / double(cycles);
   }
@@ -70,6 +76,8 @@ struct SimStats {
     operand_fetches += sm.operand_fetches;
     double_fetches += sm.double_fetches;
     conversions += sm.conversions;
+    fault_redirected_fetches += sm.fault_redirected_fetches;
+    fault_spill_fetches += sm.fault_spill_fetches;
   }
 };
 

@@ -260,8 +260,16 @@ PipelineResult compute_pipeline(const Workload& w,
   // corrupt disk-cache entry (non-OK, non-NotFound load) falls through to
   // a fresh tune — the entry is overwritten with a current one below.
   enter_stage(gpurf::common::JobStage::kTuning);
+  // A session whose cache dir proved unwritable stops touching the disk
+  // entirely (loads too: a dir that rejects writes often rejects reads,
+  // and a disabled cache should behave like --no-disk-cache).
+  const auto disk_ok = [&] {
+    return opt.use_disk_cache &&
+           !(opt.stats && opt.stats->disk_cache_disabled.load(
+                              std::memory_order_relaxed));
+  };
   bool cached = false;
-  if (opt.use_disk_cache) {
+  if (disk_ok()) {
     const gpurf::Status loaded =
         load_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high);
     cached = loaded.ok();
@@ -304,8 +312,22 @@ PipelineResult compute_pipeline(const Workload& w,
     // Past this point the result is complete; the store is atomic
     // (write-then-rename) and no checkpoint runs between validation and
     // store, so the disk cache only ever holds fully-validated entries.
-    if (opt.use_disk_cache)
-      store_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high);
+    // A failed store (read-only dir, disk full) degrades gracefully: log
+    // once, latch the cache off for this session, keep serving from
+    // memory — it must never escape as an error from a submit path.
+    if (disk_ok()) {
+      const gpurf::Status stored =
+          store_pmap_cache(w, opt.cache_dir, pr.tune_perfect, pr.tune_high);
+      if (!stored.ok() && opt.stats) {
+        opt.stats->disk_cache_write_failures.fetch_add(
+            1, std::memory_order_relaxed);
+        if (!opt.stats->disk_cache_disabled.exchange(
+                true, std::memory_order_relaxed))
+          std::fprintf(stderr,
+                       "gpurf: disk cache disabled for this session (%s)\n",
+                       stored.to_string().c_str());
+      }
+    }
   }
 
   // 3. Slice allocation (§4.3) under each framework combination.

@@ -66,6 +66,11 @@ struct PipelineStats {
   std::atomic<uint64_t> memo_misses{0};  ///< PipelineCache computed fresh
   std::atomic<uint64_t> disk_cache_hits{0};
   std::atomic<uint64_t> disk_cache_stale_rejections{0};  ///< kDataLoss loads
+  std::atomic<uint64_t> disk_cache_write_failures{0};    ///< failed stores
+  /// Latched once a store fails (unwritable/full cache dir): the session
+  /// stops touching the disk cache and keeps serving from memory — a
+  /// degraded environment must never fail submit paths (PR 6 satellite).
+  std::atomic<bool> disk_cache_disabled{false};
 };
 
 /// Pipeline computation knobs.  An Engine fills every field from its

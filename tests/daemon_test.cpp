@@ -4,8 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <clocale>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -166,6 +172,47 @@ TEST(Daemon, HandlesRequestsWithoutSocket) {
             "INVALID_ARGUMENT");
 }
 
+// PR 6 regression: a missing "mode" keeps the per-kind default — original
+// for simulate (so injecting faults without naming a mode is rejected,
+// proving the default), perfect for fault_campaign (which would otherwise
+// be rejected outright) — and the campaign wait attaches the result.
+TEST(Daemon, ModeDefaultsPerKindAndCampaignWaitAttachesResult) {
+  TempDir dir("gpurf_daemon_campaign_cache");
+  Engine engine(EngineOptions().with_threads(2).with_cache_dir(dir.path));
+  api::Server server(engine, api::ServerOptions{});  // never started
+
+  // simulate without "mode" == original: fault injection must bounce.
+  auto sim = parse_ok(server.handle_request_line(
+      R"({"op":"submit","kind":"simulate","workload":"DWT2D",)"
+      R"("scale":"sample","fault_density":0.05,"fault_seed":7})"));
+  ASSERT_TRUE(sim.get("ok")->as_bool());
+  auto sim_done = parse_ok(server.handle_request_line(
+      R"({"op":"wait","job":)" +
+      std::to_string(sim.get("job")->as_int()) + R"(,"timeout_ms":600000})"));
+  ASSERT_NE(sim_done.get("job_error"), nullptr);
+  EXPECT_EQ(sim_done.get("job_error")->get("code")->as_string(),
+            "INVALID_ARGUMENT");
+
+  // fault_campaign without "mode" == perfect: runs to completion and the
+  // wait response carries the campaign result snapshot.
+  auto sub = parse_ok(server.handle_request_line(
+      R"({"op":"submit","kind":"fault_campaign","workload":"DWT2D",)"
+      R"("scale":"sample","densities":[0.0,0.05],"maps_per_density":1,)"
+      R"("base_seed":42})"));
+  ASSERT_TRUE(sub.get("ok")->as_bool()) << "campaign submit rejected";
+  auto done = parse_ok(server.handle_request_line(
+      R"({"op":"wait","job":)" +
+      std::to_string(sub.get("job")->as_int()) + R"(,"timeout_ms":600000})"));
+  ASSERT_TRUE(done.get("ok")->as_bool());
+  EXPECT_EQ(done.get("state")->as_string(), "done");
+  EXPECT_EQ(done.get("status_code")->as_string(), "OK");
+  ASSERT_NE(done.get("result"), nullptr) << "wait lost the campaign result";
+  const api::JsonValue* pts = done.get("result")->get("points");
+  ASSERT_NE(pts, nullptr);
+  ASSERT_TRUE(pts->is_array());
+  EXPECT_EQ(pts->items.size(), 2u);
+}
+
 // ------------------------------------------------- socket round-trip
 
 TEST(Daemon, SocketRoundTripSubmitWaitResultShutdown) {
@@ -291,6 +338,125 @@ TEST(Daemon, ShutdownUnderConcurrentClients) {
     }
     EXPECT_GT(responses.load(), 0) << "round " << round;
   }
+}
+
+// ------------------------------------- client timeouts + bounded retry
+//
+// PR 6 satellite: transient transport failures (nothing listening yet, a
+// wedged daemon) surface as kUnavailable — the retryable code — instead
+// of a generic Internal, and no call can hang forever.
+
+TEST(ClientRetry, NoDaemonSurfacesUnavailableAfterBoundedRetries) {
+  api::ClientOptions copts;
+  copts.retries = 2;
+  copts.backoff_initial_ms = 5;
+  copts.backoff_max_ms = 10;
+  copts.connect_timeout_ms = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  api::Client client("./gpurfd_nobody_home.sock", copts);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(client.status().ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable)
+      << client.status().to_string();
+  // Bounded: 3 attempts with <= 10ms backoff each, not an endless loop.
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 2.0);
+  // A call on a never-connected client reports the connect failure.
+  auto resp = client.call(R"({"op":"ping"})");
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ClientRetry, RetriesUntilLateStartingServerAppears) {
+  Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
+  const std::string sock = "./gpurfd_late.sock";
+  api::Server server(engine, api::ServerOptions{sock});
+  // Start the server *after* the client begins connecting: the client's
+  // retry loop must absorb the ECONNREFUSED/ENOENT window.
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(server.start().ok());
+  });
+  api::ClientOptions copts;
+  copts.retries = 20;
+  copts.backoff_initial_ms = 10;
+  copts.backoff_max_ms = 50;
+  api::Client client(sock, copts);
+  starter.join();
+  ASSERT_TRUE(client.status().ok()) << client.status().to_string();
+  auto pong = client.call_json(R"({"op":"ping"})");
+  ASSERT_TRUE(pong.ok()) << pong.status().to_string();
+  EXPECT_TRUE(pong->get("ok")->as_bool());
+  server.stop();
+}
+
+TEST(ClientRetry, SilentServerReadTimesOutAsUnavailable) {
+  // A listener that accepts connections into its backlog but never
+  // responds: connect succeeds, the response read must hit SO_RCVTIMEO.
+  const std::string sock = "./gpurfd_silent.sock";
+  ::unlink(sock.c_str());
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+
+  api::ClientOptions copts;
+  copts.read_timeout_ms = 100;
+  copts.retries = 0;
+  api::Client client(sock, copts);
+  ASSERT_TRUE(client.status().ok()) << client.status().to_string();
+  auto resp = client.call(R"({"op":"ping"})");
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable)
+      << resp.status().to_string();
+  ::close(lfd);
+  ::unlink(sock.c_str());
+}
+
+// ------------------------------------------------------ graceful drain
+//
+// PR 6 satellite: gpurfd's shutdown sequence is server.stop() followed by
+// Engine::drain(budget) — still-queued jobs are cancelled outright,
+// running jobs get the budget, stragglers are cancelled cooperatively.
+
+TEST(Daemon, DrainCancelsQueuedJobsAndStaysUsable) {
+  TempDir dir("gpurf_daemon_drain");
+  Engine engine(EngineOptions()
+                    .with_threads(2)
+                    .with_cache_dir(dir.path)
+                    .with_async_workers(1)   // one executor: rest stay queued
+                    .with_max_inflight(8));
+  // One long tuning job hogs the single executor; the rest sit queued.
+  std::vector<Job> jobs;
+  jobs.push_back(engine.submit(JobRequest::pipeline("DWT2D")));
+  jobs.push_back(engine.submit(JobRequest::pipeline("Hotspot")));
+  jobs.push_back(engine.submit(JobRequest::pipeline("Hybridsort")));
+
+  const Status st = engine.drain(150);
+  if (!st.ok()) {
+    EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.to_string();
+  }
+  for (auto& j : jobs) {
+    EXPECT_TRUE(job_state_terminal(j.state()))
+        << job_state_name(j.state());
+  }
+  // At least the queued jobs were shed as cancelled; the running one
+  // either finished inside the budget (OK) or was cancelled at it (the
+  // drain then reports DeadlineExceeded).
+  int cancelled = 0;
+  for (auto& j : jobs)
+    if (j.state() == JobState::kCancelled) ++cancelled;
+  EXPECT_GE(cancelled, 2);
+
+  // Drain is not shutdown: the Engine keeps serving afterwards.
+  auto names = engine.workload_names();
+  EXPECT_EQ(names.size(), 11u);
+  Job again = engine.submit(JobRequest::simulate(
+      "Hotspot", SimRequest{workloads::SimMode::kOriginal,
+                            workloads::Scale::kSample}));
+  again.wait();
+  EXPECT_EQ(again.state(), JobState::kDone) << again.status().to_string();
 }
 
 }  // namespace

@@ -7,9 +7,13 @@
 // Usage:
 //   gpurfd --socket PATH [--threads N] [--cache-dir DIR]
 //          [--async-workers N] [--max-inflight N] [--no-disk-cache]
+//          [--drain-ms N]
 //
 // Runs until a client sends {"op":"shutdown"} or the process receives
-// SIGINT/SIGTERM, then tears the socket down cleanly.
+// SIGINT/SIGTERM.  Shutdown is graceful (PR 6 satellite): the listener
+// closes first (no new requests), then still-queued jobs are cancelled
+// and running jobs get up to --drain-ms (default 5000) to finish before
+// being cancelled cooperatively; only then does the process exit.
 
 #include <chrono>
 #include <csignal>
@@ -31,7 +35,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--threads N] [--cache-dir DIR]\n"
                "          [--async-workers N] [--max-inflight N] "
-               "[--no-disk-cache]\n",
+               "[--no-disk-cache] [--drain-ms N]\n",
                argv0);
   return 2;
 }
@@ -40,6 +44,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  long drain_ms = 5000;
   gpurf::EngineOptions opts;
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* name) {
@@ -70,6 +75,10 @@ int main(int argc, char** argv) {
       opts.max_inflight = static_cast<size_t>(std::atoll(v));
     } else if (arg("--no-disk-cache")) {
       opts.use_disk_cache = false;
+    } else if (arg("--drain-ms")) {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      drain_ms = std::atol(v);
     } else {
       return usage(argv[0]);
     }
@@ -96,7 +105,14 @@ int main(int argc, char** argv) {
   while (server.running() && !server.shutdown_requested() && !g_signal)
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
-  std::printf("gpurfd: shutting down\n");
+  // Stop accepting first, then drain: queued jobs are cancelled outright,
+  // running jobs get the --drain-ms budget, stragglers are cancelled
+  // cooperatively.  The Engine destructor then has nothing left to wait on.
+  std::printf("gpurfd: shutting down (drain budget %ld ms)\n", drain_ms);
+  std::fflush(stdout);
   server.stop();
+  const gpurf::Status drained = engine.drain(drain_ms);
+  if (!drained.ok())
+    std::fprintf(stderr, "gpurfd: drain: %s\n", drained.to_string().c_str());
   return 0;
 }
