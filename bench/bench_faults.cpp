@@ -6,10 +6,15 @@
 // rather than spilled), cycle overhead against the fault-free run, and —
 // when quality scoring is on — the output-quality delta.
 //
+// Each density is swept over `maps_per_density` seeded fault maps and the
+// emitted row aggregates mean/min/max overhead and coverage across them,
+// so the degradation curves are not one-draw noise (PR 7 fix; previously
+// every row was a single seed).
+//
 // Usage: bench_faults [--smoke] [--quality] [workload ...]
 //          default workloads: DWT2D Hotspot Hybridsort SSAO
-//          --smoke: sample scale, one workload, fewer densities; exits
-//                   non-zero on violated invariants (cheap CI tripwire)
+//          --smoke: sample scale, one workload, fewer densities and maps;
+//                   exits non-zero on violated invariants (CI tripwire)
 //          --quality: also score output quality per faulty map (three
 //                   sample-scale functional runs each)
 //
@@ -17,12 +22,13 @@
 //   * density 0 reproduces the fault-free SimStats bit for bit and
 //     reports no active fault injection,
 //   * coverage stays within [0, 100] %,
-//   * the number of injected fault sites is non-decreasing in density.
+//   * per seed, the number of injected fault sites is non-decreasing in
+//     density (the site stream is a fixed geometry).
 //
-// Emits BENCH_faults.json: one entry per (workload x density x seed) with
-// coverage, redirection/spill counts, cycles, IPC and the overhead factor
-// over the fault-free run.
+// Emits BENCH_faults.json: one entry per (workload x density) with the
+// seed list and mean/min/max coverage and overhead plus mean counts.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -36,10 +42,16 @@ namespace wl = gpurf::workloads;
 
 namespace {
 
-struct Point {
-  double density = 0.0;
-  uint64_t seed = 0;
-  gpurf::sim::SimResult res;
+/// Running mean/min/max over the per-seed draws of one density row.
+struct Agg {
+  double sum = 0.0, lo = 0.0, hi = 0.0;
+  int n = 0;
+  void add(double v) {
+    if (n == 0) { lo = hi = v; } else { lo = std::min(lo, v); hi = std::max(hi, v); }
+    sum += v;
+    ++n;
+  }
+  double mean() const { return n ? sum / n : 0.0; }
 };
 
 int usage() {
@@ -71,22 +83,24 @@ int main(int argc, char** argv) {
   const std::vector<double> densities =
       smoke ? std::vector<double>{0.0, 0.02, 0.08}
             : std::vector<double>{0.0, 0.005, 0.01, 0.02, 0.05};
-  const int seeds_per_density = smoke ? 1 : 2;
+  const int maps_per_density = smoke ? 2 : 4;
 
   gpurf::Engine engine;
   const wl::Scale scale = smoke ? wl::Scale::kSample : wl::Scale::kFull;
 
   std::printf("bench_faults: compression-directed fault redirection "
-              "(%s scale, perfect quality)\n",
-              smoke ? "sample" : "full");
-  std::printf("%-11s %8s %8s %10s %6s %6s %10s %9s%s\n", "Kernel", "density",
-              "faults", "coverage", "redir", "spill", "cycles", "overhead",
-              quality ? "   qdelta" : "");
+              "(%s scale, perfect quality, %d map(s)/density)\n",
+              smoke ? "sample" : "full", maps_per_density);
+  std::printf("%-11s %8s %8s %22s %6s %6s %24s%s\n", "Kernel", "density",
+              "faults", "coverage mean[min,max]", "redir", "spill",
+              "overhead mean[min,max]", quality ? "   qdelta" : "");
 
   std::FILE* json = std::fopen("BENCH_faults.json", "w");
   if (json)
-    std::fprintf(json, "{\n  \"scale\": \"%s\",\n  \"runs\": [",
-                 smoke ? "sample" : "full");
+    std::fprintf(json,
+                 "{\n  \"scale\": \"%s\",\n  \"maps_per_density\": %d,\n"
+                 "  \"runs\": [",
+                 smoke ? "sample" : "full", maps_per_density);
 
   int violations = 0;
   bool first_row = true;
@@ -104,75 +118,92 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    uint32_t prev_faults = 0;
-    double prev_density = -1.0;
+    // Per-seed fault-count watermarks: each seed is an independent site
+    // stream, so monotonicity in density holds seed by seed.
+    std::vector<uint32_t> prev_faults(maps_per_density, 0);
     for (double density : densities) {
-      for (int s = 0; s < seeds_per_density; ++s) {
-        Point pt;
-        pt.density = density;
-        pt.seed = 1 + static_cast<uint64_t>(s);
+      // A zero-density map is empty whatever the seed — one draw suffices.
+      const int nmaps = density <= 0.0 ? 1 : maps_per_density;
+      Agg cover, overhead, qdelta, faults, redir, spill, cycles, ipc;
+      std::vector<uint64_t> seeds;
+      bool row_bad = false;
+      for (int s = 0; s < nmaps; ++s) {
+        const uint64_t seed = 1 + static_cast<uint64_t>(s);
         gpurf::SimRequest req = base;
-        req.fault.seed = pt.seed;
+        req.fault.seed = seed;
         req.fault.density = density;
         req.fault.score_quality = quality && density > 0.0;
         auto res = engine.simulate(name, req);
         if (!res.ok()) {
-          std::fprintf(stderr, "bench_faults: %s d=%.3f: %s\n", name.c_str(),
-                       density, res.status().to_string().c_str());
+          std::fprintf(stderr, "bench_faults: %s d=%.3f seed=%llu: %s\n",
+                       name.c_str(), density,
+                       static_cast<unsigned long long>(seed),
+                       res.status().to_string().c_str());
           ++violations;
+          row_bad = true;
           continue;
         }
-        pt.res = *res;
-        const auto& f = pt.res.fault;
+        const auto& f = res->fault;
 
         bool bad = false;
-        if (density <= 0.0 &&
-            !(pt.res.stats == ref->stats && !f.active)) {
+        if (density <= 0.0 && !(res->stats == ref->stats && !f.active)) {
           bad = true;  // zero-fault path must be bit-identical + inert
         }
         if (f.coverage_pct < 0.0 || f.coverage_pct > 100.0) bad = true;
-        if (density > prev_density) {
-          // New density step: sites are a fixed geometry, so the injected
-          // count must not shrink as density rises.
-          if (f.faults_total < prev_faults) bad = true;
-          prev_faults = f.faults_total;
-          prev_density = density;
+        if (f.faults_total < prev_faults[s]) bad = true;
+        prev_faults[s] = f.faults_total;
+        if (bad) {
+          ++violations;
+          row_bad = true;
         }
-        if (bad) ++violations;
 
-        const double overhead =
-            ref->stats.cycles
-                ? double(pt.res.stats.cycles) / double(ref->stats.cycles)
-                : 0.0;
-        std::printf("%-11s %8.3f %8u %9.1f%% %6u %6u %10llu %8.3fx",
-                    name.c_str(), density, f.faults_total, f.coverage_pct,
-                    f.registers_redirected, f.registers_spilled,
-                    static_cast<unsigned long long>(pt.res.stats.cycles),
-                    overhead);
-        if (quality && f.quality_scored)
-          std::printf("   %+.4f", f.quality_delta);
-        std::printf("%s\n", bad ? "   <-- INVARIANT VIOLATED" : "");
+        seeds.push_back(seed);
+        faults.add(f.faults_total);
+        cover.add(f.coverage_pct);
+        redir.add(f.registers_redirected);
+        spill.add(f.registers_spilled);
+        cycles.add(double(res->stats.cycles));
+        ipc.add(res->stats.ipc());
+        overhead.add(ref->stats.cycles ? double(res->stats.cycles) /
+                                             double(ref->stats.cycles)
+                                       : 0.0);
+        if (quality && f.quality_scored) qdelta.add(f.quality_delta);
+      }
+      if (seeds.empty()) continue;
 
-        if (json) {
-          std::fprintf(
-              json,
-              "%s\n    {\"kernel\": \"%s\", \"density\": %.4f, "
-              "\"seed\": %llu, \"faults_total\": %u, "
-              "\"faults_in_footprint\": %u, \"coverage_pct\": %.2f, "
-              "\"registers_redirected\": %u, \"registers_spilled\": %u, "
-              "\"cycles\": %llu, \"ipc\": %.4f, \"overhead\": %.4f, "
-              "\"quality_scored\": %s, \"quality_delta\": %.6f, "
-              "\"ok\": %s}",
-              first_row ? "" : ",", name.c_str(), density,
-              static_cast<unsigned long long>(pt.seed), f.faults_total,
-              f.faults_in_footprint, f.coverage_pct, f.registers_redirected,
-              f.registers_spilled,
-              static_cast<unsigned long long>(pt.res.stats.cycles),
-              pt.res.stats.ipc(), overhead,
-              f.quality_scored ? "true" : "false", f.quality_delta,
-              bad ? "false" : "true");
-          first_row = false;
-        }
+      std::printf("%-11s %8.3f %8.1f %7.1f%% [%5.1f,%5.1f] %6.1f %6.1f "
+                  "%8.3fx [%.3f,%.3f]",
+                  name.c_str(), density, faults.mean(), cover.mean(),
+                  cover.lo, cover.hi, redir.mean(), spill.mean(),
+                  overhead.mean(), overhead.lo, overhead.hi);
+      if (quality && qdelta.n) std::printf("   %+.4f", qdelta.mean());
+      std::printf("%s\n", row_bad ? "   <-- INVARIANT VIOLATED" : "");
+
+      if (json) {
+        std::fprintf(
+            json,
+            "%s\n    {\"kernel\": \"%s\", \"density\": %.4f, \"seeds\": [",
+            first_row ? "" : ",", name.c_str(), density);
+        for (size_t i = 0; i < seeds.size(); ++i)
+          std::fprintf(json, "%s%llu", i ? ", " : "",
+                       static_cast<unsigned long long>(seeds[i]));
+        std::fprintf(
+            json,
+            "], \"faults_total_mean\": %.1f, "
+            "\"coverage_pct_mean\": %.2f, \"coverage_pct_min\": %.2f, "
+            "\"coverage_pct_max\": %.2f, "
+            "\"registers_redirected_mean\": %.1f, "
+            "\"registers_spilled_mean\": %.1f, "
+            "\"cycles_mean\": %.1f, \"ipc_mean\": %.4f, "
+            "\"overhead_mean\": %.4f, \"overhead_min\": %.4f, "
+            "\"overhead_max\": %.4f, "
+            "\"quality_scored\": %s, \"quality_delta_mean\": %.6f, "
+            "\"ok\": %s}",
+            faults.mean(), cover.mean(), cover.lo, cover.hi, redir.mean(),
+            spill.mean(), cycles.mean(), ipc.mean(), overhead.mean(),
+            overhead.lo, overhead.hi, qdelta.n ? "true" : "false",
+            qdelta.mean(), row_bad ? "false" : "true");
+        first_row = false;
       }
     }
   }

@@ -1,0 +1,308 @@
+// bench_soft — transient soft-error vulnerability of the compressed RF
+// (PR 7 tentpole).  For each workload the same launch is simulated as the
+// baseline RF and as the compressed (perfect-quality) RF under an
+// identical flip-site geometry, and the bench compares how many of the
+// uniformly injected bit flips each configuration exposes:
+//
+//   * the deterministic live-bit exposure integral (live payload bits
+//     summed over every resident warp-cycle) divided by cycles gives the
+//     per-cycle vulnerable cross-section — compression narrows stored
+//     values, so the compressed section must not exceed the baseline one;
+//   * a sampled campaign at equal flip rates reports the AVF breakdown
+//     (injected / landed-on-live / masked-by-dead / architecturally
+//     visible) for both configurations.
+//
+// Usage: bench_soft [--smoke] [--full] [workload ...]
+//          default workloads: all bundled kernels, sample scale
+//          --smoke: one workload, fewer seeds (cheap CI tripwire)
+//          --full:  full-scale instances
+//
+// Invariants checked (any violation exits non-zero):
+//   * flip-rate 0 reproduces the fault-free SimStats bit for bit at shard
+//     counts {1, 2, 4} and reports no active flip process,
+//   * an injected run (same rate, same seed) produces identical SimStats
+//     at shard counts {1, 2, 4},
+//   * flips_injected == flips_on_live + flips_masked_dead and
+//     flips_visible <= flips_on_live in every run,
+//   * per-cycle live-bit exposure of the compressed RF <= baseline.
+//
+// A run that dies with FAILED_PRECONDITION (a corrupted register fed an
+// address and tripped a machine bounds check) is recorded as a DUE —
+// detected unrecoverable error — point, not a bench failure, as long as
+// it reproduces at every shard count.
+//
+// Emits BENCH_soft.json: one entry per workload with both exposure
+// integrals and the per-(rate, seed) campaign points.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/json.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/pipeline.hpp"
+
+namespace wl = gpurf::workloads;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: bench_soft [--smoke] [--full] [workload ...]\n");
+  return 2;
+}
+
+double exposure_per_cycle(const gpurf::sim::SimResult& r) {
+  return r.stats.cycles ? double(r.soft.live_bit_cycles) / double(r.stats.cycles)
+                        : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool full = false;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--full") == 0)
+      full = true;
+    else if (argv[i][0] == '-')
+      return usage();
+    else
+      names.push_back(argv[i]);
+  }
+
+  gpurf::Engine engine;
+  if (names.empty())
+    names = smoke ? std::vector<std::string>{"DWT2D"} : engine.workload_names();
+  const wl::Scale scale = full ? wl::Scale::kFull : wl::Scale::kSample;
+  // Accelerated rates (flips per million cycles): the RF site geometry is
+  // huge relative to the live footprint, so realistic terrestrial rates
+  // would never land a flip inside a sample-scale run.  Injection
+  // campaigns conventionally accelerate the flux and report the AVF.
+  const std::vector<double> rates = smoke
+                                        ? std::vector<double>{20000.0}
+                                        : std::vector<double>{10000.0, 100000.0};
+  const int seeds_per_rate = smoke ? 1 : 2;
+  const std::vector<int> shard_counts = {1, 2, 4};
+
+  std::printf("bench_soft: transient soft-error vulnerability "
+              "(%s scale)\n", full ? "full" : "sample");
+  std::printf("%-11s %-10s %8s %8s %8s %8s %8s %9s\n", "Kernel", "config",
+              "rate", "injected", "on_live", "masked", "visible", "bits/cyc");
+
+  std::FILE* json = std::fopen("BENCH_soft.json", "w");
+  if (json)
+    std::fprintf(json, "{\n  \"scale\": \"%s\",\n  \"workloads\": [",
+                 full ? "full" : "sample");
+
+  int violations = 0;
+  bool first_wl = true;
+  for (const auto& name : names) {
+    const struct {
+      const char* label;
+      wl::SimMode mode;
+    } configs[2] = {{"baseline", wl::SimMode::kOriginal},
+                    {"compressed", wl::SimMode::kCompressedPerfect}};
+
+    // Fault-free references plus the deterministic exposure integral
+    // (flip-rate 0 with exposure tracking executes identically to the
+    // fault-free run).
+    gpurf::sim::SimResult ref[2], expo[2];
+    bool wl_ok = true;
+    for (int c = 0; c < 2 && wl_ok; ++c) {
+      gpurf::SimRequest req;
+      req.mode = configs[c].mode;
+      req.scale = scale;
+      auto r = engine.simulate(name, req);
+      if (!r.ok()) {
+        std::fprintf(stderr, "bench_soft: %s (%s): %s\n", name.c_str(),
+                     configs[c].label, r.status().to_string().c_str());
+        ++violations;
+        wl_ok = false;
+        break;
+      }
+      ref[c] = *r;
+      req.soft.track_exposure = true;
+      auto e = engine.simulate(name, req);
+      if (!e.ok()) {
+        std::fprintf(stderr, "bench_soft: %s (%s, exposure): %s\n",
+                     name.c_str(), configs[c].label,
+                     e.status().to_string().c_str());
+        ++violations;
+        wl_ok = false;
+        break;
+      }
+      expo[c] = *e;
+
+      // Exposure tracking must not perturb the simulation: every SimStats
+      // field except the exposure integral matches the fault-free run.
+      gpurf::sim::SimStats masked = expo[c].stats;
+      masked.soft_live_bit_cycles = 0;
+      if (!(masked == ref[c].stats) || ref[c].soft.active) {
+        std::fprintf(stderr,
+                     "bench_soft: %s (%s): exposure run diverged from the "
+                     "fault-free reference\n",
+                     name.c_str(), configs[c].label);
+        ++violations;
+      }
+
+      // Flip-rate 0 (no tracking) must be bit-identical to fault-free at
+      // every shard count — the flip process must draw nothing.
+      for (int shards : shard_counts) {
+        gpurf::SimRequest z;
+        z.mode = configs[c].mode;
+        z.scale = scale;
+        z.sim_shards = shards;
+        z.soft.seed = 99;  // seed alone must not matter at rate 0
+        auto zr = engine.simulate(name, z);
+        if (!zr.ok() || !(zr->stats == ref[c].stats) || zr->soft.active) {
+          std::fprintf(stderr,
+                       "bench_soft: %s (%s): rate-0 run at %d shard(s) is "
+                       "not bit-identical to fault-free\n",
+                       name.c_str(), configs[c].label, shards);
+          ++violations;
+        }
+      }
+    }
+    if (!wl_ok) continue;
+
+    // The acceptance invariant: per-cycle live-bit exposure of the
+    // compressed RF must not exceed the baseline's — narrowed formats
+    // shrink the vulnerable cross-section at equal flip rates.
+    const double base_bits = exposure_per_cycle(expo[0]);
+    const double comp_bits = exposure_per_cycle(expo[1]);
+    if (comp_bits > base_bits) {
+      std::fprintf(stderr,
+                   "bench_soft: %s: compressed exposure %.1f bits/cycle "
+                   "exceeds baseline %.1f\n",
+                   name.c_str(), comp_bits, base_bits);
+      ++violations;
+    }
+
+    if (json) {
+      std::fprintf(json,
+                   "%s\n    {\"kernel\": \"%s\",\n"
+                   "     \"exposure\": {\"baseline_live_bit_cycles\": %llu, "
+                   "\"compressed_live_bit_cycles\": %llu, "
+                   "\"baseline_bits_per_cycle\": %.2f, "
+                   "\"compressed_bits_per_cycle\": %.2f},\n"
+                   "     \"points\": [",
+                   first_wl ? "" : ",", name.c_str(),
+                   static_cast<unsigned long long>(expo[0].soft.live_bit_cycles),
+                   static_cast<unsigned long long>(expo[1].soft.live_bit_cycles),
+                   base_bits, comp_bits);
+      first_wl = false;
+    }
+
+    // Sampled campaign: equal flip rate and identical seeds land the same
+    // flip trace on both configurations' site geometry; the compressed
+    // file simply occupies fewer live bits of it.
+    bool first_pt = true;
+    for (int c = 0; c < 2; ++c) {
+      std::printf("%-11s %-10s %8s %8s %8s %8s %8s %9.1f\n", name.c_str(),
+                  configs[c].label, "-", "-", "-", "-", "-",
+                  exposure_per_cycle(expo[c]));
+      for (double rate : rates) {
+        for (int s = 0; s < seeds_per_rate; ++s) {
+          gpurf::SimRequest req;
+          req.mode = configs[c].mode;
+          req.scale = scale;
+          req.soft.flips_per_mcycle = rate;
+          req.soft.seed = 1 + static_cast<uint64_t>(s);
+          auto r = engine.simulate(name, req);
+          if (!r.ok()) {
+            // A corrupted register can feed an address and trip the
+            // machine's bounds checks — a detected unrecoverable error
+            // (DUE).  That is a legitimate campaign outcome, not a bench
+            // failure; it only has to reproduce at every shard count.
+            bool due_bad = false;
+            for (int shards : shard_counts) {
+              gpurf::SimRequest sreq = req;
+              sreq.sim_shards = shards;
+              if (engine.simulate(name, sreq).ok()) due_bad = true;
+            }
+            if (due_bad) ++violations;
+            std::printf("%-11s %-10s %8.0f %8s %8s %8s %8s %9s   DUE: %s%s\n",
+                        name.c_str(), configs[c].label, rate, "-", "-", "-",
+                        "-", "-", r.status().message().c_str(),
+                        due_bad ? "   <-- INVARIANT VIOLATED" : "");
+            if (json) {
+              std::fprintf(json,
+                           "%s\n      {\"config\": \"%s\", \"rate\": %.1f, "
+                           "\"seed\": %llu, \"due\": true, \"error\": \"%s\", "
+                           "\"ok\": %s}",
+                           first_pt ? "" : ",", configs[c].label, rate,
+                           static_cast<unsigned long long>(req.soft.seed),
+                           gpurf::api::JsonWriter::escape(
+                               std::string(r.status().message()))
+                               .c_str(),
+                           due_bad ? "false" : "true");
+              first_pt = false;
+            }
+            continue;
+          }
+          const auto& sft = r->soft;
+          bool bad = false;
+          if (sft.flips_injected !=
+              sft.flips_on_live + sft.flips_masked_dead)
+            bad = true;  // taxonomy must partition the injected flips
+          if (sft.flips_visible > sft.flips_on_live) bad = true;
+
+          // Same (rate, seed) must reproduce the identical flip trace and
+          // SimStats at every shard count.
+          for (int shards : shard_counts) {
+            gpurf::SimRequest sreq = req;
+            sreq.sim_shards = shards;
+            auto sres = engine.simulate(name, sreq);
+            if (!sres.ok() || !(sres->stats == r->stats) ||
+                !(sres->soft == r->soft))
+              bad = true;
+          }
+          if (bad) ++violations;
+
+          std::printf("%-11s %-10s %8.0f %8llu %8llu %8llu %8llu %9s%s\n",
+                      name.c_str(), configs[c].label, rate,
+                      static_cast<unsigned long long>(sft.flips_injected),
+                      static_cast<unsigned long long>(sft.flips_on_live),
+                      static_cast<unsigned long long>(sft.flips_masked_dead),
+                      static_cast<unsigned long long>(sft.flips_visible), "-",
+                      bad ? "   <-- INVARIANT VIOLATED" : "");
+          if (json) {
+            std::fprintf(
+                json,
+                "%s\n      {\"config\": \"%s\", \"rate\": %.1f, "
+                "\"seed\": %llu, \"cycles\": %llu, "
+                "\"flips_injected\": %llu, \"flips_on_live\": %llu, "
+                "\"flips_masked_dead\": %llu, \"flips_visible\": %llu, "
+                "\"avf\": %.6f, \"ok\": %s}",
+                first_pt ? "" : ",", configs[c].label, rate,
+                static_cast<unsigned long long>(req.soft.seed),
+                static_cast<unsigned long long>(r->stats.cycles),
+                static_cast<unsigned long long>(sft.flips_injected),
+                static_cast<unsigned long long>(sft.flips_on_live),
+                static_cast<unsigned long long>(sft.flips_masked_dead),
+                static_cast<unsigned long long>(sft.flips_visible),
+                sft.avf(), bad ? "false" : "true");
+            first_pt = false;
+          }
+        }
+      }
+    }
+    if (json) std::fprintf(json, "\n    ]}");
+  }
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+  }
+
+  if (violations) {
+    std::printf("\n%d invariant violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("\nall soft-error invariants hold\n");
+  return 0;
+}

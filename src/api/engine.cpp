@@ -196,12 +196,46 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
     }
     auto inst = w.make_instance(req.scale, req.variant);
     auto spec = workloads::make_launch_spec(w, inst, **pr, req.mode);
+    spec.soft = req.soft;
     const sim::CompressionConfig comp =
         req.compression ? *req.compression
                         : workloads::make_compression_config(req.mode);
     sim::SimOptions so;
     so.shards = req.sim_shards > 0 ? req.sim_shards : opts_.sim_shards;
-    if (!inject) return sim::simulate(opts_.gpu, comp, spec, cancel, so);
+
+    // Soft-error quality scoring (PR 7) needs the pristine inputs kept
+    // aside: the timing sim executes functionally against inst.gmem, so
+    // the flipped run's architectural output is read back from it after
+    // the simulation.
+    const bool soft_quality = req.soft_score_quality && req.soft.enabled();
+    std::optional<workloads::Workload::Instance> pristine;
+    if (soft_quality) pristine = inst;
+    auto score_soft = [&](sim::SimResult& result,
+                          const exec::PrecisionMap* pmap) {
+      // Two functional replays score the flipped output: exact reference
+      // and flip-free tuned run (the flipped output itself comes from the
+      // simulated memory image).
+      const auto metric = w.make_metric(inst);
+      workloads::RunOptions ro = opts_.run;
+      ro.cancel = cancel;
+      auto ref_inst = *pristine;
+      const auto ref = w.run(ref_inst, nullptr, nullptr, ro);
+      auto ff_inst = *pristine;
+      const auto flip_free = w.run(ff_inst, pmap, nullptr, ro);
+      const auto flipped = inst.gmem.read_f32(inst.out_base, inst.out_words);
+      result.soft.quality_scored = true;
+      result.soft.quality_fault_free = metric->score(ref, flip_free);
+      result.soft.quality_faulty = metric->score(ref, flipped);
+      result.soft.quality_delta = quality::degradation_delta(
+          metric->kind(), result.soft.quality_fault_free,
+          result.soft.quality_faulty);
+    };
+
+    if (!inject) {
+      sim::SimResult result = sim::simulate(opts_.gpu, comp, spec, cancel, so);
+      if (soft_quality) score_soft(result, spec.precision);
+      return result;
+    }
 
     // Fault injection (PR 6): generate the deterministic map, re-run the
     // slice allocator fault-aware (redirection + graceful spill) and
@@ -215,11 +249,70 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
                            : (*pr)->tune_high;
     alloc::AllocOptions aopt;
     aopt.faults = &fm;
-    const alloc::AllocationResult fa = alloc::allocate_slices(
+    alloc::AllocationResult fa = alloc::allocate_slices(
         w.kernel(), &(*pr)->ranges, &tune.pmap, aopt);
+
+    // Fault-aware re-tuning (PR 7): only a map with actual faults that
+    // either spills or inflates register pressure past the SM's capacity
+    // ever re-tunes — the zero-fault path keeps the cached tuning
+    // bit-identical.  Slice budgets are tried widest first and candidates
+    // compete lexicographically on (fits on the SM, spill count): a
+    // narrow budget that merely trades spills for an infeasible register
+    // pressure is never adopted, and when the unconstrained allocation
+    // itself no longer fits, any fitting budget wins.  Strict improvement
+    // is required, so ties keep the wider budget (better quality at equal
+    // storage success).
+    const auto fits = [&](const alloc::AllocationResult& a) {
+      return sim::compute_occupancy(opts_.gpu, a.total_phys_regs(),
+                                    spec.launch.warps_per_block(),
+                                    w.kernel().shared_bytes)
+                 .blocks_per_sm > 0;
+    };
+    const exec::PrecisionMap* used_pmap = &tune.pmap;
+    const uint32_t spills_before = fa.registers_spilled;
+    tuning::TuneResult retuned_tr;
+    bool retuned = false;
+    uint32_t retune_budget = 0;
+    bool cur_fits = fits(fa);
+    if (req.retune_on_faults && fm.num_faults() > 0 &&
+        (fa.registers_spilled > 0 || !cur_fits)) {
+      if (cancel) cancel->set_stage(common::JobStage::kTuning);
+      workloads::RunOptions ro = opts_.run;
+      ro.cancel = cancel;
+      auto probe = workloads::make_workload_probe(w, ro);
+      tuning::TunerOptions topt = opts_.tuner;
+      topt.level = req.mode == workloads::SimMode::kCompressedPerfect
+                       ? quality::QualityLevel::kPerfect
+                       : quality::QualityLevel::kHigh;
+      topt.cancel = cancel;
+      topt.defer_validation = false;
+      for (int hint : {4, 2, 1}) {
+        topt.max_slices_hint = hint;
+        tuning::TuneResult tr =
+            tuning::tune_precision(w.kernel(), *probe, topt);
+        alloc::AllocationResult fa2 = alloc::allocate_slices(
+            w.kernel(), &(*pr)->ranges, &tr.pmap, aopt);
+        const bool new_fits = fits(fa2);
+        const bool better =
+            new_fits != cur_fits
+                ? new_fits
+                : fa2.registers_spilled < fa.registers_spilled;
+        if (better) {
+          fa = std::move(fa2);
+          retuned_tr = std::move(tr);
+          used_pmap = &retuned_tr.pmap;
+          retuned = true;
+          retune_budget = static_cast<uint32_t>(hint);
+          cur_fits = new_fits;
+        }
+        if (cur_fits && fa.registers_spilled == 0) break;
+      }
+      if (cancel) cancel->set_stage(common::JobStage::kSimulating);
+    }
+
     // Spilled f32 registers live full-width in the spill store, so the
     // interpreter must not quantize them.
-    exec::PrecisionMap adj = tune.pmap;
+    exec::PrecisionMap adj = *used_pmap;
     if (adj.active())
       for (uint32_t r = 0;
            r < fa.table.size() && r < adj.per_reg.size(); ++r)
@@ -240,6 +333,9 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
     rep.registers_spilled = fa.registers_spilled;
     rep.spill_regs = fa.spill_regs;
     rep.coverage_pct = fa.fault_coverage_pct();
+    rep.retuned = retuned;
+    rep.retune_slice_budget = retune_budget;
+    if (req.retune_on_faults) rep.spills_before_retune = spills_before;
 
     if (req.fault.score_quality) {
       // Three sample-scale functional runs score output degradation:
@@ -263,6 +359,7 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
       rep.quality_delta = quality::degradation_delta(
           metric->kind(), rep.quality_fault_free, rep.quality_faulty);
     }
+    if (soft_quality) score_soft(result, &adj);
     return result;
   } catch (const common::CancelledError& e) {
     return stop_status(e, std::string("simulate '") + w.spec().name + "'");
@@ -343,7 +440,7 @@ Job Engine::submit(JobRequest req) {
   }
   ensure_executor();
 
-  if (impl->req.kind == JobKind::kFaultCampaign) {
+  if (job_kind_campaign(impl->req.kind)) {
     // Campaigns bypass the executor queue and its in-flight accounting:
     // the orchestrator is a coordinator that mostly waits on the child
     // simulate jobs it submits (those children take normal slots, so a
@@ -355,7 +452,12 @@ Job Engine::submit(JobRequest req) {
     impl->id = next_job_id_++;
     evict_terminal_jobs_locked();
     jobs_[impl->id] = impl;
-    campaign_threads_.emplace_back([this, impl] { run_campaign(impl); });
+    campaign_threads_.emplace_back([this, impl] {
+      if (impl->req.kind == JobKind::kFaultCampaign)
+        run_campaign(impl);
+      else
+        run_transient_campaign(impl);
+    });
     return Job(impl);
   }
 
@@ -463,8 +565,9 @@ void Engine::run_job(detail::JobImpl& job) {
       break;
     }
     case JobKind::kFaultCampaign:
+    case JobKind::kTransientCampaign:
       // Campaign jobs never enter the executor queue (see submit()).
-      st = Status::Internal("fault-campaign job on the executor queue");
+      st = Status::Internal("campaign job on the executor queue");
       break;
   }
   const JobState terminal = terminal_state_for(st);
@@ -523,25 +626,27 @@ void Engine::executor_loop() {
   }
 }
 
-void Engine::run_campaign(std::shared_ptr<detail::JobImpl> job) {
+bool Engine::start_campaign(detail::JobImpl& job) {
   uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(qmu_);
     seq = next_run_seq_++;
   }
-  if (!job->start_running(seq)) {
-    // Cancelled (or deadline-expired) before the orchestrator started.
-    const common::StopReason r = job->token.stop_reason();
-    const bool dl = r == common::StopReason::kDeadline;
-    const JobState terminal =
-        dl ? JobState::kDeadlineExceeded : JobState::kCancelled;
-    metrics_.record_terminal(terminal, false,
-                             wall_us_since(job->submitted_at));
-    job->finalize(terminal,
-                  dl ? Status::DeadlineExceeded("deadline before campaign start")
-                     : Status::Cancelled("cancelled before campaign start"));
-    return;
-  }
+  if (job.start_running(seq)) return true;
+  // Cancelled (or deadline-expired) before the orchestrator started.
+  const common::StopReason r = job.token.stop_reason();
+  const bool dl = r == common::StopReason::kDeadline;
+  const JobState terminal =
+      dl ? JobState::kDeadlineExceeded : JobState::kCancelled;
+  metrics_.record_terminal(terminal, false, wall_us_since(job.submitted_at));
+  job.finalize(terminal,
+               dl ? Status::DeadlineExceeded("deadline before campaign start")
+                  : Status::Cancelled("cancelled before campaign start"));
+  return false;
+}
+
+void Engine::run_campaign(std::shared_ptr<detail::JobImpl> job) {
+  if (!start_campaign(*job)) return;
 
   const FaultCampaignRequest& creq = job->req.campaign;
   // Faults live in the compressed register file: a campaign over the
@@ -582,6 +687,9 @@ void Engine::run_campaign(std::shared_ptr<detail::JobImpl> job) {
         SimRequest sr = creq.sim;
         sr.fault.seed = pt.seed;
         sr.fault.density = density;
+        // Early stopping needs every child scored, whatever the template
+        // said.
+        if (creq.quality_floor > 0.0) sr.fault.score_quality = true;
         JobRequest child =
             JobRequest::simulate(job->req.workload, sr)
                 .with_priority(job->req.priority);
@@ -597,6 +705,12 @@ void Engine::run_campaign(std::shared_ptr<detail::JobImpl> job) {
 
     // Collect in submission order, polling the parent token so a
     // campaign cancel propagates to every child at the next slice.
+    // Submission order is density-major, so early stopping can act at
+    // each density boundary: once the mean quality delta of a completed
+    // density crosses the floor, the remaining (higher-density) children
+    // are cancelled cooperatively and the result is marked truncated.
+    double delta_sum = 0.0;
+    int delta_n = 0;
     for (size_t i = 0; i < children.size(); ++i) {
       while (!children[i].wait_for(std::chrono::milliseconds(50)))
         job->token.checkpoint();
@@ -611,6 +725,25 @@ void Engine::run_campaign(std::shared_ptr<detail::JobImpl> job) {
         pt.error = child_res.status().to_string();
       }
       job->token.campaign_maps_done.fetch_add(1, std::memory_order_relaxed);
+      if (creq.quality_floor > 0.0 && !result.truncated) {
+        if (child_res.ok() && pt.fault.quality_scored) {
+          delta_sum += pt.fault.quality_delta;
+          ++delta_n;
+        }
+        const bool density_done =
+            i + 1 == result.points.size() ||
+            result.points[i + 1].density != pt.density;
+        if (density_done) {
+          if (delta_n > 0 && delta_sum / delta_n > creq.quality_floor) {
+            result.truncated = true;
+            result.truncated_at_density = pt.density;
+            for (size_t j = i + 1; j < children.size(); ++j)
+              children[j].cancel();
+          }
+          delta_sum = 0.0;
+          delta_n = 0;
+        }
+      }
     }
   } catch (const common::CancelledError& e) {
     st = stop_status(e, "fault campaign '" + job->req.workload + "'");
@@ -632,6 +765,89 @@ void Engine::run_campaign(std::shared_ptr<detail::JobImpl> job) {
                                  "' has no density points");
   } else {
     job->campaign_result = std::move(result);
+  }
+  const JobState terminal = terminal_state_for(st);
+  metrics_.record_terminal(terminal, st.ok(),
+                           wall_us_since(job->submitted_at));
+  job->finalize(terminal, std::move(st));
+}
+
+void Engine::run_transient_campaign(std::shared_ptr<detail::JobImpl> job) {
+  if (!start_campaign(*job)) return;
+
+  const TransientCampaignRequest& creq = job->req.transient;
+  const int per = std::max(1, creq.seeds_per_rate);
+  job->token.campaign_maps_total.store(
+      static_cast<int>(creq.flip_rates.size()) * per,
+      std::memory_order_relaxed);
+  job->token.set_stage(common::JobStage::kSimulating);
+
+  // One child simulate job per (flip rate, seed).  Seeds are a
+  // deterministic splitmix64 stream off base_seed, so a campaign reruns
+  // the exact same flip traces; children inherit the parent's priority and
+  // the remainder of its deadline.  Any mode is legal — comparing the
+  // baseline RF's vulnerability against the compressed one is the point.
+  TransientCampaignResult result;
+  result.workload = job->req.workload;
+  std::vector<Job> children;
+  Status st;
+  try {
+    uint64_t seed_state = creq.base_seed;
+    for (double rate : creq.flip_rates) {
+      for (int s = 0; s < per; ++s) {
+        job->token.checkpoint();  // stop submitting once cancelled
+        TransientCampaignPoint pt;
+        pt.flips_per_mcycle = rate;
+        pt.seed = splitmix64(seed_state);
+        SimRequest sr = creq.sim;
+        sr.soft.flips_per_mcycle = rate;
+        sr.soft.seed = pt.seed;
+        JobRequest child = JobRequest::simulate(job->req.workload, sr)
+                               .with_priority(job->req.priority);
+        if (job->token.has_deadline()) {
+          const auto left =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  job->token.deadline() - detail::JobImpl::Clock::now());
+          child.deadline_ms = std::max<int64_t>(1, left.count());
+        }
+        result.points.push_back(pt);
+        children.push_back(submit(std::move(child)));
+      }
+    }
+
+    for (size_t i = 0; i < children.size(); ++i) {
+      while (!children[i].wait_for(std::chrono::milliseconds(50)))
+        job->token.checkpoint();
+      TransientCampaignPoint& pt = result.points[i];
+      pt.state = children[i].state();
+      auto child_res = children[i].sim_result();
+      if (child_res.ok()) {
+        pt.soft = child_res->soft;
+        pt.cycles = child_res->stats.cycles;
+        pt.ipc = child_res->stats.ipc();
+      } else {
+        pt.error = child_res.status().to_string();
+      }
+      job->token.campaign_maps_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const common::CancelledError& e) {
+    st = stop_status(e, "transient campaign '" + job->req.workload + "'");
+  } catch (const Error& e) {
+    // submit() on a stopping Engine, or a child rejection.
+    st = Status::Cancelled("transient campaign '" + job->req.workload +
+                           "' aborted: " + e.what());
+  } catch (const std::exception& e) {
+    st = Status::Internal("transient campaign '" + job->req.workload +
+                          "': " + e.what());
+  }
+  if (!st.ok()) {
+    for (auto& c : children) c.cancel();
+    for (auto& c : children) c.wait();
+  } else if (result.points.empty()) {
+    st = Status::InvalidArgument("transient campaign '" + job->req.workload +
+                                 "' has no flip-rate points");
+  } else {
+    job->transient_result = std::move(result);
   }
   const JobState terminal = terminal_state_for(st);
   metrics_.record_terminal(terminal, st.ok(),

@@ -280,6 +280,11 @@ class Engine {
   void executor_loop();
   void run_job(detail::JobImpl& job);
   void run_campaign(std::shared_ptr<detail::JobImpl> job);
+  void run_transient_campaign(std::shared_ptr<detail::JobImpl> job);
+  /// Shared orchestrator prologue: start the job as running; on failure
+  /// (cancelled / deadline before the coordinator span up) finalize it and
+  /// return false.
+  bool start_campaign(detail::JobImpl& job);
   void release_slot();
   void evict_terminal_jobs_locked();
 

@@ -71,6 +71,26 @@ struct SimRequest {
   /// Permanent-fault injection; density <= 0 (default) = fault-free.
   /// Requires a compressed mode — faults live in the compressed file.
   FaultSpec fault;
+  /// Transient soft-error injection (PR 7): Poisson bit flips over the
+  /// physical slice geometry.  Works in every mode (the baseline RF is the
+  /// comparison point); rate <= 0 with track_exposure unset runs
+  /// bit-identical to a flip-free simulation.
+  sim::SoftErrorSpec soft;
+  /// Also score the flipped run's architectural output against the exact
+  /// reference and a flip-free tuned replay (fills
+  /// SoftErrorReport::quality_*; adds two functional runs at this
+  /// request's scale).  Ignored unless the flip process is active.
+  bool soft_score_quality = false;
+  /// Fault-aware re-tuning (PR 7): when the permanent-fault map is dense
+  /// enough that allocation spills registers — or inflates physical
+  /// register pressure until the kernel no longer fits on the SM —
+  /// re-run the precision tuner under a slice budget
+  /// (TunerOptions::max_slices_hint of 4, then 2, then 1) and adopt the
+  /// best configuration, comparing lexicographically on (fits on the SM,
+  /// spill count) — trading precision down to keep values in compressed
+  /// storage.  A fault-free map never re-tunes, so the tuned pipeline
+  /// output is guaranteed unchanged.
+  bool retune_on_faults = false;
 };
 
 /// A fault-injection campaign (ROADMAP 4a): sweep `maps_per_density`
@@ -85,6 +105,12 @@ struct FaultCampaignRequest {
   std::vector<double> densities = {0.005, 0.01, 0.02, 0.05};
   int maps_per_density = 3;       ///< seeded maps per density point
   uint64_t base_seed = 1;         ///< per-map seeds derived from this
+  /// Early stopping (PR 7): > 0 forces quality scoring on every child and,
+  /// once the mean quality delta (positive = worse) across a completed
+  /// density crosses above this floor, cooperatively cancels the remaining
+  /// higher-density children and marks the result truncated.  <= 0
+  /// (default) disables early stopping.
+  double quality_floor = 0.0;
 };
 
 enum class JobState {
@@ -124,17 +150,62 @@ struct FaultCampaignPoint {
 struct FaultCampaignResult {
   std::string workload;
   std::vector<FaultCampaignPoint> points;  ///< density-major, seed order
+  /// Early stopping fired: children past `truncated_at_density` were
+  /// cancelled after the mean quality delta crossed the request's floor.
+  bool truncated = false;
+  double truncated_at_density = 0.0;
 };
 
-enum class JobKind { kPipeline, kSimulate, kFaultCampaign };
+/// A transient soft-error campaign (PR 7 tentpole): sweep `seeds_per_rate`
+/// seeded flip processes at each rate in `flips_per_mcycle`, every point
+/// one child simulate job on the Engine's executor.  Per-point seeds are a
+/// deterministic splitmix64 stream off `base_seed`; progress and
+/// cancellation behave exactly like a permanent-fault campaign.
+struct TransientCampaignRequest {
+  /// Template for every child: mode, scale, compression, re-tuning — the
+  /// per-child soft-error rate and seed are overwritten by the sweep.
+  SimRequest sim;
+  std::vector<double> flip_rates = {10.0, 100.0, 1000.0};  ///< per Mcycle
+  int seeds_per_rate = 3;
+  uint64_t base_seed = 1;
+};
+
+/// Outcome of one flip process inside a transient campaign.
+struct TransientCampaignPoint {
+  double flips_per_mcycle = 0.0;
+  uint64_t seed = 0;
+  JobState state = JobState::kDone;  ///< child terminal state
+  std::string error;       ///< non-empty when the child failed (a corrupted
+                           ///< address aborting the run is a DUE, reported
+                           ///< here as the child's FailedPrecondition)
+  sim::SoftErrorReport soft;  ///< empty when the child failed
+  uint64_t cycles = 0;
+  double ipc = 0.0;
+};
+
+struct TransientCampaignResult {
+  std::string workload;
+  std::vector<TransientCampaignPoint> points;  ///< rate-major, seed order
+};
+
+enum class JobKind { kPipeline, kSimulate, kFaultCampaign,
+                     kTransientCampaign };
 
 inline const char* job_kind_name(JobKind k) {
   switch (k) {
     case JobKind::kPipeline: return "pipeline";
     case JobKind::kSimulate: return "simulate";
     case JobKind::kFaultCampaign: return "fault_campaign";
+    case JobKind::kTransientCampaign: return "transient_campaign";
   }
   return "unknown";
+}
+
+/// True for job kinds that run as campaign orchestrators (a coordinator
+/// thread fanning out child simulate jobs) instead of executor queue
+/// entries.
+inline bool job_kind_campaign(JobKind k) {
+  return k == JobKind::kFaultCampaign || k == JobKind::kTransientCampaign;
 }
 
 /// What to run and how to schedule it.
@@ -143,6 +214,7 @@ struct JobRequest {
   std::string workload;        ///< bundled Table-4 workload name
   SimRequest sim;              ///< kSimulate only
   FaultCampaignRequest campaign;  ///< kFaultCampaign only
+  TransientCampaignRequest transient;  ///< kTransientCampaign only
   int priority = 0;            ///< higher runs first; FIFO within a level
   int64_t deadline_ms = 0;     ///< relative to submit(), covers queue wait
                                ///< and execution; <= 0 means no deadline
@@ -166,6 +238,14 @@ struct JobRequest {
     r.kind = JobKind::kFaultCampaign;
     r.workload = std::move(name);
     r.campaign = std::move(req);
+    return r;
+  }
+  static JobRequest transient_campaign(std::string name,
+                                       TransientCampaignRequest req = {}) {
+    JobRequest r;
+    r.kind = JobKind::kTransientCampaign;
+    r.workload = std::move(name);
+    r.transient = std::move(req);
     return r;
   }
   JobRequest& with_priority(int p) { priority = p; return *this; }
@@ -213,6 +293,7 @@ struct JobImpl {
   std::optional<workloads::PipelineResult> pipeline_result;
   std::optional<sim::SimResult> sim_result;
   std::optional<FaultCampaignResult> campaign_result;
+  std::optional<TransientCampaignResult> transient_result;
   std::vector<std::function<void()>> on_terminal;
 
   Clock::time_point submitted_at{};
@@ -380,6 +461,15 @@ class Job {
     if (impl_->campaign_result) return *impl_->campaign_result;
     if (!impl_->status.ok()) return impl_->status;
     return Status::FailedPrecondition("not a fault-campaign job");
+  }
+
+  StatusOr<TransientCampaignResult> transient_result() const {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!job_state_terminal(impl_->state))
+      return Status::FailedPrecondition("job is not finished");
+    if (impl_->transient_result) return *impl_->transient_result;
+    if (!impl_->status.ok()) return impl_->status;
+    return Status::FailedPrecondition("not a transient-campaign job");
   }
 
  private:

@@ -220,6 +220,12 @@ void write_stats_fields(JsonWriter& w, const sim::SimStats& s) {
   w.field("conversions", s.conversions);
   w.field("fault_redirected_fetches", s.fault_redirected_fetches);
   w.field("fault_spill_fetches", s.fault_spill_fetches);
+  w.field("spill_port_conflicts", s.spill_port_conflicts);
+  w.field("soft_flips_injected", s.soft_flips_injected);
+  w.field("soft_flips_on_live", s.soft_flips_on_live);
+  w.field("soft_flips_masked_dead", s.soft_flips_masked_dead);
+  w.field("soft_flips_visible", s.soft_flips_visible);
+  w.field("soft_live_bit_cycles", s.soft_live_bit_cycles);
 }
 
 void write_fault_report(JsonWriter& w, const std::string& k,
@@ -234,11 +240,35 @@ void write_fault_report(JsonWriter& w, const std::string& k,
   w.field("registers_spilled", f.registers_spilled);
   w.field("spill_regs", f.spill_regs);
   w.field("coverage_pct", f.coverage_pct);
+  w.field("retuned", f.retuned);
+  w.field("retune_slice_budget", f.retune_slice_budget);
+  w.field("spills_before_retune", f.spills_before_retune);
   w.field("quality_scored", f.quality_scored);
   if (f.quality_scored) {
     w.field("quality_fault_free", f.quality_fault_free);
     w.field("quality_faulty", f.quality_faulty);
     w.field("quality_delta", f.quality_delta);
+  }
+  w.end_object();
+}
+
+void write_soft_report(JsonWriter& w, const std::string& k,
+                       const sim::SoftErrorReport& s) {
+  w.begin_object(k);
+  w.field("active", s.active);
+  w.field("flips_per_mcycle", s.flips_per_mcycle);
+  w.field("seed", s.seed);
+  w.field("flips_injected", s.flips_injected);
+  w.field("flips_on_live", s.flips_on_live);
+  w.field("flips_masked_dead", s.flips_masked_dead);
+  w.field("flips_visible", s.flips_visible);
+  w.field("live_bit_cycles", s.live_bit_cycles);
+  w.field("avf", s.avf());
+  w.field("quality_scored", s.quality_scored);
+  if (s.quality_scored) {
+    w.field("quality_fault_free", s.quality_fault_free);
+    w.field("quality_faulty", s.quality_faulty);
+    w.field("quality_delta", s.quality_delta);
   }
   w.end_object();
 }
@@ -285,6 +315,7 @@ std::string to_json(const sim::SimResult& r) {
   write_stats_fields(w, r.stats);
   w.end_object();
   write_fault_report(w, "fault", r.fault);
+  write_soft_report(w, "soft", r.soft);
   w.end_object();
   return w.str();
 }
@@ -293,6 +324,8 @@ std::string to_json(const FaultCampaignResult& r) {
   JsonWriter w;
   w.begin_object();
   w.field("workload", r.workload);
+  w.field("truncated", r.truncated);
+  if (r.truncated) w.field("truncated_at_density", r.truncated_at_density);
   w.begin_array("points");
   for (const auto& pt : r.points) {
     w.begin_object();
@@ -303,6 +336,27 @@ std::string to_json(const FaultCampaignResult& r) {
     w.field("cycles", pt.cycles);
     w.field("ipc", pt.ipc);
     write_fault_report(w, "fault", pt.fault);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const TransientCampaignResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("workload", r.workload);
+  w.begin_array("points");
+  for (const auto& pt : r.points) {
+    w.begin_object();
+    w.field("flips_per_mcycle", pt.flips_per_mcycle);
+    w.field("seed", pt.seed);
+    w.field("state", job_state_name(pt.state));
+    if (!pt.error.empty()) w.field("error", pt.error);
+    w.field("cycles", pt.cycles);
+    w.field("ipc", pt.ipc);
+    write_soft_report(w, "soft", pt.soft);
     w.end_object();
   }
   w.end_array();

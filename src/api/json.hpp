@@ -73,6 +73,11 @@ std::string to_json(const sim::SimResult& r);
 /// with the child's state, degradation report, cycles and IPC.
 std::string to_json(const FaultCampaignResult& r);
 
+/// Transient-campaign snapshot (PR 7): one entry per (flip rate, seed)
+/// point with the child's state, AVF-style soft-error report, cycles and
+/// IPC.
+std::string to_json(const TransientCampaignResult& r);
+
 // ------------------------------------------------------------ JSON parsing
 //
 // The gpurfd wire protocol (ISSUE 4) speaks newline-delimited JSON both

@@ -87,6 +87,37 @@ Status parse_sim_request(const JsonValue& req, SimRequest& out) {
     out.fault.density = fd->as_double(0.0);
   if (const JsonValue* fq = req.get("fault_quality"))
     out.fault.score_quality = fq->as_bool(false);
+  // Transient soft errors (PR 7): a positive rate attaches the flip
+  // process; exposure tracking works at any rate (including zero).
+  if (const JsonValue* sr = req.get("soft_flips_per_mcycle"))
+    out.soft.flips_per_mcycle = sr->as_double(0.0);
+  if (const JsonValue* ss = req.get("soft_seed"))
+    out.soft.seed = static_cast<uint64_t>(ss->as_int(1));
+  if (const JsonValue* se = req.get("soft_track_exposure"))
+    out.soft.track_exposure = se->as_bool(false);
+  if (const JsonValue* sq = req.get("soft_quality"))
+    out.soft_score_quality = sq->as_bool(false);
+  if (const JsonValue* rt = req.get("retune_on_faults"))
+    out.retune_on_faults = rt->as_bool(false);
+  return Status::Ok();
+}
+
+/// Parse an array-of-numbers request field into `out`; leaves `out`
+/// untouched when the key is absent.
+Status parse_number_array(const JsonValue& req, const char* key,
+                          std::vector<double>& out) {
+  const JsonValue* arr = req.get(key);
+  if (!arr) return Status::Ok();
+  if (!arr->is_array())
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be an array of numbers");
+  out.clear();
+  for (const JsonValue& v : arr->items) {
+    if (!v.is_number())
+      return Status::InvalidArgument(std::string("'") + key +
+                                     "' must be an array of numbers");
+    out.push_back(v.num_v);
+  }
   return Status::Ok();
 }
 
@@ -105,7 +136,7 @@ void write_job_fields(JsonWriter& w, const Job& job) {
   w.field("run_seq", p.run_seq);
   w.field("wall_ms", p.wall_ms);
   w.field("exec_ms", p.exec_ms);
-  if (job.kind() == JobKind::kFaultCampaign) {
+  if (job_kind_campaign(job.kind())) {
     w.field("campaign_maps_done", p.campaign_maps_done);
     w.field("campaign_maps_total", p.campaign_maps_total);
   }
@@ -327,32 +358,33 @@ std::string Server::handle_request_line(const std::string& line) {
         // A campaign is compressed by construction; default the template
         // mode to perfect quality when the request names none.
         if (!req.get("mode")) cr.sim.mode = wl::SimMode::kCompressedPerfect;
-        const Status st = parse_sim_request(req, cr.sim);
+        Status st = parse_sim_request(req, cr.sim);
+        if (st.ok()) st = parse_number_array(req, "densities", cr.densities);
         if (!st.ok()) return envelope_error(engine_, st);
-        if (const JsonValue* ds = req.get("densities")) {
-          if (!ds->is_array())
-            return envelope_error(
-                engine_, Status::InvalidArgument(
-                             "'densities' must be an array of numbers"));
-          cr.densities.clear();
-          for (const JsonValue& d : ds->items) {
-            if (!d.is_number())
-              return envelope_error(
-                  engine_, Status::InvalidArgument(
-                               "'densities' must be an array of numbers"));
-            cr.densities.push_back(d.num_v);
-          }
-        }
         if (const JsonValue* m = req.get("maps_per_density"))
           cr.maps_per_density = static_cast<int>(m->as_int(3));
         if (const JsonValue* b = req.get("base_seed"))
           cr.base_seed = static_cast<uint64_t>(b->as_int(1));
+        if (const JsonValue* q = req.get("quality_floor"))
+          cr.quality_floor = q->as_double(0.0);
         jr = JobRequest::fault_campaign(wlname->as_string(), std::move(cr));
+      } else if (kind == "transient_campaign") {
+        TransientCampaignRequest tr;
+        Status st = parse_sim_request(req, tr.sim);
+        if (st.ok()) st = parse_number_array(req, "flip_rates", tr.flip_rates);
+        if (!st.ok()) return envelope_error(engine_, st);
+        if (const JsonValue* s = req.get("seeds_per_rate"))
+          tr.seeds_per_rate = static_cast<int>(s->as_int(3));
+        if (const JsonValue* b = req.get("base_seed"))
+          tr.base_seed = static_cast<uint64_t>(b->as_int(1));
+        jr = JobRequest::transient_campaign(wlname->as_string(),
+                                            std::move(tr));
       } else {
-        return envelope_error(engine_,
-                              Status::InvalidArgument(
-                                  "unknown kind '" + kind +
-                                  "' (pipeline|simulate|fault_campaign)"));
+        return envelope_error(
+            engine_,
+            Status::InvalidArgument(
+                "unknown kind '" + kind +
+                "' (pipeline|simulate|fault_campaign|transient_campaign)"));
       }
       if (const JsonValue* p = req.get("priority"))
         jr.priority = static_cast<int>(p->as_int(0));
@@ -403,6 +435,9 @@ std::string Server::handle_request_line(const std::string& line) {
         } else if (job->kind() == JobKind::kFaultCampaign) {
           auto cr = job->campaign_result();
           if (cr.ok()) w.raw("result", to_json(*cr));
+        } else if (job->kind() == JobKind::kTransientCampaign) {
+          auto tr = job->transient_result();
+          if (tr.ok()) w.raw("result", to_json(*tr));
         } else {
           auto sr = job->sim_result();
           if (sr.ok()) w.raw("result", to_json(*sr));

@@ -244,15 +244,15 @@ uint32_t BlockExec::exec_lane(const WarpState& ws, const Instruction& in,
     }
     case Opcode::LD_GLOBAL: {
       const int64_t addr = static_cast<int64_t>(S(0)) + in.mem_offset;
-      GPURF_ASSERT(addr >= 0, "negative global address");
+      GPURF_CHECK(addr >= 0, "negative global address");
       res.addr[lane] = static_cast<uint32_t>(addr);
       return ctx_.gmem->read(static_cast<uint32_t>(addr));
     }
     case Opcode::LD_SHARED: {
       const int64_t addr = static_cast<int64_t>(S(0)) + in.mem_offset;
-      GPURF_ASSERT(addr >= 0 &&
-                       addr < static_cast<int64_t>(shared_.size()),
-                   "shared load out of bounds @" << addr);
+      GPURF_CHECK(addr >= 0 &&
+                      addr < static_cast<int64_t>(shared_.size()),
+                  "shared load out of bounds @" << addr);
       res.addr[lane] = static_cast<uint32_t>(addr);
       return shared_[static_cast<size_t>(addr)];
     }
@@ -584,7 +584,7 @@ void BlockExec::exec_warp(WarpState& ws, const DecodedInst& dec,
       for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!((exec_mask >> l) & 1u)) continue;
         const int64_t addr = static_cast<int64_t>(a[l]) + in.mem_offset;
-        GPURF_ASSERT(addr >= 0, "negative global address");
+        GPURF_CHECK(addr >= 0, "negative global address");
         res.addr[l] = static_cast<uint32_t>(addr);
         out[l] = ctx_.gmem->read(static_cast<uint32_t>(addr));
       }
@@ -593,9 +593,9 @@ void BlockExec::exec_warp(WarpState& ws, const DecodedInst& dec,
       for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!((exec_mask >> l) & 1u)) continue;
         const int64_t addr = static_cast<int64_t>(a[l]) + in.mem_offset;
-        GPURF_ASSERT(addr >= 0 &&
-                         addr < static_cast<int64_t>(shared_.size()),
-                     "shared load out of bounds @" << addr);
+        GPURF_CHECK(addr >= 0 &&
+                        addr < static_cast<int64_t>(shared_.size()),
+                    "shared load out of bounds @" << addr);
         res.addr[l] = static_cast<uint32_t>(addr);
         out[l] = shared_[static_cast<size_t>(addr)];
       }
@@ -699,14 +699,14 @@ StepResult BlockExec::step(uint32_t w) {
         const int64_t addr =
             static_cast<int64_t>(read_operand(ws, in.srcs[0], l)) +
             in.mem_offset;
-        GPURF_ASSERT(addr >= 0, "negative store address");
+        GPURF_CHECK(addr >= 0, "negative store address");
         res.addr[l] = static_cast<uint32_t>(addr);
         const uint32_t v = read_operand(ws, in.srcs[1], l);
         if (in.op == Opcode::ST_GLOBAL) {
           ctx_.gmem->write(static_cast<uint32_t>(addr), v);
         } else {
-          GPURF_ASSERT(addr < static_cast<int64_t>(shared_.size()),
-                       "shared store out of bounds @" << addr);
+          GPURF_CHECK(addr < static_cast<int64_t>(shared_.size()),
+                      "shared store out of bounds @" << addr);
           shared_[static_cast<size_t>(addr)] = v;
         }
       }

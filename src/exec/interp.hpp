@@ -101,6 +101,9 @@ class BlockExec {
 
   uint32_t num_warps() const { return static_cast<uint32_t>(warps_.size()); }
   const WarpState& warp(uint32_t w) const { return warps_[w]; }
+  /// Mutable warp state — the soft-error injector's write path (PR 7):
+  /// the timing simulator flips bits of resident registers between cycles.
+  WarpState& warp_mut(uint32_t w) { return warps_[w]; }
   bool warp_done(uint32_t w) const { return warps_[w].done(); }
   bool all_done() const;
 

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/cache.hpp"
+#include "sim/soft_error.hpp"
 
 namespace gpurf::sim {
 
@@ -151,12 +152,13 @@ class SmCore {
   /// shared: blocks of one launch write disjoint words (see gpu.hpp).
   SmCore(const GpuConfig& g, const CompressionConfig& cc,
          const KernelLaunchSpec& spec, const exec::ExecContext& base_ctx,
-         const Occupancy& occ)
+         const Occupancy& occ, const SoftErrorModel* soft_model)
       : g_(g),
         cc_(cc),
         spec_(spec),
         ctx_(base_ctx),
         occ_(occ),
+        soft_model_(soft_model),
         l1_(g.l1),
         tex_(g.tex) {
     ctx_.thread_insts = 0;
@@ -184,11 +186,60 @@ class SmCore {
   /// PendingL2) instead of probing the shared L2; block refill moved to
   /// fill_blocks() in the barrier phase.
   void tick(uint64_t now) {
+    if (soft_model_) accumulate_exposure();
     retire_writebacks(now);
     dispatch_ready(now);
     arbitrate_banks(now);
     run_converters(now);
     issue(now);
+  }
+
+  /// Serial phase only (SM-index order, like commit_memory): land one
+  /// sampled strike on this SM and classify it.  Touches only SM-private
+  /// state plus the warp's functional registers — which no other SM reads
+  /// — so the taxonomy and the corrupted payloads are identical at every
+  /// shard count.
+  void apply_soft_flip(const FlipSite& ev) {
+    ++stats_.soft_flips_injected;
+    const auto masked = [&] { ++stats_.soft_flips_masked_dead; };
+    if (ev.warp_slot >= warps_.size()) return masked();
+    WarpCtx& wc = warps_[ev.warp_slot];
+    if (!wc.active || wc.block == kNoIndex) return masked();
+    BlockCtx& blk = blocks_[wc.block];
+    if (!blk.exec) return masked();
+    exec::WarpState& ws = blk.exec->warp_mut(wc.warp_in_block);
+    if (ws.done() || ws.stack().empty()) return masked();
+    if (!((ws.valid_mask() >> ev.lane) & 1u)) return masked();
+    const exec::StackEntry& pos = ws.stack().back();
+
+    // Resolve the struck site to an architectural register that is live at
+    // the warp's current position.  Compressed allocations may alias one
+    // site to several registers with disjoint live ranges; at most one of
+    // them is live here (interference contract).
+    uint32_t victim = SoftErrorModel::kNoReg;
+    bool second_piece = false;
+    if (cc_.enabled && spec_.allocation) {
+      for (const SoftErrorModel::Owner& o :
+           soft_model_->owners(ev.phys_reg, ev.slice))
+        if (soft_model_->reg_live(pos.blk, pos.inst, o.reg)) {
+          victim = o.reg;
+          second_piece = o.second_piece;
+          break;
+        }
+    } else if (ev.phys_reg < spec_.kernel->num_regs() &&
+               spec_.kernel->regs[ev.phys_reg].type != ir::Type::PRED &&
+               soft_model_->reg_live(pos.blk, pos.inst, ev.phys_reg)) {
+      victim = ev.phys_reg;  // baseline: full-width storage at its own id
+    }
+    if (victim == SoftErrorModel::kNoReg) return masked();
+
+    ++stats_.soft_flips_on_live;
+    const uint32_t v = ws.reg(victim, ev.lane);
+    const uint32_t corrupted =
+        soft_model_->corrupt(v, victim, second_piece, ev.slice, ev.bit);
+    if (corrupted == v) return;  // absorbed by the narrow storage encoding
+    ws.set_reg(victim, ev.lane, corrupted);
+    ++stats_.soft_flips_visible;
   }
 
   /// Barrier phase 1 (serial, SM-index order): replay this SM's buffered
@@ -245,6 +296,24 @@ class SmCore {
 
  private:
   uint32_t warps_per_block() const { return spec_.launch.warps_per_block(); }
+
+  /// Live-bit exposure integral (PR 7): per cycle, every resident warp
+  /// contributes (live payload bits at its current position) x (valid
+  /// lanes).  Purely SM-private, position-driven, flip-independent — the
+  /// deterministic cross-section number bench_soft compares.
+  void accumulate_exposure() {
+    for (const WarpCtx& wc : warps_) {
+      if (!wc.active || wc.block == kNoIndex) continue;
+      const BlockCtx& blk = blocks_[wc.block];
+      if (!blk.exec) continue;
+      const exec::WarpState& ws = blk.exec->warp(wc.warp_in_block);
+      if (ws.done() || ws.stack().empty()) continue;
+      const exec::StackEntry& pos = ws.stack().back();
+      stats_.soft_live_bit_cycles +=
+          uint64_t(soft_model_->payload_bits(pos.blk, pos.inst)) *
+          uint64_t(std::popcount(ws.valid_mask()));
+    }
+  }
 
   void retire_writebacks(uint64_t now) {
     while (!wb_.empty() && wb_.top().cycle <= now) {
@@ -482,6 +551,7 @@ class SmCore {
     uint32_t seen[3];
     int nseen = 0;
     bool fault_penalty = false;  // >= 1 redirected/spilled source operand
+    uint32_t nspill = 0;         // spill-store fetches of this instruction
     for (int i = 0; i < in.num_srcs; ++i) {
       if (!in.srcs[i].is_reg()) continue;
       const uint32_t r = in.srcs[i].index;
@@ -511,6 +581,7 @@ class SmCore {
         if (e.spilled) {
           ++stats_.fault_spill_fetches;
           fault_penalty = true;
+          ++nspill;
         } else if (e.redirected) {
           ++stats_.fault_redirected_fetches;
           fault_penalty = true;
@@ -525,6 +596,19 @@ class SmCore {
     // Fault redirection penalty (§RRCD): the extra remap stage delays the
     // collector unit's first fetch, once per affected instruction.
     if (fault_penalty) cu.active_from += cc_.fault_redirection_cycles;
+
+    // Spill-store port contention (PR 7): the uncompressed store has
+    // cc_.spill_ports read ports, so an instruction needing more
+    // concurrent spill fetches serializes the excess one port-width batch
+    // per cycle.
+    if (nspill > 0) {
+      const uint32_t ports = std::max<uint32_t>(1, cc_.spill_ports);
+      const uint32_t extra = (nspill + ports - 1) / ports - 1;
+      if (extra > 0) {
+        cu.active_from += extra;
+        stats_.spill_port_conflicts += extra;
+      }
+    }
 
     // Scoreboard: destination pends until writeback.
     if (in.info().has_dst) wc.pending[in.dst] = 1;
@@ -622,6 +706,7 @@ class SmCore {
   const KernelLaunchSpec& spec_;
   exec::ExecContext ctx_;  ///< SM-private copy (thread_insts, analysis)
   const Occupancy& occ_;
+  const SoftErrorModel* soft_model_;  ///< null = no soft-error tracking
 
   Cache l1_;
   Cache tex_;
@@ -688,10 +773,23 @@ SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
   BlockDispatcher dispatcher(spec.launch);
   Cache l2(gpu.l2);
 
+  // Soft-error machinery (PR 7): the vulnerability model is built once
+  // against the active storage layout; the flip process is owned here and
+  // advanced exclusively in the serial barrier phase, so the flip trace is
+  // a pure function of (rate, seed) at every shard count.
+  std::unique_ptr<SoftErrorModel> soft_model;
+  std::optional<SoftErrorProcess> soft_proc;
+  if (spec.soft.active()) {
+    soft_model = std::make_unique<SoftErrorModel>(
+        *spec.kernel, *ctx.analysis, comp.enabled ? spec.allocation : nullptr);
+    if (spec.soft.enabled())
+      soft_proc.emplace(spec.soft, gpu.num_sms, gpu.max_warps_per_sm);
+  }
+
   std::vector<std::unique_ptr<SmCore>> sms;
   for (uint32_t s = 0; s < gpu.num_sms; ++s)
-    sms.push_back(
-        std::make_unique<SmCore>(gpu, comp, spec, ctx, res.occupancy));
+    sms.push_back(std::make_unique<SmCore>(gpu, comp, spec, ctx,
+                                           res.occupancy, soft_model.get()));
 
   // Initial block placement: one barrier-phase fill before cycle 0, in
   // SM-index order — identical for the serial and every sharded schedule.
@@ -747,6 +845,14 @@ SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
       }
       for (auto& sm : sms) sm->commit_memory(l2);
       for (auto& sm : sms) sm->fill_blocks(dispatcher);
+      // Land this cycle's sampled strikes, routed to their SM in SM-index
+      // independent arrival order (the process emits them sequentially) —
+      // serial-phase-only, like every other cross-SM mutation.
+      if (soft_proc) {
+        FlipSite site;
+        while (soft_proc->next_flip(cycle, &site))
+          sms[site.sm]->apply_soft_flip(site);
+      }
       ++cycle;
       // Cancellation/deadline checkpoint + progress heartbeat: every 4096
       // cycles keeps the poll off the per-cycle hot path while bounding
@@ -835,6 +941,17 @@ SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
     res.stats.thread_insts += sm->thread_insts();
   }
   res.stats.l2 = l2.stats();
+
+  if (spec.soft.active()) {
+    res.soft.active = true;
+    res.soft.flips_per_mcycle = spec.soft.flips_per_mcycle;
+    res.soft.seed = spec.soft.seed;
+    res.soft.flips_injected = res.stats.soft_flips_injected;
+    res.soft.flips_on_live = res.stats.soft_flips_on_live;
+    res.soft.flips_masked_dead = res.stats.soft_flips_masked_dead;
+    res.soft.flips_visible = res.stats.soft_flips_visible;
+    res.soft.live_bit_cycles = res.stats.soft_live_bit_cycles;
+  }
   return res;
 }
 

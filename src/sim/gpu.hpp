@@ -64,6 +64,31 @@
 
 namespace gpurf::sim {
 
+/// Transient (SEU) soft-error process for one launch (PR 7).  Bit flips
+/// arrive as a Poisson process over continuous cycle time and land on a
+/// uniformly random physical site (SM, warp slot, physical register,
+/// slice, lane, bit-within-slice).  The process is fully determined by
+/// (rate, seed): the same pair produces the same flip trace — and the same
+/// SimStats — at every shard count, because flips are generated and
+/// applied in the serial barrier phase in SM-index order.  A rate <= 0
+/// disables injection entirely and draws no random numbers, so such runs
+/// are bit-identical to fault-free references.
+struct SoftErrorSpec {
+  /// Expected flips per million simulated cycles over the whole GPU.
+  double flips_per_mcycle = 0.0;
+  uint64_t seed = 1;
+  /// Accumulate the live-bit exposure integral even when the flip rate is
+  /// zero.  A rate-0 run with this set executes identically to fault-free
+  /// (no flips, no RNG draws) but reports SimStats::soft_live_bit_cycles —
+  /// the deterministic cross-section measurement bench_soft compares
+  /// between baseline and compressed.  Left false, rate-0 runs are
+  /// bit-identical to fault-free references in every SimStats field.
+  bool track_exposure = false;
+
+  bool enabled() const { return flips_per_mcycle > 0.0; }
+  bool active() const { return enabled() || track_exposure; }
+};
+
 struct KernelLaunchSpec {
   const gpurf::ir::Kernel* kernel = nullptr;
   gpurf::ir::LaunchConfig launch;
@@ -79,6 +104,11 @@ struct KernelLaunchSpec {
   /// operand -> physical-register mapping for bank traffic.
   const gpurf::exec::PrecisionMap* precision = nullptr;
   const gpurf::alloc::AllocationResult* allocation = nullptr;
+
+  /// Transient soft-error injection (PR 7).  Part of the launch spec, not
+  /// SimOptions: an active flip process changes functional state and
+  /// SimStats, while SimOptions is documented results-invariant.
+  SoftErrorSpec soft;
 };
 
 /// Fault-injection outcome of one simulated launch (PR 6).  The simulator
@@ -101,13 +131,49 @@ struct FaultInjectionReport {
   double quality_faulty = 0.0;
   double quality_delta = 0.0;       ///< positive = worse than fault-free
 
+  /// Fault-aware re-tuning (PR 7): when the map was dense enough that the
+  /// baseline tuning would spill and the caller opted in, the Engine
+  /// re-tunes with a slice budget and keeps the best configuration.
+  bool retuned = false;             ///< a re-tuned configuration was adopted
+  uint32_t retune_slice_budget = 0; ///< winning max_slices_hint (0 = none)
+  uint32_t spills_before_retune = 0;///< registers_spilled without re-tuning
+
   bool operator==(const FaultInjectionReport&) const = default;
+};
+
+/// AVF-style vulnerability breakdown of one soft-error run (PR 7).  The
+/// counter fields mirror SimStats (they are the merged totals); the report
+/// adds the spec that produced them plus the quality delta the Engine
+/// scores via the workload metric.  `active == false` means no flip
+/// process was attached and every other field is at its default.
+struct SoftErrorReport {
+  bool active = false;
+  double flips_per_mcycle = 0.0;
+  uint64_t seed = 0;
+  uint64_t flips_injected = 0;
+  uint64_t flips_on_live = 0;
+  uint64_t flips_masked_dead = 0;
+  uint64_t flips_visible = 0;
+  uint64_t live_bit_cycles = 0;     ///< deterministic exposure integral
+  bool quality_scored = false;
+  double quality_fault_free = 0.0;
+  double quality_faulty = 0.0;
+  double quality_delta = 0.0;
+
+  /// Architecturally-visible flips per injected flip (AVF proxy).
+  double avf() const {
+    return flips_injected == 0 ? 0.0
+                               : double(flips_visible) / double(flips_injected);
+  }
+
+  bool operator==(const SoftErrorReport&) const = default;
 };
 
 struct SimResult {
   SimStats stats;
   Occupancy occupancy;
   FaultInjectionReport fault;
+  SoftErrorReport soft;
 };
 
 /// Execution-strategy knobs for one simulate() call (timing results are

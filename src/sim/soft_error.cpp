@@ -1,0 +1,191 @@
+#include "sim/soft_error.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "analysis/liveness.hpp"
+#include "fp/format.hpp"
+#include "rf/value_converter.hpp"
+#include "rf/value_extractor.hpp"
+#include "rf/value_truncator.hpp"
+
+namespace gpurf::sim {
+
+namespace {
+/// Dedicated PCG stream for the flip process so a campaign seed never
+/// collides with workload-input generation streams.
+constexpr uint64_t kFlipStream = 0x50f7e44c0deULL;
+}  // namespace
+
+SoftErrorProcess::SoftErrorProcess(const SoftErrorSpec& spec, uint32_t num_sms,
+                                   uint32_t warp_slots_per_sm)
+    : rng_(spec.seed, kFlipStream),
+      rate_per_cycle_(spec.flips_per_mcycle * 1e-6),
+      num_sms_(num_sms),
+      warp_slots_(warp_slots_per_sm) {
+  if (rate_per_cycle_ > 0.0) advance();
+}
+
+void SoftErrorProcess::advance() {
+  // Exponential inter-arrival gap; next_float() is in [0, 1) so the log
+  // argument stays in (0, 1].  A zero gap just means two strikes in the
+  // same cycle.
+  const double u = static_cast<double>(rng_.next_float());
+  next_time_ += -std::log(1.0 - u) / rate_per_cycle_;
+}
+
+bool SoftErrorProcess::next_flip(uint64_t cycle, FlipSite* out) {
+  if (rate_per_cycle_ <= 0.0) return false;
+  if (next_time_ >= static_cast<double>(cycle + 1)) return false;
+  out->sm = rng_.next_below(num_sms_);
+  out->warp_slot = rng_.next_below(warp_slots_);
+  out->phys_reg = rng_.next_below(kSoftPhysRegSpace);
+  out->slice = rng_.next_below(kSoftSlicesPerReg);
+  out->lane = rng_.next_below(32);
+  out->bit = rng_.next_below(kSoftBitsPerSlice);
+  advance();
+  return true;
+}
+
+SoftErrorModel::SoftErrorModel(const gpurf::ir::Kernel& k,
+                               const gpurf::exec::KernelAnalysis& ka,
+                               const gpurf::alloc::AllocationResult* allocation)
+    : k_(&k), alloc_(allocation) {
+  const uint32_t nregs = k.num_regs();
+
+  // Stored payload width per architectural register.  Predicates live in a
+  // separate predicate file and spilled registers in the uncompressed
+  // spill store — neither occupies the sampled slice geometry, but spilled
+  // values still count their full 32 bits toward the exposure integral
+  // (they are stored *somewhere*, uncompressed).
+  reg_bits_.assign(nregs, 0);
+  for (uint32_t r = 0; r < nregs; ++r) {
+    if (k.regs[r].type == gpurf::ir::Type::PRED) continue;
+    if (!alloc_) {
+      reg_bits_[r] = 32;
+      continue;
+    }
+    const auto& e = alloc_->table[r];
+    if (!e.valid) continue;
+    reg_bits_[r] = e.spilled ? 32 : 4u * e.slices;
+  }
+
+  // Reverse map (physical register, slice) -> owning registers.  Aliasing
+  // is expected: non-interfering registers share slices, and at most one
+  // owner is live at any program point.
+  if (alloc_) {
+    owners_.resize(size_t(kSoftPhysRegSpace) * kSoftSlicesPerReg);
+    for (uint32_t r = 0; r < nregs; ++r) {
+      const auto& e = alloc_->table[r];
+      if (!e.valid || e.spilled) continue;
+      const auto add_piece = [&](const gpurf::alloc::SliceLoc& loc,
+                                 bool second) {
+        if (loc.phys_reg >= kSoftPhysRegSpace) return;
+        for (uint32_t s = 0; s < kSoftSlicesPerReg; ++s)
+          if ((loc.mask >> s) & 1u)
+            owners_[size_t(loc.phys_reg) * kSoftSlicesPerReg + s].push_back(
+                Owner{r, second});
+      };
+      add_piece(e.r0, false);
+      if (e.split) add_piece(e.r1, true);
+    }
+  }
+
+  // Per-point liveness: one backward scan per block from its live-out set,
+  // over the same decoded stream the simulator issues from.  Point i is
+  // "about to execute instruction i"; point block_size is the live-out.
+  const auto live = gpurf::analysis::compute_liveness(k, ka.cfg());
+  const uint32_t nblocks = ka.num_blocks();
+  block_size_.resize(nblocks);
+  point_first_.resize(nblocks);
+  uint32_t total = 0;
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    block_size_[b] = ka.block_size(b);
+    point_first_[b] = total;
+    total += block_size_[b] + 1;
+  }
+  live_at_.resize(total);
+  bits_at_.assign(total, 0);
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    gpurf::DynBitset cur = live.live_out[b];
+    live_at_[point_first_[b] + block_size_[b]] = cur;
+    for (uint32_t i = block_size_[b]; i-- > 0;) {
+      const gpurf::ir::Instruction& in = *ka.inst(b, i).in;
+      if (in.info().has_dst) cur.reset(in.dst);
+      for (int s = 0; s < in.num_srcs; ++s)
+        if (in.srcs[s].is_reg()) cur.set(in.srcs[s].index);
+      if (in.guard != gpurf::ir::kNoReg) cur.set(in.guard);
+      live_at_[point_first_[b] + i] = cur;
+    }
+  }
+  for (size_t p = 0; p < live_at_.size(); ++p) {
+    uint32_t bits = 0;
+    live_at_[p].for_each_set([&](size_t r) { bits += reg_bits_[r]; });
+    bits_at_[p] = bits;
+  }
+}
+
+size_t SoftErrorModel::point_index(uint32_t blk, uint32_t inst) const {
+  if (blk >= block_size_.size()) return live_at_.size() - 1;
+  if (inst > block_size_[blk]) inst = block_size_[blk];
+  return point_first_[blk] + inst;
+}
+
+const std::vector<SoftErrorModel::Owner>& SoftErrorModel::owners(
+    uint32_t phys_reg, uint32_t slice) const {
+  if (owners_.empty()) return no_owner_;  // baseline: identity, not mapped
+  return owners_[size_t(phys_reg) * kSoftSlicesPerReg + slice];
+}
+
+bool SoftErrorModel::reg_live(uint32_t blk, uint32_t inst,
+                              uint32_t reg) const {
+  const auto& set = live_at_[point_index(blk, inst)];
+  return reg < set.size() && set.test(reg);
+}
+
+uint32_t SoftErrorModel::payload_bits(uint32_t blk, uint32_t inst) const {
+  return bits_at_[point_index(blk, inst)];
+}
+
+uint32_t SoftErrorModel::corrupt(uint32_t value, uint32_t reg,
+                                 bool second_piece, uint32_t slice,
+                                 uint32_t bit) const {
+  const uint32_t flip = 1u << (slice * kSoftBitsPerSlice + bit);
+  if (!alloc_) return value ^ flip;  // full-width storage: raw bit flip
+
+  // Compressed storage: reconstruct the stored payload exactly as the
+  // Value Truncator writes it, strike the bit, and read it back through
+  // the Value Extractor / Value Converter.
+  const auto& e = alloc_->table[reg];
+  gpurf::rf::TruncateSpec tspec;
+  tspec.mask0 = e.r0.mask;
+  tspec.mask1 = e.split ? e.r1.mask : 0;
+  tspec.data_slices = e.slices;
+  tspec.is_float = e.is_float;
+  if (e.is_float) tspec.float_fmt = gpurf::fp::format_for_bits(e.float_bits);
+  gpurf::rf::TruncateResult tr = gpurf::rf::tvt_truncate(value, tspec);
+  if (second_piece)
+    tr.data1 ^= flip;
+  else
+    tr.data0 ^= flip;
+
+  gpurf::rf::ExtractSpec s0;
+  s0.mask = e.r0.mask;
+  s0.first_slice = 0;
+  s0.data_slices = e.slices;
+  s0.is_signed = e.is_signed;
+  uint32_t merged = gpurf::rf::tve_extract_piece(tr.data0, s0);
+  if (e.split) {
+    gpurf::rf::ExtractSpec s1 = s0;
+    s1.mask = e.r1.mask;
+    s1.first_slice = static_cast<uint8_t>(std::popcount(e.r0.mask));
+    merged |= gpurf::rf::tve_extract_piece(tr.data1, s1);
+  }
+  merged = gpurf::rf::tve_finalize(merged, s0);
+  if (e.is_float && e.float_bits != 32)
+    merged = gpurf::rf::tvc_convert(
+        merged, gpurf::fp::format_for_bits(e.float_bits));
+  return merged;
+}
+
+}  // namespace gpurf::sim

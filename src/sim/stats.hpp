@@ -49,6 +49,26 @@ struct SimStats {
   uint64_t fault_redirected_fetches = 0;
   uint64_t fault_spill_fetches = 0;
 
+  /// Spill-store port contention (PR 7): extra serialization cycles paid
+  /// when one instruction needs more concurrent spill-store fetches than
+  /// the configured port count (CompressionConfig::spill_ports).
+  uint64_t spill_port_conflicts = 0;
+
+  // Transient soft errors (PR 7).  The sampled taxonomy:
+  //   injected = on_live + masked_dead
+  // where masked_dead covers flips into unallocated slices, architecturally
+  // dead registers and idle warp slots, and visible <= on_live counts flips
+  // that changed the stored 32-bit value (narrow-float decode can absorb a
+  // mantissa flip).  soft_live_bit_cycles is the *deterministic* exposure
+  // integral: sum over cycles and resident warps of live payload bits at
+  // the warp's current position — the soft-error cross-section that the
+  // paper's compression claim shrinks, independent of flip sampling noise.
+  uint64_t soft_flips_injected = 0;
+  uint64_t soft_flips_on_live = 0;
+  uint64_t soft_flips_masked_dead = 0;
+  uint64_t soft_flips_visible = 0;
+  uint64_t soft_live_bit_cycles = 0;
+
   double ipc() const {
     return cycles == 0 ? 0.0 : double(thread_insts) / double(cycles);
   }
@@ -78,6 +98,12 @@ struct SimStats {
     conversions += sm.conversions;
     fault_redirected_fetches += sm.fault_redirected_fetches;
     fault_spill_fetches += sm.fault_spill_fetches;
+    spill_port_conflicts += sm.spill_port_conflicts;
+    soft_flips_injected += sm.soft_flips_injected;
+    soft_flips_on_live += sm.soft_flips_on_live;
+    soft_flips_masked_dead += sm.soft_flips_masked_dead;
+    soft_flips_visible += sm.soft_flips_visible;
+    soft_live_bit_cycles += sm.soft_live_bit_cycles;
   }
 };
 

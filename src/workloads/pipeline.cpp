@@ -119,6 +119,11 @@ bool is_table3_width(int bits) {
 
 }  // namespace
 
+std::unique_ptr<gpurf::tuning::QualityProbe> make_workload_probe(
+    const Workload& w, const RunOptions& run) {
+  return std::make_unique<WorkloadProbe>(w, run);
+}
+
 const std::string& default_cache_dir() {
   // Environment read exactly once per process (env-var-as-default rule).
   static const std::string dir = [] {

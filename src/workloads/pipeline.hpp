@@ -100,6 +100,16 @@ struct PipelineOptions {
 PipelineResult compute_pipeline(const Workload& w,
                                 const PipelineOptions& opt = {});
 
+/// Build the workload's quality probe — the same probe compute_pipeline
+/// tunes against (every sample variant replayed functionally, scores
+/// combined pessimistically).  Public so the Engine's fault-aware re-tuning
+/// path (PR 7) can re-run tune_precision under a slice budget without
+/// invalidating the cached unconstrained pipeline result.  Construction
+/// replays every sample variant once to build the references; `run.cancel`
+/// threads into those replays and all later evaluations.
+std::unique_ptr<gpurf::tuning::QualityProbe> make_workload_probe(
+    const Workload& w, const RunOptions& run);
+
 /// Session-scoped memo of pipeline results, keyed by workload name.
 /// Independent workloads may be requested from different threads
 /// concurrently; each workload's pipeline is computed exactly once per

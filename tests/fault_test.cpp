@@ -200,6 +200,40 @@ TEST(FaultSim, RedirectionChargesCyclesNeverCorrupts) {
   EXPECT_EQ(p4.fault_spill_fetches, p0.fault_spill_fetches);
 }
 
+TEST(FaultSim, SpillPortWidthBoundsContention) {
+  // Fully-spilled launch (density 1.0): instructions reading several
+  // spilled sources contend for the spill store's read ports.  Widening
+  // the port count can only reduce the serialization penalty; functional
+  // behaviour and spill traffic are untouched.
+  auto w = wl::make_dwt2d();
+  const auto fm = rf::FaultMap::generate(1, 1.0);
+  const auto alloc = alloc::allocate_slices(w->kernel(), nullptr, nullptr,
+                                            {false, false, &fm});
+  ASSERT_GT(alloc.registers_spilled, 0u);
+  const auto run = [&](uint32_t ports) {
+    auto inst = w->make_instance(wl::Scale::kSample, 0);
+    wl::PipelineResult pr;
+    auto spec = wl::make_launch_spec(*w, inst, pr, wl::SimMode::kOriginal);
+    spec.regs_per_thread = alloc.total_phys_regs();
+    spec.allocation = &alloc;
+    auto cc = sim::CompressionConfig::paper_default();
+    cc.spill_ports = ports;
+    return sim::simulate(sim::GpuConfig::fermi_gtx480(), cc, spec, nullptr,
+                         sim::SimOptions{})
+        .stats;
+  };
+  const auto p1 = run(1);
+  const auto p4 = run(4);
+  EXPECT_GT(p1.spill_port_conflicts, 0u);
+  EXPECT_LT(p4.spill_port_conflicts, p1.spill_port_conflicts);
+  EXPECT_LE(p4.cycles, p1.cycles);
+  EXPECT_EQ(p4.thread_insts, p1.thread_insts);
+  EXPECT_EQ(p4.warp_insts, p1.warp_insts);
+  EXPECT_EQ(p4.fault_spill_fetches, p1.fault_spill_fetches);
+  // Values < 1 behave as a single port.
+  expect_same_sim_stats(p1, run(0), "spill_ports 0 == 1");
+}
+
 // --------------------------------------------- allocator fault handling
 
 TEST(FaultAlloc, SaturatedMapSpillsEverythingGracefully) {
@@ -382,6 +416,56 @@ TEST(FaultCampaign, SweepCompletesWithProgressAndMonotoneDensities) {
   Job bad = engine.submit(JobRequest::fault_campaign("DWT2D", orig));
   bad.wait();
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultCampaign, QualityFloorTruncatesTheSweep) {
+  // With re-tuning on, dense maps trade precision for placement, so the
+  // perfect-quality delta turns strictly positive; an (absurdly low)
+  // quality floor must then stop the sweep at the first density and mark
+  // the result truncated.  Whether the higher-density children were still
+  // cancellable is a race we deliberately don't pin down — truncation
+  // metadata is the contract.
+  TempDir dir("gpurf_test_cache_camp_floor");
+  Engine engine(EngineOptions()
+                    .with_threads(2)
+                    .with_cache_dir(dir.path)
+                    .with_async_workers(1)
+                    .with_max_inflight(2));
+  FaultCampaignRequest creq;
+  creq.sim.mode = wl::SimMode::kCompressedPerfect;
+  creq.sim.scale = wl::Scale::kSample;
+  creq.sim.retune_on_faults = true;
+  creq.densities = {0.9, 0.95};
+  creq.maps_per_density = 2;
+  creq.base_seed = 33;
+  creq.quality_floor = 1e-12;
+  Job job = engine.submit(JobRequest::fault_campaign("SSAO", creq));
+  job.wait();
+  ASSERT_EQ(job.state(), JobState::kDone) << job.status().to_string();
+  auto res = job.campaign_result();
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  ASSERT_EQ(res->points.size(), 4u);
+  // The floor forces quality scoring on even though the request didn't.
+  ASSERT_EQ(res->points[0].state, JobState::kDone) << res->points[0].error;
+  EXPECT_TRUE(res->points[0].fault.quality_scored);
+  EXPECT_TRUE(res->truncated);
+  EXPECT_EQ(res->truncated_at_density, 0.9);
+  const std::string js = api::to_json(*res);
+  EXPECT_NE(js.find("\"truncated\":true"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"truncated_at_density\""), std::string::npos);
+  EXPECT_TRUE(api::parse_json(js).ok());
+
+  // Without a floor the same sweep runs to completion untruncated (some
+  // points may individually fail at these extreme densities — that's a
+  // per-point outcome, not a truncation).
+  creq.quality_floor = 0.0;
+  Job all = engine.submit(JobRequest::fault_campaign("SSAO", creq));
+  all.wait();
+  ASSERT_EQ(all.state(), JobState::kDone) << all.status().to_string();
+  auto full = all.campaign_result();
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->truncated);
+  EXPECT_EQ(full->points.size(), 4u);
 }
 
 TEST(FaultCampaign, CancelLeavesNoPartialCacheState) {
