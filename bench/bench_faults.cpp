@@ -56,7 +56,7 @@ struct Agg {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bench_faults [--smoke] [--quality] [workload ...]\n");
+               "usage: bench_faults [--smoke] [--quality] [--out PATH] [workload ...]\n");
   return 2;
 }
 
@@ -65,12 +65,15 @@ int usage() {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool quality = false;
+  const char* out_path = "BENCH_faults.json";
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[i], "--quality") == 0)
       quality = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
     else if (argv[i][0] == '-')
       return usage();
     else
@@ -95,7 +98,7 @@ int main(int argc, char** argv) {
               "faults", "coverage mean[min,max]", "redir", "spill",
               "overhead mean[min,max]", quality ? "   qdelta" : "");
 
-  std::FILE* json = std::fopen("BENCH_faults.json", "w");
+  std::FILE* json = std::fopen(out_path, "w");
   if (json)
     std::fprintf(json,
                  "{\n  \"scale\": \"%s\",\n  \"maps_per_density\": %d,\n"

@@ -14,13 +14,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "api/engine.hpp"
 
 namespace wl = gpurf::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_fig11.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) out_path = argv[++i];
   gpurf::Engine engine(gpurf::EngineOptions().with_max_inflight(64));
   // Every simulate job runs the ISSUE 5 multi-SM sharded simulator on the
   // Engine's pool (sim_shards resolves to the thread count); results are
@@ -48,7 +52,7 @@ int main() {
               .with_priority(2 - static_cast<int>(m)));
     }
 
-  std::FILE* json = std::fopen("BENCH_fig11.json", "w");
+  std::FILE* json = std::fopen(out_path, "w");
   if (json) std::fprintf(json, "{\n  \"workloads\": [");
 
   double geo_p = 0.0, geo_h = 0.0;
@@ -73,7 +77,7 @@ int main() {
         // A truncated document would parse as garbage downstream; leave
         // no file rather than half a file.
         std::fclose(json);
-        std::remove("BENCH_fig11.json");
+        std::remove(out_path);
       }
       return 1;
     }

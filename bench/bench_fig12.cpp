@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <iterator>
+#include <string>
 #include <vector>
 
 #include "api/engine.hpp"
@@ -21,7 +22,10 @@
 namespace wl = gpurf::workloads;
 namespace sim = gpurf::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_fig12.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) out_path = argv[++i];
   constexpr uint32_t kDelays[] = {0, 2, 4, 8};
   constexpr size_t kNumDelays = std::size(kDelays);
 
@@ -45,7 +49,7 @@ int main() {
               .with_priority(static_cast<int>(kNumDelays - 1 - d)));
     }
 
-  std::FILE* json = std::fopen("BENCH_fig12.json", "w");
+  std::FILE* json = std::fopen(out_path, "w");
   if (json) std::fprintf(json, "{\n  \"workloads\": [");
 
   for (size_t i = 0; i < names.size(); ++i) {
@@ -62,7 +66,7 @@ int main() {
         if (json) {
           // No file beats half a file for downstream JSON consumers.
           std::fclose(json);
-          std::remove("BENCH_fig12.json");
+          std::remove(out_path);
         }
         return 1;
       }

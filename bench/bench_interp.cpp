@@ -77,10 +77,13 @@ bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  const char* out_path = "BENCH_interp.json";
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke")
       smoke = true;
+    else if (std::string(argv[i]) == "--out" && i + 1 < argc)
+      out_path = argv[++i];
     else
       names.emplace_back(argv[i]);
   }
@@ -98,7 +101,7 @@ int main(int argc, char** argv) {
               "soa", nthreads > 1 ? "soa-par" : "soa-T1", "soa/sc",
               "par/sc", "identical");
 
-  std::FILE* json = std::fopen("BENCH_interp.json", "w");
+  std::FILE* json = std::fopen(out_path, "w");
   if (json) std::fprintf(json, "{\n  \"threads\": %d,\n  \"workloads\": [", nthreads);
 
   int failures = 0;

@@ -82,10 +82,13 @@ std::unique_ptr<wl::Workload> make_by_name(const std::string& name) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  const char* out_path = "BENCH_sim.json";
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
     else
       names.push_back(argv[i]);
   }
@@ -125,7 +128,7 @@ int main(int argc, char** argv) {
   for (int s : shard_counts) std::printf("   T=%-2d [Mc/s]", s);
   std::printf("   speedup   identical\n");
 
-  std::FILE* json = std::fopen("BENCH_sim.json", "w");
+  std::FILE* json = std::fopen(out_path, "w");
   if (json)
     std::fprintf(json, "{\n  \"scale\": \"%s\",\n  \"runs\": [",
                  smoke ? "sample" : "full");

@@ -49,7 +49,7 @@ namespace wl = gpurf::workloads;
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: bench_soft [--smoke] [--full] [workload ...]\n");
+  std::fprintf(stderr, "usage: bench_soft [--smoke] [--full] [--out PATH] [workload ...]\n");
   return 2;
 }
 
@@ -63,12 +63,15 @@ double exposure_per_cycle(const gpurf::sim::SimResult& r) {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool full = false;
+  const char* out_path = "BENCH_soft.json";
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[i], "--full") == 0)
       full = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
     else if (argv[i][0] == '-')
       return usage();
     else
@@ -94,7 +97,7 @@ int main(int argc, char** argv) {
   std::printf("%-11s %-10s %8s %8s %8s %8s %8s %9s\n", "Kernel", "config",
               "rate", "injected", "on_live", "masked", "visible", "bits/cyc");
 
-  std::FILE* json = std::fopen("BENCH_soft.json", "w");
+  std::FILE* json = std::fopen(out_path, "w");
   if (json)
     std::fprintf(json, "{\n  \"scale\": \"%s\",\n  \"workloads\": [",
                  full ? "full" : "sample");

@@ -26,6 +26,8 @@ EngineOptions resolve(EngineOptions o) {
   if (o.async_workers <= 0) o.async_workers = o.threads;
   if (o.max_inflight == 0)
     o.max_inflight = 2 * static_cast<size_t>(o.async_workers);
+  if (o.job_id_start == 0) o.job_id_start = 1;
+  if (o.job_id_stride == 0) o.job_id_stride = 1;
   o.run.thread_insts = nullptr;
   // Cancellation tokens are per-job, never session-wide configuration.
   o.run.cancel = nullptr;
@@ -73,7 +75,9 @@ Engine::Engine(EngineOptions opts)
     : opts_(resolve(std::move(opts))),
       pool_(opts_.threads),
       pipelines_(pipeline_options(opts_, &pipeline_stats_)),
-      registry_(workloads::make_all_workloads()) {}
+      registry_(workloads::make_all_workloads()) {
+  next_job_id_ = opts_.job_id_start;
+}
 
 Engine::~Engine() {
   {
@@ -125,7 +129,13 @@ StatusOr<const workloads::PipelineResult*> Engine::pipeline_impl(
   // kCancelled / kDeadlineExceeded; anything else escaping the core is
   // Internal.  GPURF_ASSERT (state corruption) still aborts by design.
   try {
-    return &pipelines_.get(w, cancel);
+    // Tune-stage latency (ISSUE 8): the memo get covers the whole tuning
+    // path on a miss and a map lookup on a hit, so fingerprint-affine
+    // routing shows up directly as a microsecond-bucket p50.
+    const auto t0 = detail::JobImpl::Clock::now();
+    const workloads::PipelineResult* pr = &pipelines_.get(w, cancel);
+    metrics_.tune_hist.record_us(wall_us_since(t0));
+    return pr;
   } catch (const common::CancelledError& e) {
     return stop_status(e, std::string("pipeline '") + w.spec().name + "'");
   } catch (const Error& e) {
@@ -232,7 +242,9 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
     };
 
     if (!inject) {
+      const auto t0 = detail::JobImpl::Clock::now();
       sim::SimResult result = sim::simulate(opts_.gpu, comp, spec, cancel, so);
+      metrics_.sim_hist.record_us(wall_us_since(t0));
       if (soft_quality) score_soft(result, spec.precision);
       return result;
     }
@@ -322,7 +334,9 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
     spec.regs_per_thread = fa.total_phys_regs();
     spec.precision = &adj;
 
+    const auto sim_t0 = detail::JobImpl::Clock::now();
     sim::SimResult result = sim::simulate(opts_.gpu, comp, spec, cancel, so);
+    metrics_.sim_hist.record_us(wall_us_since(sim_t0));
     sim::FaultInjectionReport& rep = result.fault;
     rep.active = true;
     rep.seed = req.fault.seed;
@@ -449,7 +463,8 @@ Job Engine::submit(JobRequest req) {
     std::lock_guard<std::mutex> lock(qmu_);
     metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
     GPURF_CHECK(!stopping_, "submit on a stopping Engine");
-    impl->id = next_job_id_++;
+    impl->id = next_job_id_;
+    next_job_id_ += opts_.job_id_stride;
     evict_terminal_jobs_locked();
     jobs_[impl->id] = impl;
     campaign_threads_.emplace_back([this, impl] {
@@ -479,7 +494,8 @@ Job Engine::submit(JobRequest req) {
       slot_cv_.wait(lock, has_slot);
     }
     GPURF_CHECK(!stopping_, "submit on a stopping Engine");
-    impl->id = next_job_id_++;
+    impl->id = next_job_id_;
+    next_job_id_ += opts_.job_id_stride;
     evict_terminal_jobs_locked();
     jobs_[impl->id] = impl;
     if (!rejected) {
@@ -531,6 +547,9 @@ void Engine::release_slot() {
 }
 
 void Engine::run_job(detail::JobImpl& job) {
+  // Queue-wait latency (ISSUE 8): submit -> the executor actually starting
+  // the job (admission wait for a slot plus time parked in the queue).
+  metrics_.queue_wait_hist.record_us(wall_us_since(job.submitted_at));
   Status st;
   switch (job.req.kind) {
     case JobKind::kPipeline: {
@@ -632,7 +651,10 @@ bool Engine::start_campaign(detail::JobImpl& job) {
     std::lock_guard<std::mutex> lock(qmu_);
     seq = next_run_seq_++;
   }
-  if (job.start_running(seq)) return true;
+  if (job.start_running(seq)) {
+    metrics_.queue_wait_hist.record_us(wall_us_since(job.submitted_at));
+    return true;
+  }
   // Cancelled (or deadline-expired) before the orchestrator started.
   const common::StopReason r = job.token.stop_reason();
   const bool dl = r == common::StopReason::kDeadline;
@@ -910,47 +932,47 @@ size_t Engine::inflight() const {
   return inflight_;
 }
 
-std::string Engine::metrics_json() const {
-  api::JsonWriter w;
-  w.begin_object();
-  w.field("pipeline_memo_hits",
-          pipeline_stats_.memo_hits.load(std::memory_order_relaxed));
-  w.field("pipeline_memo_misses",
-          pipeline_stats_.memo_misses.load(std::memory_order_relaxed));
-  w.field("disk_cache_hits",
-          pipeline_stats_.disk_cache_hits.load(std::memory_order_relaxed));
-  w.field("disk_cache_stale_rejections",
-          pipeline_stats_.disk_cache_stale_rejections.load(
-              std::memory_order_relaxed));
-  w.field("disk_cache_write_failures",
-          pipeline_stats_.disk_cache_write_failures.load(
-              std::memory_order_relaxed));
-  w.field("disk_cache_disabled",
-          pipeline_stats_.disk_cache_disabled.load(std::memory_order_relaxed));
-  w.field("analysis_cache_hits", analysis_cache_.hits());
-  w.field("analysis_cache_misses", analysis_cache_.misses());
-  size_t depth = 0, infl = 0;
+MetricsSnapshot Engine::metrics_snapshot() const {
+  MetricsSnapshot m;
+  m.pipeline_memo_hits =
+      pipeline_stats_.memo_hits.load(std::memory_order_relaxed);
+  m.pipeline_memo_misses =
+      pipeline_stats_.memo_misses.load(std::memory_order_relaxed);
+  m.disk_cache_hits =
+      pipeline_stats_.disk_cache_hits.load(std::memory_order_relaxed);
+  m.disk_cache_stale_rejections =
+      pipeline_stats_.disk_cache_stale_rejections.load(
+          std::memory_order_relaxed);
+  m.disk_cache_write_failures =
+      pipeline_stats_.disk_cache_write_failures.load(
+          std::memory_order_relaxed);
+  m.disk_cache_disabled =
+      pipeline_stats_.disk_cache_disabled.load(std::memory_order_relaxed) ? 1
+                                                                          : 0;
+  m.analysis_cache_hits = analysis_cache_.hits();
+  m.analysis_cache_misses = analysis_cache_.misses();
   {
     std::lock_guard<std::mutex> lock(qmu_);
-    depth = queue_.size();
-    infl = inflight_;
+    m.queue_depth = queue_.size();
+    m.inflight = inflight_;
+    m.jobs_running = inflight_ - queue_.size();
   }
-  w.field("queue_depth", static_cast<uint64_t>(depth));
-  w.field("jobs_running", static_cast<uint64_t>(infl - depth));
-  w.field("inflight", static_cast<uint64_t>(infl));
-  w.field("jobs_submitted",
-          metrics_.jobs_submitted.load(std::memory_order_relaxed));
-  w.field("jobs_done", metrics_.jobs_done.load(std::memory_order_relaxed));
-  w.field("jobs_failed", metrics_.jobs_failed.load(std::memory_order_relaxed));
-  w.field("jobs_cancelled",
-          metrics_.jobs_cancelled.load(std::memory_order_relaxed));
-  w.field("jobs_deadline_exceeded",
-          metrics_.jobs_deadline_exceeded.load(std::memory_order_relaxed));
-  w.field("job_wall_ms_total",
-          metrics_.job_wall_us_total.load(std::memory_order_relaxed) /
-              1000.0);
-  w.end_object();
-  return w.str();
+  m.jobs_submitted = metrics_.jobs_submitted.load(std::memory_order_relaxed);
+  m.jobs_done = metrics_.jobs_done.load(std::memory_order_relaxed);
+  m.jobs_failed = metrics_.jobs_failed.load(std::memory_order_relaxed);
+  m.jobs_cancelled = metrics_.jobs_cancelled.load(std::memory_order_relaxed);
+  m.jobs_deadline_exceeded =
+      metrics_.jobs_deadline_exceeded.load(std::memory_order_relaxed);
+  m.job_wall_us_total =
+      metrics_.job_wall_us_total.load(std::memory_order_relaxed);
+  m.queue_wait = metrics_.queue_wait_hist.snapshot();
+  m.tune = metrics_.tune_hist.snapshot();
+  m.sim = metrics_.sim_hist.snapshot();
+  return m;
+}
+
+std::string Engine::metrics_json() const {
+  return api::to_json(metrics_snapshot());
 }
 
 // ------------------------------------------------- legacy futures (PR 3)

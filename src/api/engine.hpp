@@ -110,6 +110,13 @@ struct EngineOptions {
   /// submitters with a deadline fail over to kDeadlineExceeded once it
   /// passes.
   size_t max_inflight = 0;
+  /// Job-id space partitioning (ISSUE 8): ids are assigned start,
+  /// start+stride, start+2*stride, ...  A sharded daemon gives shard i of
+  /// N the pair (i+1, N), so every job id names its shard as
+  /// (id-1) % N and job-addressed ops route statelessly.  Defaults keep
+  /// the dense 1,2,3,... sequence single-Engine callers have always seen.
+  uint64_t job_id_start = 1;
+  uint64_t job_id_stride = 1;
 
   // Builder-style setters, chainable:
   //   Engine e(EngineOptions().with_threads(4).with_disk_cache(false));
@@ -131,6 +138,11 @@ struct EngineOptions {
   EngineOptions& with_sim_shards(int n) { sim_shards = n; return *this; }
   EngineOptions& with_async_workers(int n) { async_workers = n; return *this; }
   EngineOptions& with_max_inflight(size_t n) { max_inflight = n; return *this; }
+  EngineOptions& with_job_ids(uint64_t start, uint64_t stride) {
+    job_id_start = start;
+    job_id_stride = stride;
+    return *this;
+  }
 };
 
 class Engine {
@@ -239,9 +251,15 @@ class Engine {
 
   /// Point-in-time metrics snapshot as a JSON object: cache counters
   /// (pipeline memo, kernel-analysis cache, disk cache), queue depth,
-  /// jobs by terminal state, and cumulative job wall time.  Embedded in
-  /// every gpurfd response envelope.
+  /// jobs by terminal state, cumulative job wall time, and per-stage
+  /// latency summaries.  Embedded in every gpurfd response envelope.
   std::string metrics_json() const;
+
+  /// The same snapshot as a value, for shard aggregation (ISSUE 8): a
+  /// sharded daemon sums the per-Engine snapshots with
+  /// MetricsSnapshot::operator+= before serialising.  The `serialize`
+  /// histogram is the Server's to fill; it comes back empty here.
+  MetricsSnapshot metrics_snapshot() const;
 
   // ------------------------------------------------- legacy futures (PR 3)
 

@@ -364,6 +364,81 @@ std::string to_json(const TransientCampaignResult& r) {
   return w.str();
 }
 
+namespace {
+
+void write_hist_fields(JsonWriter& w, const HistogramSnapshot& h, bool full) {
+  w.field("count", h.count);
+  w.field("sum_us", h.sum_us);
+  w.field("mean_us", h.mean_us());
+  w.field("p50_us", h.percentile_us(0.50));
+  w.field("p99_us", h.percentile_us(0.99));
+  w.field("p999_us", h.percentile_us(0.999));
+  if (full) {
+    w.begin_array("buckets");
+    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (h.buckets[static_cast<size_t>(b)] == 0) continue;
+      w.begin_object();
+      // The open-ended last bucket's inclusive bound is UINT64_MAX; emit
+      // -1 instead so readers see a sentinel rather than a 20-digit bound.
+      if (b >= HistogramSnapshot::kBuckets - 1)
+        w.field("le_us", int64_t{-1});
+      else
+        w.field("le_us", HistogramSnapshot::bucket_le_us(b));
+      w.field("count", h.buckets[static_cast<size_t>(b)]);
+      w.end_object();
+    }
+    w.end_array();
+  }
+}
+
+}  // namespace
+
+std::string to_json(const HistogramSnapshot& h, bool full) {
+  JsonWriter w;
+  w.begin_object();
+  write_hist_fields(w, h, full);
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const MetricsSnapshot& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("pipeline_memo_hits", m.pipeline_memo_hits);
+  w.field("pipeline_memo_misses", m.pipeline_memo_misses);
+  w.field("disk_cache_hits", m.disk_cache_hits);
+  w.field("disk_cache_stale_rejections", m.disk_cache_stale_rejections);
+  w.field("disk_cache_write_failures", m.disk_cache_write_failures);
+  w.field("disk_cache_disabled", m.disk_cache_disabled != 0);
+  w.field("analysis_cache_hits", m.analysis_cache_hits);
+  w.field("analysis_cache_misses", m.analysis_cache_misses);
+  w.field("queue_depth", m.queue_depth);
+  w.field("jobs_running", m.jobs_running);
+  w.field("inflight", m.inflight);
+  w.field("jobs_submitted", m.jobs_submitted);
+  w.field("jobs_done", m.jobs_done);
+  w.field("jobs_failed", m.jobs_failed);
+  w.field("jobs_cancelled", m.jobs_cancelled);
+  w.field("jobs_deadline_exceeded", m.jobs_deadline_exceeded);
+  w.field("job_wall_ms_total", static_cast<double>(m.job_wall_us_total) / 1000.0);
+  w.begin_object("latency");
+  w.begin_object("queue_wait");
+  write_hist_fields(w, m.queue_wait, false);
+  w.end_object();
+  w.begin_object("tune");
+  write_hist_fields(w, m.tune, false);
+  w.end_object();
+  w.begin_object("sim");
+  write_hist_fields(w, m.sim, false);
+  w.end_object();
+  w.begin_object("serialize");
+  write_hist_fields(w, m.serialize, false);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
 // ------------------------------------------------------------ JSON parsing
 
 namespace {
@@ -600,6 +675,37 @@ class JsonParser {
 
 StatusOr<JsonValue> parse_json(std::string_view text) {
   return JsonParser(text).parse();
+}
+
+bool deep_equal(const JsonValue& a, const JsonValue& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.bool_v == b.bool_v;
+    case JsonValue::Kind::kNumber: return a.num_v == b.num_v;
+    case JsonValue::Kind::kString: return a.str_v == b.str_v;
+    case JsonValue::Kind::kArray: {
+      if (a.items.size() != b.items.size()) return false;
+      for (size_t i = 0; i < a.items.size(); ++i)
+        if (!deep_equal(a.items[i], b.items[i])) return false;
+      return true;
+    }
+    case JsonValue::Kind::kObject: {
+      if (a.members.size() != b.members.size()) return false;
+      // Order-insensitive; lookups go through get() so duplicate keys
+      // compare by first occurrence on both sides, same as readers see.
+      for (const auto& [k, va] : a.members) {
+        const JsonValue* vb = b.get(k);
+        if (!vb || !deep_equal(*a.get(k), *vb)) return false;
+      }
+      for (const auto& [k, vb] : b.members) {
+        (void)vb;
+        if (!a.get(k)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace gpurf::api

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/job.hpp"
+#include "api/metrics.hpp"
 #include "api/status.hpp"
 #include "sim/gpu.hpp"
 #include "workloads/pipeline.hpp"
@@ -78,6 +79,19 @@ std::string to_json(const FaultCampaignResult& r);
 /// IPC.
 std::string to_json(const TransientCampaignResult& r);
 
+/// Latency-histogram snapshot (ISSUE 8).  Summary form (full=false) is
+/// what every envelope embeds: count, mean and p50/p99/p999 in
+/// microseconds.  Full form adds the log2 bucket array as
+/// [{"le_us":...,"count":...}, ...] (zero buckets skipped) for
+/// {"op":"histograms"}.
+std::string to_json(const HistogramSnapshot& h, bool full);
+
+/// Engine/fleet metrics snapshot (ISSUE 8): the flat counter object every
+/// envelope has carried since ISSUE 4, plus per-stage histogram
+/// summaries.  Shard-aggregated via MetricsSnapshot::operator+= before
+/// serialisation on multi-Engine daemons.
+std::string to_json(const MetricsSnapshot& m);
+
 // ------------------------------------------------------------ JSON parsing
 //
 // The gpurfd wire protocol (ISSUE 4) speaks newline-delimited JSON both
@@ -131,5 +145,13 @@ class JsonValue {
 /// trailing whitespace).  InvalidArgument with a position on malformed
 /// input; never throws.
 StatusOr<JsonValue> parse_json(std::string_view text);
+
+/// Structural equality over parsed JSON values: object member *order* is
+/// ignored (duplicate keys compare by first occurrence, matching
+/// JsonValue::get), array order matters, numbers compare exactly as the
+/// doubles the parser produced.  Used by bench_serve to assert TCP and
+/// AF_UNIX serve bit-identical results even when envelope framing
+/// (chunked vs inline) differs.
+bool deep_equal(const JsonValue& a, const JsonValue& b);
 
 }  // namespace gpurf::api

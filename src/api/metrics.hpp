@@ -1,5 +1,6 @@
 #pragma once
-// Engine-level serving metrics (ISSUE 4 satellite, ROADMAP item).
+// Engine-level serving metrics (ISSUE 4 satellite; latency histograms and
+// fleet aggregation since ISSUE 8).
 //
 // Plain atomic counters, bumped on the hot paths with relaxed ordering and
 // read without synchronisation: a snapshot is a set of independently-read
@@ -13,13 +14,160 @@
 // Only the Engine writes these (submit, the executor's run/discard paths),
 // so the struct lives by value inside the Engine; Job handles never touch
 // it and can safely outlive their Engine.
+//
+// ISSUE 8 adds per-stage latency histograms: fixed-bucket log2 histograms
+// over microseconds, recorded lock-free and merged shard-by-shard for the
+// multi-Engine daemon.  The Engine records queue wait (submit -> start),
+// tune (pipeline memo get, hit or miss) and sim (the cycle-level
+// simulation proper); the Server records serialize (request line ->
+// response line built).  Every response envelope carries the summary
+// percentiles; {"op":"histograms"} exports the full buckets.
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
 #include "api/job.hpp"
 
 namespace gpurf {
+
+/// Value snapshot of a LatencyHistogram: mergeable (bucket-wise sum), with
+/// percentile estimation off the bucket upper bounds.  Bucket b holds
+/// samples whose microsecond value has bit_width b, i.e. us in
+/// [2^(b-1), 2^b); bucket 0 holds exact zeros and the last bucket is
+/// open-ended.  Percentiles therefore over-estimate by at most 2x — the
+/// right bias for tail-latency tripwires.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 32;
+
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+
+  /// Upper bound (inclusive, in us) of bucket b.
+  static uint64_t bucket_le_us(int b) {
+    return b <= 0 ? 0
+           : b >= kBuckets - 1
+               ? ~uint64_t{0}
+               : (uint64_t{1} << b) - 1;
+  }
+
+  HistogramSnapshot& merge(const HistogramSnapshot& o) {
+    for (int b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+    count += o.count;
+    sum_us += o.sum_us;
+    return *this;
+  }
+
+  /// p in [0,1]; returns the upper bound of the bucket containing the
+  /// p-quantile sample (0 when empty).
+  uint64_t percentile_us(double p) const {
+    if (count == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+    if (rank >= count) rank = count - 1;  // p = 1.0 is the max sample
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += buckets[b];
+      if (cum > rank) return bucket_le_us(b);
+    }
+    return bucket_le_us(kBuckets - 1);
+  }
+
+  double mean_us() const {
+    return count ? static_cast<double>(sum_us) / static_cast<double>(count)
+                 : 0.0;
+  }
+};
+
+/// Lock-free fixed-bucket log2 latency histogram (ISSUE 8 tentpole).
+/// record_us is wait-free (two relaxed fetch_adds); snapshots are
+/// independently-read monotone counters like every other metric here.
+class LatencyHistogram {
+ public:
+  void record_us(uint64_t us) {
+    const int b =
+        us == 0 ? 0
+                : std::min<int>(HistogramSnapshot::kBuckets - 1,
+                                std::bit_width(us));
+    buckets_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      s.buckets[static_cast<size_t>(b)] =
+          buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+      s.count += s.buckets[static_cast<size_t>(b)];
+    }
+    s.sum_us = sum_us_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, HistogramSnapshot::kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+/// Point-in-time value snapshot of one Engine's (or, summed, one fleet's)
+/// serving metrics.  operator+= is the shard-aggregation used by
+/// {"op":"metrics"} on a sharded daemon; api::to_json(MetricsSnapshot)
+/// keeps the field names every envelope has carried since ISSUE 4.
+struct MetricsSnapshot {
+  // Cache layer.
+  uint64_t pipeline_memo_hits = 0;
+  uint64_t pipeline_memo_misses = 0;
+  uint64_t disk_cache_hits = 0;
+  uint64_t disk_cache_stale_rejections = 0;
+  uint64_t disk_cache_write_failures = 0;
+  uint64_t disk_cache_disabled = 0;  ///< shards with the latch tripped
+  uint64_t analysis_cache_hits = 0;
+  uint64_t analysis_cache_misses = 0;
+  // Queue / lifecycle.
+  uint64_t queue_depth = 0;
+  uint64_t jobs_running = 0;
+  uint64_t inflight = 0;
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_done = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t jobs_cancelled = 0;
+  uint64_t jobs_deadline_exceeded = 0;
+  uint64_t job_wall_us_total = 0;
+  // Per-stage latency (ISSUE 8).  serialize is recorded by the Server and
+  // merged in at export time; it stays empty on bare-Engine snapshots.
+  HistogramSnapshot queue_wait;
+  HistogramSnapshot tune;
+  HistogramSnapshot sim;
+  HistogramSnapshot serialize;
+
+  MetricsSnapshot& operator+=(const MetricsSnapshot& o) {
+    pipeline_memo_hits += o.pipeline_memo_hits;
+    pipeline_memo_misses += o.pipeline_memo_misses;
+    disk_cache_hits += o.disk_cache_hits;
+    disk_cache_stale_rejections += o.disk_cache_stale_rejections;
+    disk_cache_write_failures += o.disk_cache_write_failures;
+    disk_cache_disabled += o.disk_cache_disabled;
+    analysis_cache_hits += o.analysis_cache_hits;
+    analysis_cache_misses += o.analysis_cache_misses;
+    queue_depth += o.queue_depth;
+    jobs_running += o.jobs_running;
+    inflight += o.inflight;
+    jobs_submitted += o.jobs_submitted;
+    jobs_done += o.jobs_done;
+    jobs_failed += o.jobs_failed;
+    jobs_cancelled += o.jobs_cancelled;
+    jobs_deadline_exceeded += o.jobs_deadline_exceeded;
+    job_wall_us_total += o.job_wall_us_total;
+    queue_wait.merge(o.queue_wait);
+    tune.merge(o.tune);
+    sim.merge(o.sim);
+    serialize.merge(o.serialize);
+    return *this;
+  }
+};
 
 struct EngineMetrics {
   // Job lifecycle (terminal counters are exact: finalize runs once).
@@ -32,6 +180,15 @@ struct EngineMetrics {
   /// Sum of submit -> terminal wall time over all terminal jobs, in
   /// microseconds (divide by the terminal-job count for the mean).
   std::atomic<uint64_t> job_wall_us_total{0};
+
+  // Per-stage latency histograms (ISSUE 8): queue wait covers submit ->
+  // start for every job that ran; tune covers each pipeline memo get
+  // (hits land in the microsecond buckets, which is how fingerprint-
+  // affine routing becomes visible); sim covers the cycle-level
+  // simulation proper.
+  LatencyHistogram queue_wait_hist;
+  LatencyHistogram tune_hist;
+  LatencyHistogram sim_hist;
 
   void record_terminal(JobState state, bool status_ok, uint64_t wall_us) {
     switch (state) {

@@ -1,6 +1,10 @@
 #include "api/server.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -10,9 +14,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <unordered_map>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace gpurf::api {
@@ -22,16 +29,19 @@ namespace {
 namespace wl = gpurf::workloads;
 
 /// Response envelope builders: every reply — success or error — embeds the
-/// Engine's metrics snapshot (ISSUE 4 satellite).
-std::string envelope_error(Engine& e, const Status& st) {
+/// fleet's metrics snapshot (ISSUE 4 satellite; fleet-aggregated and
+/// histogram-bearing since ISSUE 8).
+std::string envelope_error(const std::string& metrics, const Status& st,
+                           int64_t retry_after_ms = -1) {
   JsonWriter w;
   w.begin_object();
   w.field("ok", false);
   w.begin_object("error");
   w.field("code", status_code_name(st.code()));
   w.field("message", st.message());
+  if (retry_after_ms >= 0) w.field("retry_after_ms", retry_after_ms);
   w.end_object();
-  w.raw("metrics", e.metrics_json());
+  w.raw("metrics", metrics);
   w.end_object();
   return w.str();
 }
@@ -45,8 +55,8 @@ JsonWriter envelope_begin() {
   return w;
 }
 
-std::string envelope_finish(Engine& e, JsonWriter& w) {
-  w.raw("metrics", e.metrics_json());
+std::string envelope_finish(const std::string& metrics, JsonWriter& w) {
+  w.raw("metrics", metrics);
   w.end_object();
   return w.str();
 }
@@ -156,44 +166,192 @@ void write_job_fields(JsonWriter& w, const Job& job) {
   }
 }
 
+/// Progress fingerprint for watch: everything a client-visible progress
+/// change touches, *excluding* the wall clocks (which change every poll
+/// and would turn watch into a firehose).
+std::string progress_key(const Job& job) {
+  const JobProgress p = job.progress();
+  std::string k = job_state_name(p.state);
+  k += '|';
+  k += common::job_stage_name(p.stage);
+  k += '|';
+  k += std::to_string(p.tuner_pass) + '|' +
+       std::to_string(p.tuner_evaluations) + '|' +
+       std::to_string(p.sim_cycles) + '|' + std::to_string(p.run_seq) + '|' +
+       std::to_string(p.campaign_maps_done);
+  return k;
+}
+
+/// The successful result JSON for a kDone job of any kind, or empty.
+std::string result_json_for(const Job& job) {
+  if (job.kind() == JobKind::kPipeline) {
+    auto pr = job.pipeline_result();
+    if (pr.ok()) return to_json(*pr);
+  } else if (job.kind() == JobKind::kFaultCampaign) {
+    auto cr = job.campaign_result();
+    if (cr.ok()) return to_json(*cr);
+  } else if (job.kind() == JobKind::kTransientCampaign) {
+    auto tr = job.transient_result();
+    if (tr.ok()) return to_json(*tr);
+  } else {
+    auto sr = job.sim_result();
+    if (sr.ok()) return to_json(*sr);
+  }
+  return std::string();
+}
+
+bool send_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a client that hung up mid-response must produce
+    // EPIPE here, not a SIGPIPE that kills the whole daemon.
+    const ssize_t wr =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (wr <= 0) return false;
+    off += static_cast<size_t>(wr);
+  }
+  return true;
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------- quotas
+
+/// Per-token serving quota state (ISSUE 8).  One entry per distinct
+/// "token" string (the empty string is the anonymous client of an
+/// auth-less daemon).
+struct Server::TokenState {
+  std::mutex mu;
+  double bucket = 0.0;  ///< submit token-bucket level
+  bool bucket_init = false;
+  std::chrono::steady_clock::time_point last_refill;
+  size_t inflight = 0;  ///< submitted-but-unfinished jobs
+};
+
+struct Server::QuotaTable {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<TokenState>> tokens;
+
+  std::shared_ptr<TokenState> get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = tokens[key];
+    if (!slot) slot = std::make_shared<TokenState>();
+    return slot;
+  }
+};
+
+// ---------------------------------------------------------------- Server
+
 Server::Server(Engine& engine, ServerOptions opts)
-    : engine_(engine), opts_(std::move(opts)) {}
+    : own_fleet_(std::make_unique<serve::EngineFleet>(engine)),
+      opts_(std::move(opts)),
+      quotas_(std::make_shared<QuotaTable>()) {
+  fleet_ = own_fleet_.get();
+}
+
+Server::Server(serve::EngineFleet& fleet, ServerOptions opts)
+    : fleet_(&fleet),
+      opts_(std::move(opts)),
+      quotas_(std::make_shared<QuotaTable>()) {}
 
 Server::~Server() { stop(); }
 
 Status Server::start() {
-  if (opts_.socket_path.empty())
-    return Status::InvalidArgument("gpurfd: socket_path is empty");
-  sockaddr_un addr{};
-  if (opts_.socket_path.size() >= sizeof(addr.sun_path))
-    return Status::InvalidArgument("gpurfd: socket path too long: " +
-                                   opts_.socket_path);
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0)
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  ::unlink(opts_.socket_path.c_str());  // stale socket from a dead daemon
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status st = Status::Internal("bind " + opts_.socket_path + ": " +
-                                       std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const bool want_unix = !opts_.socket_path.empty();
+  const bool want_tcp = opts_.listen_port >= 0;
+  if (!want_unix && !want_tcp)
+    return Status::InvalidArgument(
+        "gpurfd: no listener configured (need socket_path and/or "
+        "listen_port)");
+
+  auto fail = [this](Status st) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (tcp_listen_fd_ >= 0) {
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+      tcp_port_ = -1;
+    }
     return st;
+  };
+
+  if (want_unix) {
+    sockaddr_un addr{};
+    // Validate against sun_path instead of silently truncating (ISSUE 8
+    // satellite — a truncated path binds somewhere the client never
+    // looks).
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path))
+      return Status::InvalidArgument("gpurfd: socket path too long (" +
+                                     std::to_string(opts_.socket_path.size()) +
+                                     " >= " +
+                                     std::to_string(sizeof(addr.sun_path)) +
+                                     "): " + opts_.socket_path);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opts_.socket_path.c_str());  // stale socket from a dead daemon
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      return fail(Status::Internal("bind " + opts_.socket_path + ": " +
+                                   std::strerror(errno)));
+    if (::listen(listen_fd_, 64) < 0)
+      return fail(
+          Status::Internal(std::string("listen: ") + std::strerror(errno)));
   }
-  if (::listen(listen_fd_, 16) < 0) {
-    const Status st =
-        Status::Internal(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
+
+  if (want_tcp) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(opts_.listen_port));
+    const std::string& host =
+        opts_.listen_host == "localhost" ? std::string("127.0.0.1")
+                                         : opts_.listen_host;
+    if (host.empty() || host == "0.0.0.0") {
+      addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return fail(Status::InvalidArgument("gpurfd: bad listen host '" +
+                                          opts_.listen_host +
+                                          "' (numeric IPv4 expected)"));
+    }
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0)
+      return fail(
+          Status::Internal(std::string("socket: ") + std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      return fail(Status::Internal("bind " + opts_.listen_host + ":" +
+                                   std::to_string(opts_.listen_port) + ": " +
+                                   std::strerror(errno)));
+    if (::listen(tcp_listen_fd_, 128) < 0)
+      return fail(
+          Status::Internal(std::string("listen: ") + std::strerror(errno)));
+    // Ephemeral binds (port 0) read the real port back for the caller.
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &blen) == 0)
+      tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    else
+      tcp_port_ = opts_.listen_port;
   }
+
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  // Capture the fds by value: stop() writes -1 into the members without
+  // holding a lock the accept threads share, so the lambdas must not read
+  // them after launch.
+  if (listen_fd_ >= 0)
+    accept_thread_ =
+        std::thread([this, fd = listen_fd_] { accept_loop(fd, false); });
+  if (tcp_listen_fd_ >= 0)
+    tcp_accept_thread_ =
+        std::thread([this, fd = tcp_listen_fd_] { accept_loop(fd, true); });
   return Status::Ok();
 }
 
@@ -225,7 +383,13 @@ void Server::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (tcp_listen_fd_ >= 0) {
+    ::shutdown(tcp_listen_fd_, SHUT_RDWR);
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (tcp_accept_thread_.joinable()) tcp_accept_thread_.join();
   // Kick every live connection (unblocks reads; a handler parked inside a
   // long "wait" op notices stopping_ within one wait slice), then join
   // every handler thread.  After the joins no connection code can run, so
@@ -239,16 +403,23 @@ void Server::stop() {
     finished_.clear();
   }
   for (auto& [id, t] : remaining) t.join();
-  if (was_running) ::unlink(opts_.socket_path.c_str());
+  if (was_running && !opts_.socket_path.empty())
+    ::unlink(opts_.socket_path.c_str());
 }
 
-void Server::accept_loop() {
+void Server::accept_loop(int listen_fd, bool tcp) {
   while (running_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load(std::memory_order_acquire)) break;
       if (errno == EINTR) continue;
       break;  // listener closed underneath us
+    }
+    if (tcp) {
+      // Request/response lines are small; Nagle would add 40ms to every
+      // sub-MSS exchange on loopback.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
     // Joining finished predecessors here bounds the registry at the
     // number of *live* connections plus the already-finished ones since
@@ -261,8 +432,8 @@ void Server::accept_loop() {
       std::lock_guard<std::mutex> lock(mu_);
       const uint64_t id = next_conn_id_++;
       conns_.insert(fd);
-      threads_.emplace(id,
-                       std::thread([this, fd, id] { serve_connection(fd, id); }));
+      threads_.emplace(
+          id, std::thread([this, fd, id] { serve_connection(fd, id); }));
     }
   }
 }
@@ -270,25 +441,59 @@ void Server::accept_loop() {
 void Server::serve_connection(int fd, uint64_t conn_id) {
   std::string buf;
   char chunk[4096];
-  for (;;) {
+  bool drop = false;
+  while (!drop) {
+    if (opts_.idle_timeout_ms > 0) {
+      // Idle timeout (ISSUE 8): a connection that sends nothing within
+      // the window is dropped, so slow/hostile peers cannot pin handler
+      // threads forever.  stop()'s shutdown() wakes the poll too.
+      pollfd pfd{fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, opts_.idle_timeout_ms);
+      if (pr == 0) break;  // idle too long
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+    }
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n <= 0) break;  // EOF, shutdown, or error
     buf.append(chunk, static_cast<size_t>(n));
+    // Oversized-request rejection (ISSUE 8): cap the unframed buffer as
+    // well as each complete line, then drop the connection — there is no
+    // way to resynchronise a stream mid-oversized-line.
+    if (buf.size() > opts_.max_request_bytes &&
+        buf.find('\n') == std::string::npos) {
+      send_all(fd, envelope_error(
+                       metrics_json_now(),
+                       Status::InvalidArgument(
+                           "request exceeds max_request_bytes (" +
+                           std::to_string(opts_.max_request_bytes) + ")")) +
+                       "\n");
+      break;
+    }
     size_t nl;
     while ((nl = buf.find('\n')) != std::string::npos) {
       const std::string line = buf.substr(0, nl);
       buf.erase(0, nl + 1);
       if (line.empty()) continue;
-      std::string resp = handle_request_line(line);
+      if (line.size() > opts_.max_request_bytes) {
+        send_all(fd, envelope_error(
+                         metrics_json_now(),
+                         Status::InvalidArgument(
+                             "request exceeds max_request_bytes (" +
+                             std::to_string(opts_.max_request_bytes) + ")")) +
+                         "\n");
+        drop = true;
+        break;
+      }
+      SendLineFn push = [fd](const std::string& l) {
+        return send_all(fd, l + "\n");
+      };
+      std::string resp = handle_request(line, &push);
       resp += '\n';
-      size_t off = 0;
-      while (off < resp.size()) {
-        // MSG_NOSIGNAL: a client that hung up mid-response must produce
-        // EPIPE here, not a SIGPIPE that kills the whole daemon.
-        const ssize_t wr = ::send(fd, resp.data() + off, resp.size() - off,
-                                  MSG_NOSIGNAL);
-        if (wr <= 0) { off = resp.size(); break; }
-        off += static_cast<size_t>(wr);
+      if (!send_all(fd, resp)) {
+        drop = true;
+        break;
       }
     }
   }
@@ -308,161 +513,360 @@ void Server::serve_connection(int fd, uint64_t conn_id) {
   finished_.push_back(conn_id);
 }
 
+std::string Server::metrics_json_now() const {
+  MetricsSnapshot m = fleet_->metrics_snapshot();
+  m.serialize = serialize_hist_.snapshot();
+  return to_json(m);
+}
+
 std::string Server::handle_request_line(const std::string& line) {
+  return handle_request(line, nullptr);
+}
+
+std::string Server::handle_request(const std::string& line, SendLineFn* push) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string resp;
   StatusOr<JsonValue> parsed = parse_json(line);
-  if (!parsed.ok()) return envelope_error(engine_, parsed.status());
-  const JsonValue& req = *parsed;
-  if (!req.is_object())
-    return envelope_error(engine_,
+  if (!parsed.ok()) {
+    resp = envelope_error(metrics_json_now(), parsed.status());
+  } else if (!parsed->is_object()) {
+    resp = envelope_error(metrics_json_now(),
                           Status::InvalidArgument("request must be an object"));
-  const std::string op = req.get("op") ? req.get("op")->as_string() : "";
+  } else {
+    const JsonValue& req = *parsed;
+    const std::string op = req.get("op") ? req.get("op")->as_string() : "";
+    const std::string token =
+        req.get("token") ? req.get("token")->as_string() : "";
 
-  try {
-    if (op == "ping") {
-      JsonWriter w = envelope_begin();
-      w.field("pong", true);
-      return envelope_finish(engine_, w);
-    }
-
-    if (op == "list") {
-      JsonWriter w = envelope_begin();
-      w.begin_array("workloads");
-      for (const auto& n : engine_.workload_names()) w.element(n);
-      w.end_array();
-      return envelope_finish(engine_, w);
-    }
-
-    if (op == "metrics") {
-      JsonWriter w = envelope_begin();
-      return envelope_finish(engine_, w);
-    }
-
-    if (op == "submit") {
-      const std::string kind =
-          req.get("kind") ? req.get("kind")->as_string("pipeline")
-                          : "pipeline";
-      const JsonValue* wlname = req.get("workload");
-      if (!wlname || !wlname->is_string())
-        return envelope_error(
-            engine_, Status::InvalidArgument("submit requires 'workload'"));
-      JobRequest jr;
-      if (kind == "pipeline") {
-        jr = JobRequest::pipeline(wlname->as_string());
-      } else if (kind == "simulate") {
-        SimRequest sr;
-        const Status st = parse_sim_request(req, sr);
-        if (!st.ok()) return envelope_error(engine_, st);
-        jr = JobRequest::simulate(wlname->as_string(), sr);
-      } else if (kind == "fault_campaign") {
-        FaultCampaignRequest cr;
-        // A campaign is compressed by construction; default the template
-        // mode to perfect quality when the request names none.
-        if (!req.get("mode")) cr.sim.mode = wl::SimMode::kCompressedPerfect;
-        Status st = parse_sim_request(req, cr.sim);
-        if (st.ok()) st = parse_number_array(req, "densities", cr.densities);
-        if (!st.ok()) return envelope_error(engine_, st);
-        if (const JsonValue* m = req.get("maps_per_density"))
-          cr.maps_per_density = static_cast<int>(m->as_int(3));
-        if (const JsonValue* b = req.get("base_seed"))
-          cr.base_seed = static_cast<uint64_t>(b->as_int(1));
-        if (const JsonValue* q = req.get("quality_floor"))
-          cr.quality_floor = q->as_double(0.0);
-        jr = JobRequest::fault_campaign(wlname->as_string(), std::move(cr));
-      } else if (kind == "transient_campaign") {
-        TransientCampaignRequest tr;
-        Status st = parse_sim_request(req, tr.sim);
-        if (st.ok()) st = parse_number_array(req, "flip_rates", tr.flip_rates);
-        if (!st.ok()) return envelope_error(engine_, st);
-        if (const JsonValue* s = req.get("seeds_per_rate"))
-          tr.seeds_per_rate = static_cast<int>(s->as_int(3));
-        if (const JsonValue* b = req.get("base_seed"))
-          tr.base_seed = static_cast<uint64_t>(b->as_int(1));
-        jr = JobRequest::transient_campaign(wlname->as_string(),
-                                            std::move(tr));
+    try {
+      // Auth gate (ISSUE 8): a daemon started with tokens accepts nothing
+      // — not even ping — without one of them.
+      if (!opts_.auth_tokens.empty() &&
+          std::find(opts_.auth_tokens.begin(), opts_.auth_tokens.end(),
+                    token) == opts_.auth_tokens.end()) {
+        resp = envelope_error(
+            metrics_json_now(),
+            Status::Unauthenticated(token.empty()
+                                        ? "missing 'token'"
+                                        : "unrecognised auth token"));
+      } else if (op == "ping") {
+        JsonWriter w = envelope_begin();
+        w.field("pong", true);
+        resp = envelope_finish(metrics_json_now(), w);
+      } else if (op == "list") {
+        JsonWriter w = envelope_begin();
+        w.begin_array("workloads");
+        for (const auto& n : fleet_->shard(0).workload_names()) w.element(n);
+        w.end_array();
+        w.field("engines", static_cast<int64_t>(fleet_->num_shards()));
+        resp = envelope_finish(metrics_json_now(), w);
+      } else if (op == "metrics") {
+        JsonWriter w = envelope_begin();
+        w.field("engines", static_cast<int64_t>(fleet_->num_shards()));
+        resp = envelope_finish(metrics_json_now(), w);
+      } else if (op == "histograms") {
+        // Full bucket arrays per latency stage (summaries ride in every
+        // envelope's metrics object; this op is for plotting).
+        MetricsSnapshot m = fleet_->metrics_snapshot();
+        m.serialize = serialize_hist_.snapshot();
+        JsonWriter w = envelope_begin();
+        w.begin_object("histograms");
+        w.raw("queue_wait", to_json(m.queue_wait, true));
+        w.raw("tune", to_json(m.tune, true));
+        w.raw("sim", to_json(m.sim, true));
+        w.raw("serialize", to_json(m.serialize, true));
+        w.end_object();
+        resp = envelope_finish(to_json(m), w);
+      } else if (op == "submit") {
+        resp = handle_submit(req, token);
+      } else if (op == "status" || op == "wait" || op == "cancel" ||
+                 op == "watch") {
+        resp = handle_job_op(req, op, push);
+      } else if (op == "shutdown") {
+        shutdown_.store(true, std::memory_order_release);
+        JsonWriter w = envelope_begin();
+        w.field("shutting_down", true);
+        resp = envelope_finish(metrics_json_now(), w);
       } else {
-        return envelope_error(
-            engine_,
+        resp = envelope_error(
+            metrics_json_now(),
             Status::InvalidArgument(
-                "unknown kind '" + kind +
-                "' (pipeline|simulate|fault_campaign|transient_campaign)"));
+                "unknown op '" + op +
+                "' (ping|list|metrics|histograms|submit|status|wait|cancel|"
+                "watch|shutdown)"));
       }
-      if (const JsonValue* p = req.get("priority"))
-        jr.priority = static_cast<int>(p->as_int(0));
-      if (const JsonValue* d = req.get("deadline_ms"))
-        jr.deadline_ms = d->as_int(0);
-      // Fail fast on unknown workloads: the submit itself reports
-      // NOT_FOUND instead of parking a doomed job in the queue.
-      auto wlp = engine_.workload(wlname->as_string());
-      if (!wlp.ok()) return envelope_error(engine_, wlp.status());
-      Job job = engine_.submit(std::move(jr));
-      JsonWriter w = envelope_begin();
-      write_job_fields(w, job);
-      return envelope_finish(engine_, w);
+    } catch (const Error& e) {
+      resp = envelope_error(metrics_json_now(),
+                            Status::FailedPrecondition(e.what()));
+    } catch (const std::exception& e) {
+      resp = envelope_error(metrics_json_now(), Status::Internal(e.what()));
     }
-
-    // Remaining ops address an existing job by id.
-    const JsonValue* idv = req.get("job");
-    if (op == "status" || op == "wait" || op == "cancel") {
-      if (!idv || !idv->is_number())
-        return envelope_error(
-            engine_, Status::InvalidArgument("'" + op + "' requires 'job'"));
-      auto job = engine_.find_job(static_cast<uint64_t>(idv->as_int()));
-      if (!job.ok()) return envelope_error(engine_, job.status());
-
-      if (op == "cancel") {
-        job->cancel();
-      } else if (op == "wait") {
-        int64_t timeout_ms =
-            req.get("timeout_ms") ? req.get("timeout_ms")->as_int(600000)
-                                  : 600000;
-        if (timeout_ms < 0) timeout_ms = 0;
-        // Sliced wait: a stopping server must not stay pinned behind a
-        // client's multi-minute wait — each slice rechecks stopping_, so
-        // stop() drains this handler within ~200ms (the response then
-        // reports whatever state the job reached).
-        while (timeout_ms > 0 && !stopping_.load(std::memory_order_acquire)) {
-          const int64_t slice = timeout_ms < 200 ? timeout_ms : 200;
-          if (job->wait_for(std::chrono::milliseconds(slice))) break;
-          timeout_ms -= slice;
-        }
-      }
-      JsonWriter w = envelope_begin();
-      write_job_fields(w, *job);
-      if (op == "wait" && job->state() == JobState::kDone) {
-        if (job->kind() == JobKind::kPipeline) {
-          auto pr = job->pipeline_result();
-          if (pr.ok()) w.raw("result", to_json(*pr));
-        } else if (job->kind() == JobKind::kFaultCampaign) {
-          auto cr = job->campaign_result();
-          if (cr.ok()) w.raw("result", to_json(*cr));
-        } else if (job->kind() == JobKind::kTransientCampaign) {
-          auto tr = job->transient_result();
-          if (tr.ok()) w.raw("result", to_json(*tr));
-        } else {
-          auto sr = job->sim_result();
-          if (sr.ok()) w.raw("result", to_json(*sr));
-        }
-      }
-      return envelope_finish(engine_, w);
-    }
-
-    if (op == "shutdown") {
-      shutdown_.store(true, std::memory_order_release);
-      JsonWriter w = envelope_begin();
-      w.field("shutting_down", true);
-      return envelope_finish(engine_, w);
-    }
-
-    return envelope_error(
-        engine_, Status::InvalidArgument(
-                     "unknown op '" + op +
-                     "' (ping|list|metrics|submit|status|wait|cancel|"
-                     "shutdown)"));
-  } catch (const Error& e) {
-    return envelope_error(engine_, Status::FailedPrecondition(e.what()));
-  } catch (const std::exception& e) {
-    return envelope_error(engine_, Status::Internal(e.what()));
   }
+  serialize_hist_.record_us(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return resp;
+}
+
+std::string Server::handle_submit(const JsonValue& req,
+                                  const std::string& token) {
+  const std::string kind =
+      req.get("kind") ? req.get("kind")->as_string("pipeline") : "pipeline";
+  const JsonValue* wlname = req.get("workload");
+  if (!wlname || !wlname->is_string())
+    return envelope_error(metrics_json_now(),
+                          Status::InvalidArgument("submit requires 'workload'"));
+  JobRequest jr;
+  if (kind == "pipeline") {
+    jr = JobRequest::pipeline(wlname->as_string());
+  } else if (kind == "simulate") {
+    SimRequest sr;
+    const Status st = parse_sim_request(req, sr);
+    if (!st.ok()) return envelope_error(metrics_json_now(), st);
+    jr = JobRequest::simulate(wlname->as_string(), sr);
+  } else if (kind == "fault_campaign") {
+    FaultCampaignRequest cr;
+    // A campaign is compressed by construction; default the template
+    // mode to perfect quality when the request names none.
+    if (!req.get("mode")) cr.sim.mode = wl::SimMode::kCompressedPerfect;
+    Status st = parse_sim_request(req, cr.sim);
+    if (st.ok()) st = parse_number_array(req, "densities", cr.densities);
+    if (!st.ok()) return envelope_error(metrics_json_now(), st);
+    if (const JsonValue* m = req.get("maps_per_density"))
+      cr.maps_per_density = static_cast<int>(m->as_int(3));
+    if (const JsonValue* b = req.get("base_seed"))
+      cr.base_seed = static_cast<uint64_t>(b->as_int(1));
+    if (const JsonValue* q = req.get("quality_floor"))
+      cr.quality_floor = q->as_double(0.0);
+    jr = JobRequest::fault_campaign(wlname->as_string(), std::move(cr));
+  } else if (kind == "transient_campaign") {
+    TransientCampaignRequest tr;
+    Status st = parse_sim_request(req, tr.sim);
+    if (st.ok()) st = parse_number_array(req, "flip_rates", tr.flip_rates);
+    if (!st.ok()) return envelope_error(metrics_json_now(), st);
+    if (const JsonValue* s = req.get("seeds_per_rate"))
+      tr.seeds_per_rate = static_cast<int>(s->as_int(3));
+    if (const JsonValue* b = req.get("base_seed"))
+      tr.base_seed = static_cast<uint64_t>(b->as_int(1));
+    jr = JobRequest::transient_campaign(wlname->as_string(), std::move(tr));
+  } else {
+    return envelope_error(
+        metrics_json_now(),
+        Status::InvalidArgument(
+            "unknown kind '" + kind +
+            "' (pipeline|simulate|fault_campaign|transient_campaign)"));
+  }
+  if (const JsonValue* p = req.get("priority"))
+    jr.priority = static_cast<int>(p->as_int(0));
+  if (const JsonValue* d = req.get("deadline_ms"))
+    jr.deadline_ms = d->as_int(0);
+
+  // Fingerprint-affine routing (ISSUE 8): the same workload always lands
+  // on the same engine shard, keeping its tune/analysis caches hot there.
+  const int shard = fleet_->shard_for_workload(wlname->as_string());
+  Engine& engine = fleet_->shard(shard);
+
+  // Fail fast on unknown workloads: the submit itself reports NOT_FOUND
+  // instead of parking a doomed job in the queue.
+  auto wlp = engine.workload(wlname->as_string());
+  if (!wlp.ok()) return envelope_error(metrics_json_now(), wlp.status());
+
+  // Per-token quotas (ISSUE 8): a token-bucket on submit rate and a cap
+  // on unfinished jobs, both rejecting with RESOURCE_EXHAUSTED and a
+  // structured retry_after_ms instead of queueing the excess.
+  std::shared_ptr<TokenState> ts;
+  if (opts_.token_rate > 0.0 || opts_.token_max_inflight > 0) {
+    ts = quotas_->get(token);
+    std::lock_guard<std::mutex> lock(ts->mu);
+    if (opts_.token_rate > 0.0) {
+      const double burst = opts_.token_burst > 0.0
+                               ? opts_.token_burst
+                               : std::max(1.0, opts_.token_rate);
+      const auto now = std::chrono::steady_clock::now();
+      if (!ts->bucket_init) {
+        ts->bucket = burst;
+        ts->bucket_init = true;
+      } else {
+        const double dt =
+            std::chrono::duration<double>(now - ts->last_refill).count();
+        ts->bucket = std::min(burst, ts->bucket + dt * opts_.token_rate);
+      }
+      ts->last_refill = now;
+      if (ts->bucket < 1.0) {
+        const int64_t retry_ms = static_cast<int64_t>(
+            std::ceil((1.0 - ts->bucket) / opts_.token_rate * 1000.0));
+        return envelope_error(
+            metrics_json_now(),
+            Status::ResourceExhausted("submit rate quota exceeded for token"),
+            std::max<int64_t>(1, retry_ms));
+      }
+      ts->bucket -= 1.0;
+    }
+    if (opts_.token_max_inflight > 0 &&
+        ts->inflight >= opts_.token_max_inflight) {
+      // Back-off hint: the mean job wall time is when a slot plausibly
+      // frees up; clamped so a cold daemon still gives a sane hint.
+      const MetricsSnapshot m = fleet_->metrics_snapshot();
+      const uint64_t term = m.jobs_done + m.jobs_failed + m.jobs_cancelled +
+                            m.jobs_deadline_exceeded;
+      const int64_t mean_ms =
+          term ? static_cast<int64_t>(m.job_wall_us_total / term / 1000)
+               : 100;
+      return envelope_error(
+          metrics_json_now(),
+          Status::ResourceExhausted(
+              std::string("token in-flight quota (") +
+              std::to_string(opts_.token_max_inflight) + ") exceeded"),
+          std::clamp<int64_t>(mean_ms, 50, 5000));
+    }
+    ts->inflight += 1;
+  }
+
+  Job job;
+  try {
+    job = engine.submit(std::move(jr));
+  } catch (...) {
+    if (ts) {
+      std::lock_guard<std::mutex> lock(ts->mu);
+      ts->inflight -= 1;
+    }
+    throw;
+  }
+  if (ts) {
+    // The listener owns the state through shared_ptrs — it may fire after
+    // this Server is long gone (the Engines outlive it).
+    auto table = quotas_;
+    auto state = ts;
+    job.on_terminal([table, state] {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->inflight > 0) state->inflight -= 1;
+    });
+  }
+
+  JsonWriter w = envelope_begin();
+  write_job_fields(w, job);
+  w.field("shard", static_cast<int64_t>(shard));
+  return envelope_finish(metrics_json_now(), w);
+}
+
+std::string Server::handle_job_op(const JsonValue& req, const std::string& op,
+                                  SendLineFn* push) {
+  const JsonValue* idv = req.get("job");
+  if (!idv || !idv->is_number())
+    return envelope_error(
+        metrics_json_now(),
+        Status::InvalidArgument("'" + op + "' requires 'job'"));
+  const uint64_t id = static_cast<uint64_t>(idv->as_int());
+  if (id == 0)
+    return envelope_error(metrics_json_now(),
+                          Status::NotFound("no job with id 0"));
+  // Residue-class routing: job ids are disjoint per shard, so the id
+  // names its owner without any shared lookup table.
+  const int shard = fleet_->shard_for_job(id);
+  auto job = fleet_->shard(shard).find_job(id);
+  if (!job.ok()) return envelope_error(metrics_json_now(), job.status());
+
+  bool watched_event = false;  // watch op: emitted at least the terminal tag
+  if (op == "cancel") {
+    job->cancel();
+  } else if (op == "wait") {
+    int64_t timeout_ms = req.get("timeout_ms")
+                             ? req.get("timeout_ms")->as_int(600000)
+                             : 600000;
+    if (timeout_ms < 0) timeout_ms = 0;
+    // Sliced wait: a stopping server must not stay pinned behind a
+    // client's multi-minute wait — each slice rechecks stopping_, so
+    // stop() drains this handler within ~200ms (the response then
+    // reports whatever state the job reached).
+    while (timeout_ms > 0 && !stopping_.load(std::memory_order_acquire)) {
+      const int64_t slice = timeout_ms < 200 ? timeout_ms : 200;
+      if (job->wait_for(std::chrono::milliseconds(slice))) break;
+      timeout_ms -= slice;
+    }
+  } else if (op == "watch") {
+    // Push subscription (ISSUE 8): progress events stream as their own
+    // envelope lines whenever the job's progress fingerprint changes;
+    // the method's return value is the closing wait-style envelope.
+    // Without a transport (the in-process seam) watch degrades to wait.
+    watched_event = true;
+    int64_t timeout_ms = req.get("timeout_ms")
+                             ? req.get("timeout_ms")->as_int(600000)
+                             : 600000;
+    if (timeout_ms < 0) timeout_ms = 0;
+    int64_t progress_ms = req.get("progress_ms")
+                              ? req.get("progress_ms")->as_int(100)
+                              : 100;
+    progress_ms = std::clamp<int64_t>(progress_ms, 10, 1000);
+    std::string last_key = progress_key(*job);
+    while (timeout_ms > 0 && !stopping_.load(std::memory_order_acquire)) {
+      const int64_t slice = std::min<int64_t>(timeout_ms, progress_ms);
+      if (job->wait_for(std::chrono::milliseconds(slice))) break;
+      timeout_ms -= slice;
+      if (!push) continue;
+      std::string key = progress_key(*job);
+      if (key == last_key) continue;
+      last_key = std::move(key);
+      JsonWriter ev;
+      ev.begin_object();
+      ev.field("ok", true);
+      ev.field("event", "progress");
+      write_job_fields(ev, *job);
+      ev.end_object();
+      if (!(*push)(ev.str())) break;  // peer gone — stop early
+    }
+  }
+
+  JsonWriter w = envelope_begin();
+  if (watched_event) w.field("event", "terminal");
+  write_job_fields(w, *job);
+
+  // Result attachment (wait and watch): inline by default; with
+  // "stream":true a result larger than chunk_bytes is sliced into
+  // follow-up {"chunk":..} lines so one huge campaign snapshot cannot
+  // monopolise the line buffer of every proxy between us and the client.
+  std::string extra_lines;
+  if ((op == "wait" || op == "watch") && job->state() == JobState::kDone) {
+    const std::string result = result_json_for(*job);
+    if (!result.empty()) {
+      const bool stream =
+          req.get("stream") ? req.get("stream")->as_bool(false) : false;
+      size_t chunk_bytes =
+          req.get("chunk_bytes")
+              ? static_cast<size_t>(
+                    std::max<int64_t>(256, req.get("chunk_bytes")->as_int(4096)))
+              : 4096;
+      if (stream && result.size() > chunk_bytes) {
+        const size_t n_chunks = (result.size() + chunk_bytes - 1) / chunk_bytes;
+        w.field("result_bytes", static_cast<uint64_t>(result.size()));
+        w.field("result_chunks", static_cast<uint64_t>(n_chunks));
+        for (size_t i = 0; i < n_chunks; ++i) {
+          JsonWriter cw;
+          cw.begin_object();
+          cw.field("chunk", static_cast<uint64_t>(i));
+          cw.field("of", static_cast<uint64_t>(n_chunks));
+          cw.field("data",
+                   result.substr(i * chunk_bytes,
+                                 std::min(chunk_bytes,
+                                          result.size() - i * chunk_bytes)));
+          cw.end_object();
+          extra_lines += '\n';
+          extra_lines += cw.str();
+        }
+      } else {
+        w.raw("result", result);
+      }
+    }
+  }
+  return envelope_finish(metrics_json_now(), w) + extra_lines;
+}
+
+int64_t envelope_retry_after_ms(const JsonValue& envelope) {
+  const JsonValue* err = envelope.get("error");
+  if (!err) return -1;
+  const JsonValue* ra = err->get("retry_after_ms");
+  if (!ra || !ra->is_number()) return -1;
+  return ra->as_int(-1);
 }
 
 // ---------------------------------------------------------------- Client
@@ -481,11 +885,11 @@ bool connect_errno_transient(int err) {
 /// daemon wedged inside accept() cannot hang the caller.  Returns the
 /// connected (blocking-mode) fd, or -1 with errno describing the failure
 /// (ETIMEDOUT for a poll timeout).
-int connect_once(const sockaddr_un& addr, int timeout_ms) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+int connect_once(const sockaddr* addr, socklen_t addr_len, int family,
+                 int timeout_ms) {
+  const int fd = ::socket(family, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return -1;
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
+  if (::connect(fd, addr, addr_len) < 0) {
     if (errno != EINPROGRESS && errno != EAGAIN) {
       const int err = errno;
       ::close(fd);
@@ -522,10 +926,57 @@ void set_socket_timeout(int fd, int opt, int timeout_ms) {
   ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
 }
 
+/// Bounded retry with exponential backoff + jitter (PR 6 satellite): a
+/// client racing a daemon's startup sees ECONNREFUSED/ENOENT for a few
+/// milliseconds; retrying with jittered backoff absorbs that without a
+/// thundering herd.  Non-transient errors (EACCES, ...) fail immediately.
+/// Returns the fd (>= 0) or -1 with `out_status` set.
+int connect_with_retry(const sockaddr* addr, socklen_t addr_len, int family,
+                       const ClientOptions& opts, const std::string& what,
+                       const void* jitter_salt, Status& out_status) {
+  uint64_t jitter_state =
+      static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ULL ^
+      reinterpret_cast<uintptr_t>(jitter_salt);
+  int backoff_ms = opts.backoff_initial_ms;
+  for (int attempt = 0; attempt <= opts.retries; ++attempt) {
+    const int fd = connect_once(addr, addr_len, family, opts.connect_timeout_ms);
+    if (fd >= 0) {
+      out_status = Status::Ok();
+      return fd;
+    }
+    const int err = errno;
+    if (!connect_errno_transient(err) || attempt == opts.retries) {
+      const std::string msg =
+          what + ": " + std::strerror(err) +
+          (attempt ? " (after " + std::to_string(attempt + 1) + " attempts)"
+                   : "");
+      out_status = connect_errno_transient(err) ? Status::Unavailable(msg)
+                                                : Status::Internal(msg);
+      return -1;
+    }
+    // Full jitter: sleep a uniform slice of the current backoff window.
+    const int sleep_ms =
+        1 + static_cast<int>(gpurf::splitmix64(jitter_state) %
+                             static_cast<uint64_t>(backoff_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min(backoff_ms * 2, opts.backoff_max_ms);
+  }
+  out_status = Status::Internal(what + ": retry loop exhausted");
+  return -1;
+}
+
 }  // namespace
 
+void Client::finish_connect(const std::string& what) {
+  (void)what;
+  if (fd_ >= 0) {
+    set_socket_timeout(fd_, SO_RCVTIMEO, opts_.read_timeout_ms);
+    set_socket_timeout(fd_, SO_SNDTIMEO, opts_.read_timeout_ms);
+  }
+}
+
 Client::Client(const std::string& socket_path, ClientOptions opts)
-    : opts_(opts) {
+    : opts_(std::move(opts)) {
   sockaddr_un addr{};
   if (socket_path.size() >= sizeof(addr.sun_path)) {
     status_ = Status::InvalidArgument("socket path too long: " + socket_path);
@@ -533,65 +984,50 @@ Client::Client(const std::string& socket_path, ClientOptions opts)
   }
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = connect_with_retry(reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr), AF_UNIX, opts_,
+                           "connect " + socket_path, this, status_);
+  finish_connect(socket_path);
+}
 
-  // Bounded retry with exponential backoff + jitter (PR 6 satellite): a
-  // client racing a daemon's startup sees ECONNREFUSED/ENOENT for a few
-  // milliseconds; retrying with jittered backoff absorbs that without a
-  // thundering herd.  Non-transient errors (EACCES, ...) fail immediately.
-  uint64_t jitter_state = static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ULL ^
-                          reinterpret_cast<uintptr_t>(this);
-  int backoff_ms = opts_.backoff_initial_ms;
-  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
-    fd_ = connect_once(addr, opts_.connect_timeout_ms);
-    if (fd_ >= 0) {
-      set_socket_timeout(fd_, SO_RCVTIMEO, opts_.read_timeout_ms);
-      set_socket_timeout(fd_, SO_SNDTIMEO, opts_.read_timeout_ms);
-      status_ = Status::Ok();
-      return;
-    }
-    const int err = errno;
-    if (!connect_errno_transient(err) || attempt == opts_.retries) {
-      const std::string what =
-          "connect " + socket_path + ": " + std::strerror(err) +
-          (attempt ? " (after " + std::to_string(attempt + 1) + " attempts)"
-                   : "");
-      status_ = connect_errno_transient(err) ? Status::Unavailable(what)
-                                             : Status::Internal(what);
-      return;
-    }
-    // Full jitter: sleep a uniform slice of the current backoff window.
-    const int sleep_ms =
-        1 + static_cast<int>(gpurf::splitmix64(jitter_state) %
-                             static_cast<uint64_t>(backoff_ms));
-    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-    backoff_ms = std::min(backoff_ms * 2, opts_.backoff_max_ms);
+Client::Client(const std::string& host, int port, ClientOptions opts)
+    : opts_(std::move(opts)) {
+  if (port <= 0 || port > 65535) {
+    status_ = Status::InvalidArgument("bad port " + std::to_string(port));
+    return;
   }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const int gai =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (gai != 0 || !res) {
+    status_ = Status::InvalidArgument("resolve " + host + ": " +
+                                      ::gai_strerror(gai));
+    if (res) ::freeaddrinfo(res);
+    return;
+  }
+  const std::string what = "connect " + host + ":" + std::to_string(port);
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd_ = connect_with_retry(ai->ai_addr, ai->ai_addrlen, ai->ai_family,
+                             opts_, what, this, status_);
+    if (fd_ >= 0) break;
+  }
+  ::freeaddrinfo(res);
+  if (fd_ >= 0) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  finish_connect(what);
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-StatusOr<std::string> Client::call(const std::string& request_line) {
-  if (!status_.ok()) return status_;
-  std::string out = request_line;
-  out += '\n';
-  size_t off = 0;
-  while (off < out.size()) {
-    // MSG_NOSIGNAL: a dead daemon surfaces as an error status, not a
-    // SIGPIPE that kills the client process.
-    const ssize_t n =
-        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK)
-        return Status::Unavailable(
-            "write timed out after " + std::to_string(opts_.read_timeout_ms) +
-            "ms");
-      return Status::Unavailable(std::string("write: ") +
-                                 std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
+StatusOr<std::string> Client::read_line() {
   char chunk[4096];
   for (;;) {
     const size_t nl = rxbuf_.find('\n');
@@ -614,10 +1050,90 @@ StatusOr<std::string> Client::call(const std::string& request_line) {
   }
 }
 
+StatusOr<std::string> Client::call(const std::string& request_line) {
+  if (!status_.ok()) return status_;
+  std::string out = request_line;
+  out += '\n';
+  size_t off = 0;
+  while (off < out.size()) {
+    // MSG_NOSIGNAL: a dead daemon surfaces as an error status, not a
+    // SIGPIPE that kills the client process.
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Status::Unavailable(
+            "write timed out after " + std::to_string(opts_.read_timeout_ms) +
+            "ms");
+      return Status::Unavailable(std::string("write: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return read_line();
+}
+
+StatusOr<JsonValue> Client::absorb_chunks(JsonValue envelope) {
+  const JsonValue* rc = envelope.get("result_chunks");
+  if (!rc || !rc->is_number() || rc->as_int() <= 0) return envelope;
+  const int64_t n_chunks = rc->as_int();
+  std::string data;
+  const JsonValue* rb = envelope.get("result_bytes");
+  if (rb && rb->is_number()) data.reserve(static_cast<size_t>(rb->as_int()));
+  for (int64_t i = 0; i < n_chunks; ++i) {
+    auto line = read_line();
+    if (!line.ok()) return line.status();
+    auto chunk = parse_json(*line);
+    if (!chunk.ok()) return chunk.status();
+    const JsonValue* d = chunk->get("data");
+    if (!d || !d->is_string())
+      return Status::DataLoss("chunk " + std::to_string(i) +
+                              " carries no 'data'");
+    data += d->str_v;
+  }
+  auto result = parse_json(data);
+  if (!result.ok())
+    return Status::DataLoss("reassembled result is not valid JSON: " +
+                            result.status().message());
+  envelope.members.emplace_back("result", std::move(*result));
+  return envelope;
+}
+
 StatusOr<JsonValue> Client::call_json(const std::string& request_line) {
   auto resp = call(request_line);
   if (!resp.ok()) return resp.status();
-  return parse_json(*resp);
+  auto parsed = parse_json(*resp);
+  if (!parsed.ok()) return parsed.status();
+  return absorb_chunks(std::move(*parsed));
+}
+
+StatusOr<JsonValue> Client::watch(
+    uint64_t job, int64_t timeout_ms,
+    const std::function<void(const JsonValue&)>& on_progress) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("op", "watch");
+  w.field("job", job);
+  w.field("timeout_ms", static_cast<int64_t>(timeout_ms));
+  if (!opts_.token.empty()) w.field("token", opts_.token);
+  w.end_object();
+  auto first = call(w.str());
+  if (!first.ok()) return first.status();
+  std::string line = std::move(*first);
+  for (;;) {
+    auto parsed = parse_json(line);
+    if (!parsed.ok()) return parsed.status();
+    const JsonValue* ev = parsed->get("event");
+    if (ev && ev->as_string() == "progress") {
+      if (on_progress) on_progress(*parsed);
+      auto next = read_line();
+      if (!next.ok()) return next.status();
+      line = std::move(*next);
+      continue;
+    }
+    // Terminal (or error) envelope — possibly followed by result chunks.
+    return absorb_chunks(std::move(*parsed));
+  }
 }
 
 }  // namespace gpurf::api

@@ -29,6 +29,8 @@ enum class StatusCode {
   kDeadlineExceeded,    ///< per-request deadline elapsed (queued or running)
   kUnavailable,         ///< transient transport failure (daemon not up,
                         ///< connection lost, socket timeout) — retryable
+  kUnauthenticated,     ///< missing or invalid auth token (ISSUE 8 TCP
+                        ///< transport) — not retryable without a new token
 };
 
 inline const char* status_code_name(StatusCode c) {
@@ -43,6 +45,7 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kUnauthenticated: return "UNAUTHENTICATED";
   }
   return "UNKNOWN";
 }
@@ -80,6 +83,9 @@ class Status {
   }
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Unauthenticated(std::string m) {
+    return Status(StatusCode::kUnauthenticated, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

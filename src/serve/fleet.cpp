@@ -1,0 +1,96 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "workloads/pipeline.hpp"
+
+namespace gpurf::serve {
+
+namespace {
+
+/// FNV-1a over bytes — the same construction kernel_cache_fingerprint
+/// uses, here for routing names that match no bundled workload.
+uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+EngineFleet::EngineFleet(const EngineOptions& base, int shards) {
+  const int n = std::max(1, shards);
+  owned_.reserve(static_cast<size_t>(n));
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EngineOptions o = base;
+    o.job_id_start = static_cast<uint64_t>(i) + 1;
+    o.job_id_stride = static_cast<uint64_t>(n);
+    owned_.push_back(std::make_unique<Engine>(std::move(o)));
+    shards_.push_back(owned_.back().get());
+  }
+  build_ring();
+}
+
+EngineFleet::EngineFleet(Engine& engine) {
+  shards_.push_back(&engine);
+  build_ring();
+}
+
+void EngineFleet::build_ring() {
+  // Ring points are a deterministic splitmix64 stream per shard, so every
+  // process with the same shard count computes the same ring — routing is
+  // stable across daemon restarts (what makes the shared disk cache land
+  // warm on the owning shard).
+  ring_.reserve(shards_.size() * kVirtualNodes);
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    uint64_t state = 0x9e3779b97f4a7c15ull ^ (static_cast<uint64_t>(s) + 1);
+    for (int v = 0; v < kVirtualNodes; ++v)
+      ring_.emplace_back(splitmix64(state), s);
+  }
+  std::sort(ring_.begin(), ring_.end());
+
+  for (const std::string& name : shards_[0]->workload_names()) {
+    auto w = shards_[0]->workload(name);
+    if (w.ok())
+      fingerprints_[name] = workloads::kernel_cache_fingerprint(**w);
+  }
+}
+
+int EngineFleet::shard_for_workload(std::string_view name) const {
+  if (shards_.size() == 1) return 0;
+  uint64_t key;
+  auto it = fingerprints_.find(std::string(name));
+  key = it != fingerprints_.end() ? it->second : fnv1a(name);
+  // Mix the key before the ring walk: fingerprints are FNV outputs whose
+  // low bits correlate across similar kernels, and the ring points are
+  // splitmix64 outputs — one extra splitmix round puts the key in the
+  // same distribution.
+  uint64_t state = key;
+  key = splitmix64(state);
+  auto pos = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(key, -1));
+  if (pos == ring_.end()) pos = ring_.begin();
+  return pos->second;
+}
+
+MetricsSnapshot EngineFleet::metrics_snapshot() const {
+  MetricsSnapshot total;
+  for (const Engine* e : shards_) total += e->metrics_snapshot();
+  return total;
+}
+
+Status EngineFleet::drain_all(int64_t budget_ms) {
+  Status first;
+  for (Engine* e : shards_) {
+    Status st = e->drain(budget_ms);
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
+
+}  // namespace gpurf::serve

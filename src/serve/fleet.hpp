@@ -1,0 +1,91 @@
+#pragma once
+// gpurf::serve::EngineFleet — N Engines inside one daemon with
+// kernel-fingerprint-affine routing (ISSUE 8 tentpole).
+//
+// The paper's pipeline is cache-friendly per kernel: tune results memoize
+// by workload, kernel analyses memoize by fingerprint, and the disk cache
+// keys on kernel_cache_fingerprint.  A fleet exploits that by routing
+// every request for the same kernel to the same Engine shard, so each
+// shard's memo/analysis caches stay hot for its stable subset of kernels
+// instead of every shard cold-starting every kernel.
+//
+// Routing is a consistent-hash ring over workload fingerprints
+// (kVirtualNodes splitmix64-derived points per shard): adding or removing
+// a shard moves only ~1/N of the fingerprint space, which is the
+// "graceful rebalance" story — best-effort, because a moved kernel merely
+// re-tunes on its new shard (the disk cache is shared, so even that is
+// usually a load, not a recompute).  Nothing is migrated at runtime;
+// resizing means restarting the daemon with a different --engines.
+//
+// Job-id space: shard i of N constructs its Engine with
+// job_id_start = i+1, job_id_stride = N, so ids are disjoint residue
+// classes and any job-addressed op (status/wait/cancel/watch) routes
+// statelessly via shard_for_job = (id-1) % N.  Campaign children inherit
+// their parent Engine and therefore its residue class.
+//
+// The fleet can also wrap a caller-owned single Engine (non-owning mode):
+// that keeps the Server's historical Server(Engine&) constructor — and
+// every in-process test built on it — working unchanged.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/metrics.hpp"
+
+namespace gpurf::serve {
+
+class EngineFleet {
+ public:
+  /// Owning fleet: `shards` Engines built from `base` (job-id
+  /// partitioning applied per shard; everything else — threads, caches,
+  /// GPU model — identical).  shards < 1 is clamped to 1.
+  explicit EngineFleet(const EngineOptions& base, int shards);
+
+  /// Non-owning single-shard fleet around a caller-owned Engine (the
+  /// legacy Server(Engine&) path).  The Engine must outlive the fleet.
+  explicit EngineFleet(Engine& engine);
+
+  EngineFleet(const EngineFleet&) = delete;
+  EngineFleet& operator=(const EngineFleet&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Engine& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+
+  /// Shard index owning a workload, by consistent hash of its kernel
+  /// fingerprint.  Unknown names hash by name so the request still lands
+  /// deterministically on one shard (which reports NotFound).
+  int shard_for_workload(std::string_view name) const;
+
+  /// Shard index owning a job id (residue-class routing).  Any id maps to
+  /// some shard; a never-issued id yields NotFound from that shard.
+  int shard_for_job(uint64_t job_id) const {
+    return static_cast<int>((job_id - 1) % shards_.size());
+  }
+
+  /// Fleet-wide metrics: per-shard snapshots summed.
+  MetricsSnapshot metrics_snapshot() const;
+
+  /// Drain every shard (gpurfd --drain-ms).  Returns the first non-OK
+  /// status, after draining all shards regardless.
+  Status drain_all(int64_t budget_ms);
+
+ private:
+  void build_ring();
+
+  static constexpr int kVirtualNodes = 64;  ///< ring points per shard
+
+  std::vector<std::unique_ptr<Engine>> owned_;
+  std::vector<Engine*> shards_;
+  /// Sorted ring of (point, shard) pairs.
+  std::vector<std::pair<uint64_t, int>> ring_;
+  /// Workload name -> kernel fingerprint, from shard 0's registry (all
+  /// shards carry identical registries).
+  std::unordered_map<std::string, uint64_t> fingerprints_;
+};
+
+}  // namespace gpurf::serve

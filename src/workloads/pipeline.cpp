@@ -371,23 +371,41 @@ const PipelineResult& PipelineCache::get(const Workload& w,
     std::lock_guard<std::mutex> lock(mu_);
     e = &cache_[w.spec().name];
   }
-  // If the compute throws (cancelled / deadline / core error), call_once
-  // leaves the flag unset: nothing partial is memoized and the next caller
-  // recomputes with its own token.  `computed` distinguishes a fresh
-  // compute from a memo hit for the stats.
-  bool computed = false;
-  std::call_once(e->once, [&] {
-    computed = true;
-    if (opt_.stats)
-      opt_.stats->memo_misses.fetch_add(1, std::memory_order_relaxed);
-    PipelineOptions o = opt_;
-    o.tuner.cancel = cancel;
-    o.run.cancel = cancel;
-    e->result =
-        std::make_unique<PipelineResult>(compute_pipeline(w, o));
-  });
-  if (!computed && opt_.stats)
-    opt_.stats->memo_hits.fetch_add(1, std::memory_order_relaxed);
+  // Win the computing latch or wait out the current winner.  If the
+  // winner publishes, every waiter returns its result (a memo hit); if it
+  // unwinds (cancelled / deadline / core error), nothing partial is
+  // memoized and exactly one waiter is woken to recompute with its own
+  // token — see the header for why this is not a std::once_flag.
+  std::unique_lock<std::mutex> lk(e->mu);
+  while (true) {
+    if (e->result) {
+      if (opt_.stats)
+        opt_.stats->memo_hits.fetch_add(1, std::memory_order_relaxed);
+      return *e->result;
+    }
+    if (!e->computing) break;
+    e->cv.wait(lk);
+  }
+  e->computing = true;
+  lk.unlock();
+  if (opt_.stats)
+    opt_.stats->memo_misses.fetch_add(1, std::memory_order_relaxed);
+  PipelineOptions o = opt_;
+  o.tuner.cancel = cancel;
+  o.run.cancel = cancel;
+  std::unique_ptr<PipelineResult> fresh;
+  try {
+    fresh = std::make_unique<PipelineResult>(compute_pipeline(w, o));
+  } catch (...) {
+    lk.lock();
+    e->computing = false;
+    e->cv.notify_one();
+    throw;
+  }
+  lk.lock();
+  e->result = std::move(fresh);
+  e->computing = false;
+  e->cv.notify_all();
   return *e->result;
 }
 

@@ -18,6 +18,7 @@
 // raw, memo-free computation used by benches and determinism tests.
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <map>
 #include <mutex>
@@ -122,10 +123,18 @@ class PipelineCache {
   /// applies to a computation this call performs itself: its checkpoints
   /// thread into the tuner and the functional replays, and a stop unwinds
   /// as common::CancelledError *before* the memo entry is published — the
-  /// once-flag resets, so the next caller recomputes from a clean slate
-  /// (a cancelled job can never leave a partial memo).  A caller that
-  /// merely waits on another thread's in-flight computation is not
-  /// interruptible (it blocks on the winner's once-flag).
+  /// computing latch resets and one waiter is woken to recompute with its
+  /// own token, so a cancelled job can never leave a partial memo and can
+  /// never strand other callers.  A caller that merely waits on another
+  /// thread's in-flight computation is not interruptible (it blocks until
+  /// the winner publishes or unwinds).
+  ///
+  /// The latch is a hand-rolled mutex + condvar state machine rather than
+  /// std::once_flag: the exceptional-unwind path of std::call_once is
+  /// exactly the part of the contract sanitizer runtimes get wrong
+  /// (a waiter parked in the interceptor is never requeued after the
+  /// winner throws, deadlocking every later caller), and the cancel path
+  /// above throws by design.
   const PipelineResult& get(const Workload& w,
                             gpurf::common::CancelToken* cancel = nullptr);
 
@@ -133,8 +142,10 @@ class PipelineCache {
 
  private:
   struct Entry {
-    std::once_flag once;
-    std::unique_ptr<PipelineResult> result;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool computing = false;  ///< a caller is inside compute_pipeline
+    std::unique_ptr<PipelineResult> result;  ///< set once, then immutable
   };
 
   PipelineOptions opt_;

@@ -20,6 +20,7 @@
 #include "api/engine.hpp"
 #include "api/json.hpp"
 #include "api/server.hpp"
+#include "serve/fleet.hpp"
 
 namespace gpurf {
 namespace {
@@ -457,6 +458,107 @@ TEST(Daemon, DrainCancelsQueuedJobsAndStaysUsable) {
                             workloads::Scale::kSample}));
   again.wait();
   EXPECT_EQ(again.state(), JobState::kDone) << again.status().to_string();
+}
+
+// ------------------------------------------- socket path validation pin
+//
+// ISSUE 8 satellite: an AF_UNIX path that does not fit sun_path must be
+// InvalidArgument on both ends — binding a silently-truncated path puts
+// the socket somewhere no client ever looks.
+
+TEST(Daemon, OverlongSocketPathIsInvalidArgumentOnBothEnds) {
+  const std::string too_long = "./" + std::string(200, 'p') + ".sock";
+  ASSERT_GE(too_long.size(), sizeof(sockaddr_un{}.sun_path));
+
+  Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
+  api::Server server(engine, api::ServerOptions{too_long});
+  const Status st = server.start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.to_string();
+  EXPECT_FALSE(server.running());
+
+  api::ClientOptions copts;
+  copts.retries = 0;  // fail fast — nothing will ever listen there
+  api::Client client(too_long, copts);
+  ASSERT_FALSE(client.status().ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument)
+      << client.status().to_string();
+
+  // A server with NO listener at all is rejected too.
+  api::Server none(engine, api::ServerOptions{});
+  const Status st2 = none.start();
+  ASSERT_FALSE(st2.ok());
+  EXPECT_EQ(st2.code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------- TCP shutdown stress
+//
+// ISSUE 8 satellite: the ShutdownUnderConcurrentClients scenario, over
+// TCP against a sharded fleet, with the new ops (watch, cancel) in the
+// mix.  Run under TSan this is the tripwire for races between the quota
+// table, the watch push path and the joinable-thread shutdown sequence.
+
+TEST(Daemon, TcpShutdownStressWithSubmitCancelWatch) {
+  serve::EngineFleet fleet(
+      EngineOptions().with_threads(1).with_disk_cache(false), 2);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<bool> go{false};
+    std::atomic<int> responses{0};
+    {
+      api::ServerOptions sopts;
+      sopts.listen_port = 0;
+      api::Server server(fleet, sopts);
+      ASSERT_TRUE(server.start().ok());
+      const int port = server.tcp_port();
+      ASSERT_GT(port, 0);
+
+      std::vector<std::thread> clients;
+      for (int c = 0; c < 8; ++c) {
+        clients.emplace_back([&, c] {
+          api::Client client("127.0.0.1", port);
+          if (!client.status().ok()) return;
+          while (!go.load(std::memory_order_acquire)) {}
+          uint64_t last_id = 1;
+          for (int i = 0; i < 24; ++i) {
+            // Rotate submit / cancel / watch / wait / ping so handlers
+            // sit in every code path when stop() lands mid-round.
+            const int pick = (c + i) % 6;
+            if (pick == 0) {
+              auto sub = client.call_json(
+                  R"({"op":"submit","kind":"simulate","workload":"SSAO",)"
+                  R"("scale":"sample"})");
+              if (!sub.ok()) return;
+              if (sub->get("job")) last_id = sub->get("job")->as_int();
+            } else if (pick == 1) {
+              if (!client.call(R"({"op":"cancel","job":)" +
+                               std::to_string(last_id) + "}")
+                       .ok())
+                return;
+            } else if (pick == 2) {
+              if (!client.watch(last_id, 40).ok()) return;
+            } else if (pick == 3) {
+              if (!client.call(R"({"op":"wait","job":)" +
+                               std::to_string(last_id) +
+                               R"(,"timeout_ms":40})")
+                       .ok())
+                return;
+            } else {
+              if (!client.call(R"({"op":"ping"})").ok()) return;
+            }
+            responses.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      go.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      server.stop();
+      for (auto& t : clients) t.join();
+    }
+    EXPECT_GT(responses.load(), 0) << "round " << round;
+    // The fleet survives each server generation; drain between rounds so
+    // cancelled stragglers do not pile up.
+    fleet.drain_all(5000);
+  }
 }
 
 }  // namespace
