@@ -1,0 +1,265 @@
+// bench_analysis — cost and payoff of the instruction-granular static
+// analysis (PR 9).
+//
+// Per Table-4 workload:
+//   * analysis time — compute_dataflow() over the prebuilt CFG (best of
+//     GPURF_BENCH_REPS, default 3);
+//   * lint facts — dead-write count, never-read registers, undefined reads
+//     (always zero on the shipped workloads; the lint gate pins that);
+//   * pressure — static liveness bound vs. baseline colouring vs. the
+//     live-interval colouring (the delta is what AllocOptions::
+//     live_intervals buys before any slice compression);
+//   * elision — functional-replay time with dead-write elision off vs. on,
+//     outputs verified bit-identical first.
+//
+// The shipped kernels are hand-tight (few dead writes), so a synthetic
+// family of dead-write-heavy kernels is benched too — rotating writes into
+// never-read scratch registers inside a hot loop — where elision must show
+// a real speedup.  BENCH_analysis.json records everything.
+//
+// Usage: bench_analysis [--smoke] [--out PATH] [workload ...]
+//   --smoke: CI tripwire — exit nonzero if any elision run is not
+//            bit-identical, any workload has undefined reads, the
+//            live-interval pressure exceeds baseline, or the synthetic
+//            kernels fail to speed up under elision (generous margin so
+//            timer noise can't flake the build).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alloc/slice_alloc.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "common/thread_pool.hpp"
+#include "exec/interp.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "workloads/workload.hpp"
+
+namespace wl = gpurf::workloads;
+namespace analysis = gpurf::analysis;
+namespace alloc = gpurf::alloc;
+namespace exec = gpurf::exec;
+namespace ir = gpurf::ir;
+
+namespace {
+
+double now_secs() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ReplayResult {
+  double secs = 0.0;
+  std::vector<float> out;
+};
+
+ReplayResult run_workload(const wl::Workload& w, bool elide, int reps) {
+  ReplayResult r;
+  r.secs = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    auto inst = w.make_instance(wl::Scale::kSample, 0);
+    wl::RunOptions o;
+    o.use_soa = true;
+    o.block_parallel = false;
+    o.elide_dead_writes = elide;
+    const double t0 = now_secs();
+    r.out = w.run(inst, nullptr, nullptr, o);
+    r.secs = std::min(r.secs, now_secs() - t0);
+  }
+  return r;
+}
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Dead-write-heavy synthetic: a hot loop whose body writes `width`
+/// scratch registers that are never read (every such write is statically
+/// dead) around one live accumulator chain.  Elision skips the scratch
+/// instructions' whole data path, so replay time must drop.
+std::string make_dead_heavy(int width, int trip) {
+  std::string s = ".kernel deadheavy" + std::to_string(width) + "\n";
+  s += ".param s32 out_base\n.reg s32 %gid\n.reg s32 %i\n.reg s32 %acc\n";
+  for (int d = 0; d < width; ++d)
+    s += ".reg s32 %scratch" + std::to_string(d) + "\n";
+  s += ".reg pred %p\nentry:\n";
+  s += "  mov.s32 %gid, %ctaid.x\n";
+  s += "  mad.s32 %gid, %gid, 32, %tid.x\n";
+  s += "  mov.s32 %acc, 0\n  mov.s32 %i, 0\nhead:\n";
+  s += "  setp.ge.s32 %p, %i, " + std::to_string(trip) + "\n";
+  s += "  @%p bra done\nbody:\n";
+  for (int d = 0; d < width; ++d) {
+    const std::string r = "%scratch" + std::to_string(d);
+    s += "  mad.s32 " + r + ", %i, " + std::to_string(3 + d) + ", %gid\n";
+  }
+  s += "  add.s32 %acc, %acc, %i\n";
+  s += "  add.s32 %i, %i, 1\n  bra head\ndone:\n";
+  s += "  add.s32 %i, %gid, $out_base\n";
+  s += "  st.global.s32 [%i], %acc\n  ret\n";
+  return s;
+}
+
+struct RawReplay {
+  double secs = 0.0;
+  std::vector<uint32_t> words;
+  uint64_t thread_insts = 0;
+};
+
+RawReplay run_raw(const ir::Kernel& k, bool elide, int reps) {
+  RawReplay r;
+  r.secs = 1e30;
+  const ir::LaunchConfig launch{4, 1, 32, 1};
+  for (int i = 0; i < reps; ++i) {
+    exec::GlobalMemory gmem;
+    const uint32_t out = gmem.alloc(4 * 32 + 64);
+    exec::ExecContext ctx;
+    ctx.kernel = &k;
+    ctx.launch = launch;
+    ctx.gmem = &gmem;
+    ctx.params = {out};
+    ctx.use_soa = true;
+    ctx.block_parallel = false;
+    ctx.elide_dead_writes = elide;
+    const double t0 = now_secs();
+    r.thread_insts = exec::run_functional(ctx);
+    r.secs = std::min(r.secs, now_secs() - t0);
+    const auto view = gmem.view(out, 4 * 32);
+    r.words = {view.begin(), view.end()};
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_analysis.json";
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else if (std::string(argv[i]) == "--out" && i + 1 < argc)
+      out_path = argv[++i];
+    else
+      names.emplace_back(argv[i]);
+  }
+  int reps = 3;
+  if (const char* env = std::getenv("GPURF_BENCH_REPS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) reps = n;
+  }
+  gpurf::common::ThreadPool::instance().resize(1);
+
+  std::printf("bench_analysis: static dataflow cost + payoff (best of %d)\n",
+              reps);
+  std::printf("%-12s %9s %5s %5s  %6s %6s %6s  %9s %9s %7s  %s\n", "Kernel",
+              "analyze", "dead", "nread", "static", "alloc", "intvl",
+              "off(ms)", "on(ms)", "speedup", "identical");
+
+  std::FILE* json = std::fopen(out_path, "w");
+  if (json) std::fprintf(json, "{\n  \"workloads\": [");
+
+  int failures = 0;
+  bool first_row = true;
+  auto emit_row = [&](const std::string& name, double analyze_secs,
+                      const analysis::KernelReport& rep, double off_secs,
+                      double on_secs, bool identical, bool synthetic) {
+    const double speedup = on_secs > 0 ? off_secs / on_secs : 0.0;
+    std::printf("%-12s %7.1fus %5zu %5zu  %6u %6u %6u  %9.3f %9.3f %6.2fx  %s\n",
+                name.c_str(), analyze_secs * 1e6, rep.dead_writes.size(),
+                rep.never_read.size(), rep.static_pressure, rep.alloc_pressure,
+                rep.live_interval_pressure, off_secs * 1e3, on_secs * 1e3,
+                speedup, identical ? "yes" : "NO <-- bug");
+    if (json) {
+      std::fprintf(
+          json,
+          "%s\n    {\"name\": \"%s\", \"synthetic\": %s, "
+          "\"analysis_us\": %.2f, \"dead_writes\": %zu, \"never_read\": %zu, "
+          "\"undefined_reads\": %zu, \"static_pressure\": %u, "
+          "\"alloc_pressure\": %u, \"live_interval_pressure\": %u, "
+          "\"replay_off_ms\": %.4f, \"replay_on_ms\": %.4f, "
+          "\"elide_speedup\": %.3f, \"identical\": %s}",
+          first_row ? "" : ",", name.c_str(), synthetic ? "true" : "false",
+          analyze_secs * 1e6, rep.dead_writes.size(), rep.never_read.size(),
+          rep.undefined_reads.size(), rep.static_pressure, rep.alloc_pressure,
+          rep.live_interval_pressure, off_secs * 1e3, on_secs * 1e3, speedup,
+          identical ? "true" : "false");
+      first_row = false;
+    }
+    if (!identical) ++failures;
+    if (!rep.undefined_reads.empty()) ++failures;
+    if (rep.live_interval_pressure > rep.alloc_pressure) ++failures;
+  };
+
+  for (const auto& w : wl::make_all_workloads()) {
+    if (!names.empty()) {
+      bool wanted = false;
+      for (const auto& n : names) wanted |= (n == w->spec().name);
+      if (!wanted) continue;
+    }
+    const ir::Kernel& k = w->kernel();
+    const auto cfg = analysis::build_cfg(k);
+    double analyze_secs = 1e30;
+    analysis::Dataflow df;
+    for (int i = 0; i < reps; ++i) {
+      const double t0 = now_secs();
+      df = analysis::compute_dataflow(k, cfg);
+      analyze_secs = std::min(analyze_secs, now_secs() - t0);
+    }
+    auto rep = analysis::build_kernel_report(k, cfg, df);
+    rep.alloc_pressure = alloc::baseline_pressure(k);
+    rep.live_interval_pressure = alloc::live_interval_pressure(k);
+
+    const auto off = run_workload(*w, /*elide=*/false, reps);
+    const auto on = run_workload(*w, /*elide=*/true, reps);
+    emit_row(w->spec().name, analyze_secs, rep, off.secs, on.secs,
+             bits_equal(off.out, on.out), /*synthetic=*/false);
+  }
+
+  // Synthetic dead-write-heavy family: here elision has real work to skip,
+  // so the smoke gate can demand an actual speedup.
+  if (names.empty()) {
+    for (const int width : {4, 8, 16}) {
+      ir::Kernel k = ir::parse_kernel(make_dead_heavy(width, 4096));
+      ir::verify(k);
+      const auto cfg = analysis::build_cfg(k);
+      double analyze_secs = 1e30;
+      analysis::Dataflow df;
+      for (int i = 0; i < reps; ++i) {
+        const double t0 = now_secs();
+        df = analysis::compute_dataflow(k, cfg);
+        analyze_secs = std::min(analyze_secs, now_secs() - t0);
+      }
+      auto rep = analysis::build_kernel_report(k, cfg, df);
+      rep.alloc_pressure = alloc::baseline_pressure(k);
+      rep.live_interval_pressure = alloc::live_interval_pressure(k);
+
+      const auto off = run_raw(k, /*elide=*/false, reps);
+      const auto on = run_raw(k, /*elide=*/true, reps);
+      const bool identical =
+          off.words == on.words && off.thread_insts == on.thread_insts;
+      emit_row(k.name, analyze_secs, rep, off.secs, on.secs, identical,
+               /*synthetic=*/true);
+      // Every loop iteration is `width` dead scratch writes around 3 live
+      // instructions; even with timer noise elision must win clearly.
+      if (smoke && on.secs > 0 && off.secs / on.secs < 1.05) ++failures;
+    }
+  }
+
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+  }
+  if (failures) {
+    std::printf("\n%d check(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}

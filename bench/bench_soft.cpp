@@ -24,6 +24,9 @@
 //     at shard counts {1, 2, 4},
 //   * flips_injected == flips_on_live + flips_masked_dead and
 //     flips_visible <= flips_on_live in every run,
+//   * flips_static_dead <= flips_masked_dead (a strike the dataflow pass
+//     proves dead is always dynamically masked) and the static live-bit
+//     integral upper-bounds the dynamic one, in every run (PR 9),
 //   * per-cycle live-bit exposure of the compressed RF <= baseline.
 //
 // A run that dies with FAILED_PRECONDITION (a corrupted register fed an
@@ -145,6 +148,7 @@ int main(int argc, char** argv) {
       // field except the exposure integral matches the fault-free run.
       gpurf::sim::SimStats masked = expo[c].stats;
       masked.soft_live_bit_cycles = 0;
+      masked.soft_static_live_bit_cycles = 0;
       if (!(masked == ref[c].stats) || ref[c].soft.active) {
         std::fprintf(stderr,
                      "bench_soft: %s (%s): exposure run diverged from the "
@@ -254,6 +258,11 @@ int main(int argc, char** argv) {
               sft.flips_on_live + sft.flips_masked_dead)
             bad = true;  // taxonomy must partition the injected flips
           if (sft.flips_visible > sft.flips_on_live) bad = true;
+          // Static classification (PR 9): what the dataflow pass proves
+          // dead is a subset of what the dynamic model masks, and the
+          // static exposure integral upper-bounds the dynamic one.
+          if (sft.flips_static_dead > sft.flips_masked_dead) bad = true;
+          if (sft.static_live_bit_cycles < sft.live_bit_cycles) bad = true;
 
           // Same (rate, seed) must reproduce the identical flip trace and
           // SimStats at every shard count.
@@ -280,7 +289,9 @@ int main(int argc, char** argv) {
                 "%s\n      {\"config\": \"%s\", \"rate\": %.1f, "
                 "\"seed\": %llu, \"cycles\": %llu, "
                 "\"flips_injected\": %llu, \"flips_on_live\": %llu, "
-                "\"flips_masked_dead\": %llu, \"flips_visible\": %llu, "
+                "\"flips_masked_dead\": %llu, \"flips_static_dead\": %llu, "
+                "\"flips_visible\": %llu, "
+                "\"static_live_bit_cycles\": %llu, "
                 "\"avf\": %.6f, \"ok\": %s}",
                 first_pt ? "" : ",", configs[c].label, rate,
                 static_cast<unsigned long long>(req.soft.seed),
@@ -288,7 +299,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sft.flips_injected),
                 static_cast<unsigned long long>(sft.flips_on_live),
                 static_cast<unsigned long long>(sft.flips_masked_dead),
+                static_cast<unsigned long long>(sft.flips_static_dead),
                 static_cast<unsigned long long>(sft.flips_visible),
+                static_cast<unsigned long long>(sft.static_live_bit_cycles),
                 sft.avf(), bad ? "false" : "true");
             first_pt = false;
           }

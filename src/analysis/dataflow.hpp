@@ -1,0 +1,160 @@
+#pragma once
+// Instruction-granular dataflow over the decoded stream (PR 9 tentpole).
+//
+// `liveness.*` answers block-level questions (live-in/out, pressure,
+// interference); this layer refines them to *program points* so that
+// downstream consumers can reason per instruction:
+//
+//  * the interpreter elides quantize/range-check/writeback for destination
+//    rows that are dead at the write point (ExecContext::elide_dead_writes);
+//  * the slice allocator packs live ranges instead of whole-kernel maxima
+//    (AllocOptions::live_intervals, via build_live_interference);
+//  * the soft-error model classifies strikes against the static live mask
+//    (SimStats::soft_flips_static_dead) and integrates a static upper bound
+//    of the dynamic live-bit exposure;
+//  * gpurf-lint / {"op":"analyze"} surface the same facts as a KernelReport.
+//
+// Point layout (shared with sim::SoftErrorModel): per block `size + 1`
+// points, flattened block-major.  Point i of a block is "about to execute
+// instruction i"; point `size` is the block's live-out.  The per-point
+// transfer handles partial (guarded) definitions precisely: a guarded def
+// merges into its destination, so it does not kill the old value — the
+// destination is live before such a def exactly when it is live after it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+#include "common/bitset.hpp"
+#include "ir/kernel.hpp"
+
+namespace gpurf::analysis {
+
+/// Half-open linear live range [begin, end) of one virtual register over
+/// the flattened point order — the nesfab-style summary of where a value
+/// matters.  Linear intervals over block layout order are a conservative
+/// over-approximation of the exact per-point sets (holes are ignored).
+struct LiveInterval {
+  uint32_t reg = 0;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t length() const { return end - begin; }
+  bool overlaps(const LiveInterval& o) const {
+    return begin < o.end && o.begin < end;
+  }
+  bool operator==(const LiveInterval&) const = default;
+};
+
+struct Dataflow {
+  /// Block-level results this refinement started from.
+  Liveness block;
+
+  /// Per-point live sets, flattened block-major (one extra live-out point
+  /// per block).  Index with point_index().
+  std::vector<DynBitset> live_before;
+  std::vector<uint32_t> point_first;  ///< per block: first point index
+  std::vector<uint32_t> inst_first;   ///< per block: first instruction index
+  std::vector<uint32_t> block_size;   ///< per block: instruction count
+
+  /// Per instruction (flattened block-major): the destination is dead
+  /// immediately after the write — nothing can ever read it, so the
+  /// writeback (and for pure ALU ops the whole computation) is elidable.
+  /// Safe for partial defs too: if the merged value is dead, so is the
+  /// old value it merged with.
+  std::vector<uint8_t> dead_dst;
+
+  /// Union of every live_before point: registers whose value is read
+  /// somewhere.  The complement (over appearing registers) is the
+  /// "never read" set the lint reports.
+  DynBitset ever_live;
+
+  /// Linear live interval per ever-live register, sorted by reg id.
+  std::vector<LiveInterval> intervals;
+
+  /// Def-use chain summary per register: how many instructions define /
+  /// read it (guard reads count as uses).
+  std::vector<uint32_t> def_count;
+  std::vector<uint32_t> use_count;
+
+  uint32_t num_points = 0;
+  uint32_t num_insts = 0;
+
+  /// Point index of (blk, inst); `inst == block_size[blk]` addresses the
+  /// live-out point.  Out-of-range inputs clamp (mirrors the soft-error
+  /// model's contract for warps parked past the last instruction).
+  uint32_t point_index(uint32_t blk, uint32_t inst) const {
+    if (blk >= block_size.size()) return num_points - 1;
+    if (inst > block_size[blk]) inst = block_size[blk];
+    return point_first[blk] + inst;
+  }
+
+  bool live_at(uint32_t blk, uint32_t inst, uint32_t reg) const {
+    const DynBitset& s = live_before[point_index(blk, inst)];
+    return reg < s.size() && s.test(reg);
+  }
+
+  bool dst_dead(uint32_t blk, uint32_t inst) const {
+    return dead_dst[inst_first[blk] + inst] != 0;
+  }
+};
+
+Dataflow compute_dataflow(const gpurf::ir::Kernel& k, const Cfg& cfg);
+
+/// Liveness-refined interference (AllocOptions::live_intervals): like
+/// build_interference, but a definition whose destination is dead at the
+/// write point contributes no edges, and never-live registers interfere
+/// with nothing — their storage may alias anything.  Sound under elided
+/// dead writebacks: a dead write never reaches the register file, so it
+/// cannot clobber a co-located live value.
+std::vector<DynBitset> build_live_interference(const gpurf::ir::Kernel& k,
+                                               const Cfg& cfg,
+                                               const Dataflow& df);
+
+/// One statically-dead write site.
+struct DeadWrite {
+  uint32_t blk = 0;
+  uint32_t inst = 0;
+  uint32_t reg = 0;
+
+  bool operator==(const DeadWrite&) const = default;
+};
+
+/// Kernel verifier/lint summary (gpurf-lint, {"op":"analyze"}).
+struct KernelReport {
+  std::string kernel;
+  uint32_t num_regs = 0;
+  uint32_t num_blocks = 0;
+  uint32_t num_insts = 0;
+
+  /// Paper §2 pressure: max simultaneously live data registers.
+  uint32_t static_pressure = 0;
+  /// Whole-kernel colouring pressure (alloc::baseline_pressure) — filled
+  /// by callers that may depend on the alloc layer; 0 = not computed.
+  uint32_t alloc_pressure = 0;
+  /// Colouring pressure under the liveness-refined interference graph —
+  /// filled by the same callers; 0 = not computed.
+  uint32_t live_interval_pressure = 0;
+
+  /// Register names indexed by reg id (diagnostics; ids elsewhere).
+  std::vector<std::string> reg_names;
+
+  /// Registers read on some path before any definition (entry live-in).
+  std::vector<uint32_t> undefined_reads;
+  /// Writes whose destination is dead at the write point.
+  std::vector<DeadWrite> dead_writes;
+  /// Registers that appear in the program but are never read.
+  std::vector<uint32_t> never_read;
+  std::vector<LiveInterval> intervals;
+
+  bool clean() const { return undefined_reads.empty(); }
+};
+
+/// Assemble the report's analysis-layer fields (the two allocator pressure
+/// fields stay 0 — callers with access to alloc:: fill them).
+KernelReport build_kernel_report(const gpurf::ir::Kernel& k, const Cfg& cfg,
+                                 const Dataflow& df);
+
+}  // namespace gpurf::analysis

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "alloc/slice_alloc.hpp"
+#include "analysis/dataflow.hpp"
 #include "api/json.hpp"
 #include "common/rng.hpp"
 #include "fp/format.hpp"
@@ -406,14 +408,56 @@ StatusOr<ir::Kernel> Engine::parse_kernel(std::string_view asm_text) const {
   }
 }
 
-Status Engine::verify_kernel(const ir::Kernel& k) const {
+Status Engine::verify_kernel(const ir::Kernel& k,
+                             bool allow_undefined_reads) const {
   try {
     ir::verify(k);
+    if (!allow_undefined_reads) {
+      // Dataflow enforcement (PR 9): surface entry-live-in registers as
+      // verification failures instead of silently reading zeros.  Computed
+      // directly (not via the analysis cache) — verification is one-shot
+      // and must not pin transient kernels in the memo.
+      const auto cfg = analysis::build_cfg(k);
+      const auto live = analysis::compute_liveness(k, cfg);
+      if (!live.undefined_uses.empty()) {
+        std::string msg = std::string("verify '") + k.name +
+                          "': undefined register read:";
+        for (uint32_t r : live.undefined_uses)
+          msg += std::string(" %") + k.regs[r].name;
+        msg += " (use Engine::analyze for the full report, or "
+               "allow_undefined_reads to bypass)";
+        return Status::FailedPrecondition(msg);
+      }
+    }
     return Status::Ok();
   } catch (const Error& e) {
     return Status::FailedPrecondition(std::string("verify '") + k.name +
                                       "': " + e.what());
   }
+}
+
+StatusOr<analysis::KernelReport> Engine::analyze(const ir::Kernel& k) {
+  Scope scope(*this);
+  try {
+    const auto ka = exec::analyze_kernel(k);
+    analysis::KernelReport rep =
+        analysis::build_kernel_report(k, ka->cfg(), ka->dataflow());
+    rep.alloc_pressure = alloc::baseline_pressure(k);
+    rep.live_interval_pressure = alloc::live_interval_pressure(k);
+    return rep;
+  } catch (const Error& e) {
+    return Status::FailedPrecondition(std::string("analyze '") + k.name +
+                                      "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("analyze '") + k.name + "': " +
+                            e.what());
+  }
+}
+
+StatusOr<analysis::KernelReport> Engine::analyze(std::string_view name) {
+  auto w = workload(name);
+  if (!w.ok()) return w.status();
+  return analyze((*w)->kernel());
 }
 
 StatusOr<tuning::TuneResult> Engine::tune(const ir::Kernel& k,

@@ -212,7 +212,20 @@ class Engine {
   StatusOr<ir::Kernel> parse_kernel(std::string_view asm_text) const;
 
   /// IR verification (FailedPrecondition with the verifier message).
-  Status verify_kernel(const ir::Kernel& k) const;
+  /// Also enforces dataflow soundness (PR 9): a register read on some
+  /// path before any definition — Liveness::undefined_uses, previously
+  /// computed but never surfaced — fails with kFailedPrecondition naming
+  /// the registers.  `allow_undefined_reads` opts out for deliberately
+  /// ill-formed inputs (fuzzers, lint-only flows).
+  Status verify_kernel(const ir::Kernel& k,
+                       bool allow_undefined_reads = false) const;
+
+  /// Instruction-granular lint report (PR 9): undefined reads, dead
+  /// writes, never-read registers, static vs. allocator pressure, linear
+  /// live intervals.  Never fails on ill-formed dataflow — that is what
+  /// the report is *for* — only on malformed IR.
+  StatusOr<analysis::KernelReport> analyze(const ir::Kernel& k);
+  StatusOr<analysis::KernelReport> analyze(std::string_view workload_name);
 
   /// Precision-tune a custom kernel against a caller-supplied probe, using
   /// this Engine's tuner options and thread pool.

@@ -226,6 +226,8 @@ void write_stats_fields(JsonWriter& w, const sim::SimStats& s) {
   w.field("soft_flips_masked_dead", s.soft_flips_masked_dead);
   w.field("soft_flips_visible", s.soft_flips_visible);
   w.field("soft_live_bit_cycles", s.soft_live_bit_cycles);
+  w.field("soft_flips_static_dead", s.soft_flips_static_dead);
+  w.field("soft_static_live_bit_cycles", s.soft_static_live_bit_cycles);
 }
 
 void write_fault_report(JsonWriter& w, const std::string& k,
@@ -263,6 +265,8 @@ void write_soft_report(JsonWriter& w, const std::string& k,
   w.field("flips_masked_dead", s.flips_masked_dead);
   w.field("flips_visible", s.flips_visible);
   w.field("live_bit_cycles", s.live_bit_cycles);
+  w.field("flips_static_dead", s.flips_static_dead);
+  w.field("static_live_bit_cycles", s.static_live_bit_cycles);
   w.field("avf", s.avf());
   w.field("quality_scored", s.quality_scored);
   if (s.quality_scored) {
@@ -435,6 +439,48 @@ std::string to_json(const MetricsSnapshot& m) {
   write_hist_fields(w, m.serialize, false);
   w.end_object();
   w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const analysis::KernelReport& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("kernel", r.kernel);
+  w.field("num_regs", r.num_regs);
+  w.field("num_blocks", r.num_blocks);
+  w.field("num_insts", r.num_insts);
+  w.field("static_pressure", r.static_pressure);
+  w.field("alloc_pressure", r.alloc_pressure);
+  w.field("live_interval_pressure", r.live_interval_pressure);
+  w.field("clean", r.clean());
+  w.begin_array("reg_names");
+  for (const auto& n : r.reg_names) w.element(n);
+  w.end_array();
+  w.begin_array("undefined_reads");
+  for (uint32_t reg : r.undefined_reads) w.element(uint64_t(reg));
+  w.end_array();
+  w.begin_array("dead_writes");
+  for (const auto& d : r.dead_writes) {
+    w.begin_object();
+    w.field("blk", d.blk);
+    w.field("inst", d.inst);
+    w.field("reg", d.reg);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("never_read");
+  for (uint32_t reg : r.never_read) w.element(uint64_t(reg));
+  w.end_array();
+  w.begin_array("intervals");
+  for (const auto& iv : r.intervals) {
+    w.begin_object();
+    w.field("reg", iv.reg);
+    w.field("begin", iv.begin);
+    w.field("end", iv.end);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/dataflow.hpp"
 #include "api/job.hpp"
 #include "api/metrics.hpp"
 #include "api/status.hpp"
@@ -91,6 +92,11 @@ std::string to_json(const HistogramSnapshot& h, bool full);
 /// summaries.  Shard-aggregated via MetricsSnapshot::operator+= before
 /// serialisation on multi-Engine daemons.
 std::string to_json(const MetricsSnapshot& m);
+
+/// Kernel lint report (PR 9): counts, pressures, undefined reads, dead
+/// writes, never-read registers and linear live intervals — the payload
+/// of gpurf-lint --json and the {"op":"analyze"} daemon verb.
+std::string to_json(const analysis::KernelReport& r);
 
 // ------------------------------------------------------------ JSON parsing
 //

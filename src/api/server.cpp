@@ -582,6 +582,31 @@ std::string Server::handle_request(const std::string& line, SendLineFn* push) {
       } else if (op == "status" || op == "wait" || op == "cancel" ||
                  op == "watch") {
         resp = handle_job_op(req, op, push);
+      } else if (op == "analyze") {
+        // Static kernel lint (PR 9): {"workload":name} routes to the shard
+        // that owns the kernel (so the analysis memo warmed here is the
+        // one simulate jobs reuse); {"kernel":asm} parses and analyzes an
+        // ad-hoc kernel on shard 0.
+        const JsonValue* wlname = req.get("workload");
+        const JsonValue* ktext = req.get("kernel");
+        StatusOr<analysis::KernelReport> rep = Status::InvalidArgument(
+            "analyze requires a 'workload' name or inline 'kernel' asm");
+        if (wlname && wlname->is_string()) {
+          const std::string name = wlname->as_string();
+          rep = fleet_->shard(fleet_->shard_for_workload(name)).analyze(name);
+        } else if (ktext && ktext->is_string()) {
+          Engine& eng = fleet_->shard(0);
+          StatusOr<ir::Kernel> k = eng.parse_kernel(ktext->as_string());
+          rep = k.ok() ? eng.analyze(*k)
+                       : StatusOr<analysis::KernelReport>(k.status());
+        }
+        if (rep.ok()) {
+          JsonWriter w = envelope_begin();
+          w.raw("report", to_json(*rep));
+          resp = envelope_finish(metrics_json_now(), w);
+        } else {
+          resp = envelope_error(metrics_json_now(), rep.status());
+        }
       } else if (op == "shutdown") {
         shutdown_.store(true, std::memory_order_release);
         JsonWriter w = envelope_begin();
@@ -593,7 +618,7 @@ std::string Server::handle_request(const std::string& line, SendLineFn* push) {
             Status::InvalidArgument(
                 "unknown op '" + op +
                 "' (ping|list|metrics|histograms|submit|status|wait|cancel|"
-                "watch|shutdown)"));
+                "watch|analyze|shutdown)"));
       }
     } catch (const Error& e) {
       resp = envelope_error(metrics_json_now(),

@@ -34,6 +34,8 @@
 //   {"op":"cancel","job":ID}                        -> state
 //   {"op":"metrics"}             (fleet-aggregated across engine shards)
 //   {"op":"histograms"}          -> full log2 buckets per latency stage
+//   {"op":"analyze","workload":NAME | "kernel":ASM}  -> {"report":{...}}
+//                     (static lint: undefined reads, dead writes, pressure)
 //   {"op":"shutdown"}
 //
 // Sharding (ISSUE 8): submit routes by consistent hash of the workload's

@@ -616,7 +616,8 @@ void BlockExec::exec_warp(WarpState& ws, const DecodedInst& dec,
       break;
   }
 
-  if (dec.has_dst) write_dst_warp(ws, in, exec_mask, out);
+  if (dec.has_dst && !(ctx_.elide_dead_writes && dec.dead_dst))
+    write_dst_warp(ws, in, exec_mask, out);
 }
 
 void BlockExec::write_dst_warp(WarpState& ws, const Instruction& in,
@@ -691,8 +692,15 @@ StepResult BlockExec::step(uint32_t w) {
   // Data-path execution (control instructions have no lane effects).  The
   // dispatch flags come predecoded from the kernel analysis, so the hot
   // loop performs no opcode-table lookups.
-  if (!dec.is_control && exec_mask != 0) {
-    const bool has_dst = dec.has_dst;
+  // Dead-write elision (PR 9): a statically dead destination row is never
+  // read again, so the writeback — and for pure ALU ops the whole lane
+  // computation — can be skipped without observable effect.  Memory reads
+  // keep their side effects (bounds checks, the res.addr trace) and only
+  // drop the writeback; thread_insts was already counted above, so stats
+  // are unchanged too.
+  const bool elide = ctx_.elide_dead_writes && dec.dead_dst;
+  if (!dec.is_control && exec_mask != 0 && !(elide && !dec.is_mem_read)) {
+    const bool has_dst = dec.has_dst && !elide;
     if (dec.is_store) {
       for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!((exec_mask >> l) & 1u)) continue;

@@ -74,16 +74,19 @@ LaneOp classify_lane_op(const ir::Instruction& in) {
 KernelAnalysis::KernelAnalysis(const ir::Kernel& k)
     : cfg_(analysis::build_cfg(k)),
       ipdom_(analysis::compute_ipdom(cfg_)),
+      dataflow_(analysis::compute_dataflow(k, cfg_)),
       fingerprint_(fingerprint(k)) {
   block_first_.reserve(k.blocks.size());
   block_size_.reserve(k.blocks.size());
   size_t total = 0;
   for (const auto& b : k.blocks) total += b.insts.size();
   decoded_.reserve(total);
-  for (const auto& b : k.blocks) {
+  for (uint32_t blk = 0; blk < k.blocks.size(); ++blk) {
+    const auto& b = k.blocks[blk];
     block_first_.push_back(static_cast<uint32_t>(decoded_.size()));
     block_size_.push_back(static_cast<uint32_t>(b.insts.size()));
-    for (const auto& in : b.insts) {
+    for (uint32_t i = 0; i < b.insts.size(); ++i) {
+      const auto& in = b.insts[i];
       DecodedInst d;
       d.in = &in;
       d.lane_op = classify_lane_op(in);
@@ -93,6 +96,10 @@ KernelAnalysis::KernelAnalysis(const ir::Kernel& k)
           in.op == ir::Opcode::ST_GLOBAL || in.op == ir::Opcode::ST_SHARED;
       d.is_control = in.op == ir::Opcode::BRA || in.op == ir::Opcode::RET ||
                      in.op == ir::Opcode::BAR;
+      d.is_mem_read = d.lane_op == LaneOp::kLdGlobal ||
+                      d.lane_op == LaneOp::kLdShared ||
+                      d.lane_op == LaneOp::kTex2d;
+      d.dead_dst = d.has_dst && dataflow_.dst_dead(blk, i);
       decoded_.push_back(d);
     }
   }

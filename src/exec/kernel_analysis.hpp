@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
 #include "ir/kernel.hpp"
 
 namespace gpurf::exec {
@@ -61,6 +62,14 @@ struct DecodedInst {
   bool has_dst = false;
   bool is_store = false;    ///< ST_GLOBAL / ST_SHARED
   bool is_control = false;  ///< BRA / RET / BAR (no lane data path)
+  /// LD_GLOBAL / LD_SHARED / TEX2D: side effects (bounds checks, the
+  /// memory trace) must still execute when the destination write is
+  /// elided.
+  bool is_mem_read = false;
+  /// Destination is statically dead right after this write (PR 9): the
+  /// interpreter may skip quantize/range-check/writeback — and for pure
+  /// ALU ops the whole data path — without observable effect.
+  bool dead_dst = false;
 };
 
 class KernelAnalysis {
@@ -69,6 +78,11 @@ class KernelAnalysis {
 
   const analysis::Cfg& cfg() const { return cfg_; }
   const std::vector<uint32_t>& ipdom() const { return ipdom_; }
+
+  /// Instruction-granular dataflow (PR 9): per-point live sets, dead-dst
+  /// flags, linear live intervals — computed once and cached beside the
+  /// CFG, shared by the interpreter, allocator and soft-error model.
+  const analysis::Dataflow& dataflow() const { return dataflow_; }
 
   /// Decoded instruction at (block, index) — contiguous block-major layout.
   const DecodedInst& inst(uint32_t blk, uint32_t idx) const {
@@ -87,6 +101,7 @@ class KernelAnalysis {
  private:
   analysis::Cfg cfg_;
   std::vector<uint32_t> ipdom_;
+  analysis::Dataflow dataflow_;
   std::vector<DecodedInst> decoded_;
   std::vector<uint32_t> block_first_;
   std::vector<uint32_t> block_size_;

@@ -177,6 +177,17 @@ struct ExecContext {
   bool use_soa = true;
   bool block_parallel = true;
 
+  /// Skip quantize/range-check/writeback for destination rows whose
+  /// register is statically dead at the write point (PR 9) — pure ALU
+  /// instructions with a dead destination skip the data path entirely;
+  /// memory reads still execute (bounds checks and the StepResult address
+  /// trace are observable) but drop the dead writeback.  Architectural
+  /// outputs are bit-identical either way; the flag only trades replay
+  /// time.  Off by default so the timing simulator's per-instruction
+  /// machinery (and the soft-error model's register images) see every
+  /// write exactly as before.
+  bool elide_dead_writes = false;
+
   // Statistics accumulated during execution.  Under block-parallel runs
   // thread_insts is a per-shard reduction folded in grid order, never a
   // shared counter.

@@ -201,6 +201,12 @@ class SmCore {
   /// shard count.
   void apply_soft_flip(const FlipSite& ev) {
     ++stats_.soft_flips_injected;
+    // Static classification first (PR 9): a site none of whose aliased
+    // owners is ever live can only resolve to "masked" below, whatever
+    // the warp state — counting it here keeps the invariant
+    // static_dead <= masked_dead structural rather than sampled.
+    if (soft_model_->site_static_dead(ev.phys_reg, ev.slice))
+      ++stats_.soft_flips_static_dead;
     const auto masked = [&] { ++stats_.soft_flips_masked_dead; };
     if (ev.warp_slot >= warps_.size()) return masked();
     WarpCtx& wc = warps_[ev.warp_slot];
@@ -309,9 +315,15 @@ class SmCore {
       const exec::WarpState& ws = blk.exec->warp(wc.warp_in_block);
       if (ws.done() || ws.stack().empty()) continue;
       const exec::StackEntry& pos = ws.stack().back();
+      const uint64_t lanes = uint64_t(std::popcount(ws.valid_mask()));
       stats_.soft_live_bit_cycles +=
-          uint64_t(soft_model_->payload_bits(pos.blk, pos.inst)) *
-          uint64_t(std::popcount(ws.valid_mask()));
+          uint64_t(soft_model_->payload_bits(pos.blk, pos.inst)) * lanes;
+      // Static upper bound over the identical warp-cycles: ever-live
+      // payload is position-independent, so per row this integral
+      // dominates the dynamic one (live_before ⊆ ever_live) — the
+      // comparison bench_analysis/bench_soft report.
+      stats_.soft_static_live_bit_cycles +=
+          uint64_t(soft_model_->static_payload_bits()) * lanes;
     }
   }
 
@@ -951,6 +963,8 @@ SimResult simulate(const GpuConfig& gpu, const CompressionConfig& comp,
     res.soft.flips_masked_dead = res.stats.soft_flips_masked_dead;
     res.soft.flips_visible = res.stats.soft_flips_visible;
     res.soft.live_bit_cycles = res.stats.soft_live_bit_cycles;
+    res.soft.flips_static_dead = res.stats.soft_flips_static_dead;
+    res.soft.static_live_bit_cycles = res.stats.soft_static_live_bit_cycles;
   }
   return res;
 }

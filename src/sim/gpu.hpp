@@ -155,6 +155,11 @@ struct SoftErrorReport {
   uint64_t flips_masked_dead = 0;
   uint64_t flips_visible = 0;
   uint64_t live_bit_cycles = 0;     ///< deterministic exposure integral
+  /// Static AVF refinement (PR 9): flips provably masked by the static
+  /// live mask alone (<= flips_masked_dead), and the static upper-bound
+  /// integral (>= live_bit_cycles).
+  uint64_t flips_static_dead = 0;
+  uint64_t static_live_bit_cycles = 0;
   bool quality_scored = false;
   double quality_fault_free = 0.0;
   double quality_faulty = 0.0;

@@ -3,7 +3,7 @@
 #include <bit>
 #include <cmath>
 
-#include "analysis/liveness.hpp"
+#include "analysis/dataflow.hpp"
 #include "fp/format.hpp"
 #include "rf/value_converter.hpp"
 #include "rf/value_extractor.hpp"
@@ -50,7 +50,7 @@ bool SoftErrorProcess::next_flip(uint64_t cycle, FlipSite* out) {
 SoftErrorModel::SoftErrorModel(const gpurf::ir::Kernel& k,
                                const gpurf::exec::KernelAnalysis& ka,
                                const gpurf::alloc::AllocationResult* allocation)
-    : k_(&k), alloc_(allocation) {
+    : k_(&k), alloc_(allocation), df_(&ka.dataflow()) {
   const uint32_t nregs = k.num_regs();
 
   // Stored payload width per architectural register.  Predicates live in a
@@ -91,44 +91,18 @@ SoftErrorModel::SoftErrorModel(const gpurf::ir::Kernel& k,
     }
   }
 
-  // Per-point liveness: one backward scan per block from its live-out set,
-  // over the same decoded stream the simulator issues from.  Point i is
-  // "about to execute instruction i"; point block_size is the live-out.
-  const auto live = gpurf::analysis::compute_liveness(k, ka.cfg());
-  const uint32_t nblocks = ka.num_blocks();
-  block_size_.resize(nblocks);
-  point_first_.resize(nblocks);
-  uint32_t total = 0;
-  for (uint32_t b = 0; b < nblocks; ++b) {
-    block_size_[b] = ka.block_size(b);
-    point_first_[b] = total;
-    total += block_size_[b] + 1;
-  }
-  live_at_.resize(total);
-  bits_at_.assign(total, 0);
-  for (uint32_t b = 0; b < nblocks; ++b) {
-    gpurf::DynBitset cur = live.live_out[b];
-    live_at_[point_first_[b] + block_size_[b]] = cur;
-    for (uint32_t i = block_size_[b]; i-- > 0;) {
-      const gpurf::ir::Instruction& in = *ka.inst(b, i).in;
-      if (in.info().has_dst) cur.reset(in.dst);
-      for (int s = 0; s < in.num_srcs; ++s)
-        if (in.srcs[s].is_reg()) cur.set(in.srcs[s].index);
-      if (in.guard != gpurf::ir::kNoReg) cur.set(in.guard);
-      live_at_[point_first_[b] + i] = cur;
-    }
-  }
-  for (size_t p = 0; p < live_at_.size(); ++p) {
+  // Per-point liveness comes precomputed from the KernelAnalysis (PR 9):
+  // the dataflow pass builds the exact same flattened block-major layout
+  // (point i = "about to execute instruction i", point block_size = the
+  // live-out) the model used to scan out itself.  Only the payload-bit
+  // sums are allocation-dependent, so they stay here.
+  bits_at_.assign(df_->num_points, 0);
+  for (uint32_t p = 0; p < df_->num_points; ++p) {
     uint32_t bits = 0;
-    live_at_[p].for_each_set([&](size_t r) { bits += reg_bits_[r]; });
+    df_->live_before[p].for_each_set([&](size_t r) { bits += reg_bits_[r]; });
     bits_at_[p] = bits;
   }
-}
-
-size_t SoftErrorModel::point_index(uint32_t blk, uint32_t inst) const {
-  if (blk >= block_size_.size()) return live_at_.size() - 1;
-  if (inst > block_size_[blk]) inst = block_size_[blk];
-  return point_first_[blk] + inst;
+  df_->ever_live.for_each_set([&](size_t r) { static_bits_ += reg_bits_[r]; });
 }
 
 const std::vector<SoftErrorModel::Owner>& SoftErrorModel::owners(
@@ -139,12 +113,27 @@ const std::vector<SoftErrorModel::Owner>& SoftErrorModel::owners(
 
 bool SoftErrorModel::reg_live(uint32_t blk, uint32_t inst,
                               uint32_t reg) const {
-  const auto& set = live_at_[point_index(blk, inst)];
-  return reg < set.size() && set.test(reg);
+  return df_->live_at(blk, inst, reg);
 }
 
 uint32_t SoftErrorModel::payload_bits(uint32_t blk, uint32_t inst) const {
-  return bits_at_[point_index(blk, inst)];
+  return bits_at_[df_->point_index(blk, inst)];
+}
+
+bool SoftErrorModel::site_static_dead(uint32_t phys_reg,
+                                      uint32_t slice) const {
+  const auto live_somewhere = [&](uint32_t r) {
+    return r < df_->ever_live.size() && df_->ever_live.test(r);
+  };
+  if (alloc_) {
+    for (const Owner& o : owners(phys_reg, slice))
+      if (live_somewhere(o.reg)) return false;
+    return true;  // unallocated, or every aliased owner is never live
+  }
+  // Baseline identity storage: the site is its own register.
+  return !(phys_reg < k_->num_regs() &&
+           k_->regs[phys_reg].type != gpurf::ir::Type::PRED &&
+           live_somewhere(phys_reg));
 }
 
 uint32_t SoftErrorModel::corrupt(uint32_t value, uint32_t reg,

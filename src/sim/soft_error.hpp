@@ -17,8 +17,10 @@
 //    architectural register (if any) owns each (physical register, slice)
 //    site under the active allocation, how many payload bits each
 //    register occupies, and per-(block, instruction) live-register sets
-//    derived from the same backward dataflow liveness the allocators use
-//    (src/analysis/liveness.*).  It also implements the corruption
+//    borrowed from the instruction-granular dataflow pass cached in the
+//    KernelAnalysis (src/analysis/dataflow.*, PR 9) — the same per-point
+//    facts the interpreter's dead-write elision and the allocator's
+//    live-range packing consume.  It also implements the corruption
 //    round-trip: reconstruct the stored (truncated / encoded) payload of
 //    the victim register, flip the struck bit, and decompress back
 //    through the Value Extractor / Value Converter into the architectural
@@ -109,6 +111,18 @@ class SoftErrorModel {
   /// (32 baseline, 4 * allocated slices compressed).
   uint32_t payload_bits(uint32_t blk, uint32_t inst) const;
 
+  /// Static classification (PR 9): the site holds no payload that is live
+  /// at *any* program point — every strike there is masked regardless of
+  /// where the warp stands, so soft_flips_static_dead is a lower bound of
+  /// soft_flips_masked_dead by construction.
+  bool site_static_dead(uint32_t phys_reg, uint32_t slice) const;
+
+  /// Position-independent upper bound of payload_bits(): the sum of the
+  /// stored widths of every ever-live register.  Integrated alongside the
+  /// dynamic exposure it yields the static live-bit integral, >= the
+  /// dynamic one per warp-cycle by live_before ⊆ ever_live.
+  uint32_t static_payload_bits() const { return static_bits_; }
+
   /// Corrupt one stored bit of the victim register and return the
   /// post-decompression architectural value.  `value` is the current
   /// architectural 32-bit value; equality of the result means the strike
@@ -117,21 +131,22 @@ class SoftErrorModel {
                    uint32_t slice, uint32_t bit) const;
 
  private:
-  size_t point_index(uint32_t blk, uint32_t inst) const;
-
   const gpurf::ir::Kernel* k_;
   const gpurf::alloc::AllocationResult* alloc_;  ///< nullptr = baseline
+  /// Instruction-granular liveness, borrowed from the KernelAnalysis the
+  /// launch already carries (PR 9) — the model no longer recomputes the
+  /// per-point scan itself.  The analysis outlives the model (simulate()
+  /// holds the shared_ptr for the whole run).
+  const gpurf::analysis::Dataflow* df_;
   /// (phys_reg * 8 + slice) -> owning registers; baseline mode leaves this
   /// empty and resolves ownership by identity.
   std::vector<std::vector<Owner>> owners_;
   std::vector<Owner> no_owner_;
   std::vector<uint32_t> reg_bits_;  ///< stored payload width per arch reg
-  /// Per-(block, instruction) live sets and payload-bit sums, flattened
-  /// block-major with one extra live-out point per block.
-  std::vector<gpurf::DynBitset> live_at_;
+  /// Per-point payload-bit sums over the dataflow's point layout
+  /// (allocation-dependent, so computed here rather than in the analysis).
   std::vector<uint32_t> bits_at_;
-  std::vector<uint32_t> point_first_;
-  std::vector<uint32_t> block_size_;
+  uint32_t static_bits_ = 0;  ///< sum of widths over ever-live registers
 };
 
 }  // namespace gpurf::sim

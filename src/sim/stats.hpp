@@ -69,6 +69,17 @@ struct SimStats {
   uint64_t soft_flips_visible = 0;
   uint64_t soft_live_bit_cycles = 0;
 
+  // Static AVF refinement (PR 9): flips into sites whose aliased owners
+  // are live at *no* program point — provably masked by the static live
+  // mask alone, so soft_flips_static_dead <= soft_flips_masked_dead by
+  // construction.  soft_static_live_bit_cycles integrates the static
+  // (position-independent) payload upper bound over the same warp-cycles
+  // as soft_live_bit_cycles; the gap between the two integrals is the
+  // cross-section the per-point analysis shaves off the whole-kernel
+  // view.
+  uint64_t soft_flips_static_dead = 0;
+  uint64_t soft_static_live_bit_cycles = 0;
+
   double ipc() const {
     return cycles == 0 ? 0.0 : double(thread_insts) / double(cycles);
   }
@@ -104,6 +115,8 @@ struct SimStats {
     soft_flips_masked_dead += sm.soft_flips_masked_dead;
     soft_flips_visible += sm.soft_flips_visible;
     soft_live_bit_cycles += sm.soft_live_bit_cycles;
+    soft_flips_static_dead += sm.soft_flips_static_dead;
+    soft_static_live_bit_cycles += sm.soft_static_live_bit_cycles;
   }
 };
 

@@ -132,6 +132,11 @@ entry:
   mov.f32 %hitT, 0.0
   mov.f32 %hx, 0.0
   mov.f32 %hz, 0.0
+  // %o1/%o2 are consumed after the march loop; the trip count guarantees
+  // 12 iterations, but statically the zero-trip path reaches march_done,
+  // so define them on every path (gpurf-lint: no undefined reads).
+  mov.f32 %o1, 0.0
+  mov.f32 %o2, 0.0
   mov.s32 %step, 0
 march_loop:
   setp.ge.s32 %pq, %step, 12

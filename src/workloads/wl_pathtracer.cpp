@@ -117,6 +117,11 @@ entry:
   mul.f32 %rdy, %rdy, 0.0049
   sub.f32 %rdy, %rdy, 0.471
   mov.f32 %rdz, 1.0
+  // %t0/%troot are first written under @%ph guards — partial defs merge
+  // the old value, so give them a defined value on every path
+  // (gpurf-lint: no undefined reads).
+  mov.f32 %t0, 0.0
+  mov.f32 %troot, 0.0
   mov.f32 %attr, 1.0
   mov.f32 %attg, 1.0
   mov.f32 %attb, 1.0

@@ -46,6 +46,7 @@ std::vector<float> Workload::run(
   ctx.range_check = range_check;
   ctx.use_soa = opt.use_soa;
   ctx.block_parallel = opt.block_parallel;
+  ctx.elide_dead_writes = opt.elide_dead_writes;
   std::call_once(analysis_once_,
                  [&] { analysis_ = gpurf::exec::analyze_kernel(kernel_); });
   ctx.analysis = analysis_;

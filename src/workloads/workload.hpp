@@ -43,6 +43,11 @@ enum class Scale { kSample, kFull };
 struct RunOptions {
   bool use_soa = true;
   bool block_parallel = true;
+  /// Skip statically dead destination writebacks (PR 9).  Bit-identical
+  /// outputs by construction (a value feeding any store is live at the
+  /// store), pinned by the fuzz and workload differential tests; on by
+  /// default because functional replay only observes memory.
+  bool elide_dead_writes = true;
   uint64_t* thread_insts = nullptr;  ///< out: executed thread instructions
   /// Cooperative cancellation/deadline checkpoint, polled at the start of
   /// every functional replay (a replay itself always runs to completion,

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
 #include "analysis/interval.hpp"
 #include "analysis/liveness.hpp"
 #include "common/rng.hpp"
@@ -282,6 +283,181 @@ TEST(Interval, InfinityAwareArithmetic) {
   const Interval half = Interval::make(0, Interval::kPosInf);
   EXPECT_EQ(iv_add(half, Interval::point(1)).lo, 1);
   EXPECT_TRUE(iv_add(half, Interval::point(1)).hi_inf());
+}
+
+// ----------------------------------------------------- dataflow (PR 9)
+
+TEST(Dataflow, PointLivenessStraightLine) {
+  auto k = parse_kernel(R"(
+.kernel p
+.reg s32 %a
+.reg s32 %b
+.reg s32 %c
+entry:
+  mov.s32 %a, 1
+  mov.s32 %b, 2
+  add.s32 %c, %a, %b
+  st.global.s32 [%a], %c
+  ret
+)");
+  Cfg cfg = build_cfg(k);
+  const Dataflow df = compute_dataflow(k, cfg);
+  const uint32_t a = k.find_reg("a"), b = k.find_reg("b"), c = k.find_reg("c");
+
+  // Before the add (point 2): a and b live, c not yet.
+  EXPECT_TRUE(df.live_at(0, 2, a));
+  EXPECT_TRUE(df.live_at(0, 2, b));
+  EXPECT_FALSE(df.live_at(0, 2, c));
+  // Before the store (point 3): b is dead, a and c live.
+  EXPECT_FALSE(df.live_at(0, 3, b));
+  EXPECT_TRUE(df.live_at(0, 3, a));
+  EXPECT_TRUE(df.live_at(0, 3, c));
+  // Nothing here is a dead write.
+  for (uint32_t i = 0; i < df.block_size[0]; ++i)
+    EXPECT_FALSE(df.dst_dead(0, i)) << "inst " << i;
+  // Def-use chains: each reg defined once; a read twice (add + address).
+  EXPECT_EQ(df.def_count[a], 1u);
+  EXPECT_EQ(df.use_count[a], 2u);
+  EXPECT_EQ(df.use_count[c], 1u);
+}
+
+TEST(Dataflow, DeadWriteAndNeverReadDetected) {
+  auto k = parse_kernel(R"(
+.kernel dw
+.reg s32 %a
+.reg s32 %scratch
+entry:
+  mov.s32 %a, 7
+  mul.s32 %scratch, %a, 3
+  mov.s32 %a, %tid.x
+  st.global.s32 [%a], %a
+  ret
+)");
+  Cfg cfg = build_cfg(k);
+  const Dataflow df = compute_dataflow(k, cfg);
+  // The mul's destination is never read, and the first mov to %a is
+  // overwritten after its only use feeds the mul.
+  EXPECT_TRUE(df.dst_dead(0, 1));
+  EXPECT_FALSE(df.dst_dead(0, 0));  // %a=7 is read by the mul
+  EXPECT_FALSE(df.dst_dead(0, 2));
+
+  const KernelReport rep = build_kernel_report(k, cfg, df);
+  ASSERT_EQ(rep.dead_writes.size(), 1u);
+  EXPECT_EQ(rep.dead_writes[0].reg, k.find_reg("scratch"));
+  ASSERT_EQ(rep.never_read.size(), 1u);
+  EXPECT_EQ(rep.never_read[0], k.find_reg("scratch"));
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.reg_names[rep.never_read[0]], "scratch");
+}
+
+TEST(Dataflow, PartialDefKeepsDstLiveBeforeGuard) {
+  auto k = parse_kernel(R"(
+.kernel g
+.reg s32 %a
+.reg s32 %b
+.reg pred %p
+entry:
+  mov.s32 %a, 1
+  mov.s32 %b, 2
+  setp.lt.s32 %p, %b, 3
+  @%p mov.s32 %a, 5
+  st.global.s32 [%b], %a
+  ret
+)");
+  Cfg cfg = build_cfg(k);
+  const Dataflow df = compute_dataflow(k, cfg);
+  const uint32_t a = k.find_reg("a");
+  // The guarded mov merges into %a, so the incoming value is still live
+  // before it (the guard may be false) — and the merged def is not dead.
+  EXPECT_TRUE(df.live_at(0, 3, a));
+  EXPECT_FALSE(df.dst_dead(0, 3));
+  // An unconditional def would have killed it: point 1 (before %b's mov,
+  // after %a's) still has a live because the store reads it.
+  EXPECT_TRUE(df.live_at(0, 1, a));
+}
+
+TEST(Dataflow, UndefinedReadSurfacesInReport) {
+  auto k = parse_kernel(R"(
+.kernel u
+.reg s32 %a
+.reg s32 %never
+entry:
+  add.s32 %a, %never, 1
+  st.global.s32 [%a], %a
+  ret
+)");
+  Cfg cfg = build_cfg(k);
+  const Dataflow df = compute_dataflow(k, cfg);
+  const KernelReport rep = build_kernel_report(k, cfg, df);
+  ASSERT_EQ(rep.undefined_reads.size(), 1u);
+  EXPECT_EQ(rep.undefined_reads[0], k.find_reg("never"));
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(Dataflow, IntervalsCoverEveryLivePoint) {
+  // Random fuzz-shaped kernels: wherever the per-point sets say a register
+  // is live, its linear interval must cover that point (intervals are a
+  // conservative over-approximation), and intervals exist exactly for
+  // ever-live registers.
+  for (uint32_t seed = 1; seed <= 8; ++seed) {
+    Pcg32 rng(seed, 0xDA7A);
+    std::string s = ".kernel iv" + std::to_string(seed) + "\n.reg s32 %x\n"
+                    ".reg s32 %y\n.reg s32 %z\n.reg pred %p\nentry:\n"
+                    "  mov.s32 %x, %tid.x\n  mov.s32 %y, 3\n";
+    for (int op = 0; op < int(3 + rng.next_below(8)); ++op)
+      s += (rng.next_below(2) ? "  add.s32 %z, %x, %y\n"
+                              : "  mul.s32 %y, %z, 2\n");
+    s += "  setp.lt.s32 %p, %x, 9\n  @%p add.s32 %z, %z, 1\n"
+         "  st.global.s32 [%x], %z\n  ret\n";
+    auto k = parse_kernel(s);
+    Cfg cfg = build_cfg(k);
+    const Dataflow df = compute_dataflow(k, cfg);
+
+    std::vector<const LiveInterval*> by_reg(k.num_regs(), nullptr);
+    for (const auto& iv : df.intervals) by_reg[iv.reg] = &iv;
+    for (uint32_t p = 0; p < df.num_points; ++p) {
+      df.live_before[p].for_each_set([&](size_t r) {
+        ASSERT_NE(by_reg[r], nullptr) << "reg " << r;
+        EXPECT_LE(by_reg[r]->begin, p);
+        EXPECT_LT(p, by_reg[r]->end);
+      });
+    }
+    for (const auto& iv : df.intervals)
+      EXPECT_TRUE(df.ever_live.test(iv.reg));
+  }
+}
+
+TEST(Dataflow, LiveInterferenceIsSubgraph) {
+  // The liveness-refined interference graph never adds an edge the classic
+  // construction lacks, and a never-read register interferes with nothing.
+  auto k = parse_kernel(R"(
+.kernel sub
+.reg s32 %a
+.reg s32 %b
+.reg s32 %scratch
+entry:
+  mov.s32 %a, %tid.x
+  mov.s32 %b, 5
+  mul.s32 %scratch, %a, %b
+  add.s32 %a, %a, %b
+  st.global.s32 [%a], %a
+  ret
+)");
+  Cfg cfg = build_cfg(k);
+  const Dataflow df = compute_dataflow(k, cfg);
+  const auto live = compute_liveness(k, cfg);
+  const auto classic = build_interference(k, cfg, live);
+  const auto refined = build_live_interference(k, cfg, df);
+  const uint32_t scratch = k.find_reg("scratch");
+  for (uint32_t r1 = 0; r1 < k.num_regs(); ++r1)
+    for (uint32_t r2 = 0; r2 < k.num_regs(); ++r2)
+      if (refined[r1].test(r2)) {
+        EXPECT_TRUE(classic[r1].test(r2)) << r1 << " vs " << r2;
+      }
+  // classic gives the dead mul's destination edges to {a, b}; refined
+  // drops them entirely.
+  EXPECT_GT(classic[scratch].count(), 0u);
+  EXPECT_EQ(refined[scratch].count(), 0u);
 }
 
 }  // namespace

@@ -37,6 +37,12 @@ struct TempDir {
   std::string path;
 };
 
+api::ServerOptions unix_opts(std::string path) {
+  api::ServerOptions o;
+  o.socket_path = std::move(path);
+  return o;
+}
+
 api::JsonValue parse_ok(const std::string& text) {
   auto v = api::parse_json(text);
   EXPECT_TRUE(v.ok()) << v.status().to_string() << "\n" << text;
@@ -173,6 +179,48 @@ TEST(Daemon, HandlesRequestsWithoutSocket) {
             "INVALID_ARGUMENT");
 }
 
+TEST(Daemon, AnalyzeOpReturnsKernelReport) {
+  // {"op":"analyze"} (PR 9): a registered workload or inline asm comes
+  // back as an embedded KernelReport object.
+  Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
+  api::Server server(engine, api::ServerOptions{});  // never started
+
+  auto rep = parse_ok(
+      server.handle_request_line(R"({"op":"analyze","workload":"DWT2D"})"));
+  ASSERT_TRUE(rep.get("ok")->as_bool());
+  const api::JsonValue* r = rep.get("report");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->get("kernel")->as_string(), "dwt2d");
+  EXPECT_TRUE(r->get("clean")->as_bool());
+  EXPECT_TRUE(r->get("undefined_reads")->items.empty());
+  EXPECT_GT(r->get("static_pressure")->as_int(), 0);
+  EXPECT_GT(r->get("alloc_pressure")->as_int(), 0);
+  EXPECT_GT(r->get("live_interval_pressure")->as_int(), 0);
+  EXPECT_FALSE(r->get("intervals")->items.empty());
+
+  // Inline kernel with an undefined read: the analysis itself succeeds
+  // and the report carries the finding.
+  auto inline_rep = parse_ok(server.handle_request_line(
+      R"({"op":"analyze","kernel":".kernel u\n.reg s32 %a\n)"
+      R"(.reg s32 %n\nentry:\n  add.s32 %a, %n, 1\n)"
+      R"(  st.global.s32 [%a], %a\n  ret\n"})"));
+  ASSERT_TRUE(inline_rep.get("ok")->as_bool());
+  EXPECT_FALSE(inline_rep.get("report")->get("clean")->as_bool());
+  ASSERT_EQ(inline_rep.get("report")->get("undefined_reads")->items.size(),
+            1u);
+
+  // Error mapping: no target, unknown workload, unparsable inline asm.
+  auto miss = parse_ok(server.handle_request_line(R"({"op":"analyze"})"));
+  EXPECT_EQ(miss.get("error")->get("code")->as_string(), "INVALID_ARGUMENT");
+  auto nf = parse_ok(server.handle_request_line(
+      R"({"op":"analyze","workload":"NoSuchKernel"})"));
+  EXPECT_EQ(nf.get("error")->get("code")->as_string(), "NOT_FOUND");
+  auto garbled = parse_ok(server.handle_request_line(
+      R"({"op":"analyze","kernel":"this is not asm"})"));
+  EXPECT_EQ(garbled.get("error")->get("code")->as_string(),
+            "INVALID_ARGUMENT");
+}
+
 // PR 6 regression: a missing "mode" keeps the per-kind default — original
 // for simulate (so injecting faults without naming a mode is rejected,
 // proving the default), perfect for fault_campaign (which would otherwise
@@ -220,7 +268,7 @@ TEST(Daemon, SocketRoundTripSubmitWaitResultShutdown) {
   TempDir dir("gpurf_daemon_cache");
   Engine engine(EngineOptions().with_threads(2).with_cache_dir(dir.path));
   const std::string sock = "./gpurfd_test.sock";
-  api::Server server(engine, api::ServerOptions{sock});
+  api::Server server(engine, unix_opts(sock));
   ASSERT_TRUE(server.start().ok());
   ASSERT_TRUE(server.running());
 
@@ -303,7 +351,7 @@ TEST(Daemon, ShutdownUnderConcurrentClients) {
     std::atomic<bool> go{false};
     std::atomic<int> responses{0};
     {
-      api::Server server(engine, api::ServerOptions{sock});
+      api::Server server(engine, unix_opts(sock));
       ASSERT_TRUE(server.start().ok());
 
       std::vector<std::thread> clients;
@@ -369,7 +417,7 @@ TEST(ClientRetry, NoDaemonSurfacesUnavailableAfterBoundedRetries) {
 TEST(ClientRetry, RetriesUntilLateStartingServerAppears) {
   Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
   const std::string sock = "./gpurfd_late.sock";
-  api::Server server(engine, api::ServerOptions{sock});
+  api::Server server(engine, unix_opts(sock));
   // Start the server *after* the client begins connecting: the client's
   // retry loop must absorb the ECONNREFUSED/ENOENT window.
   std::thread starter([&] {
@@ -453,9 +501,10 @@ TEST(Daemon, DrainCancelsQueuedJobsAndStaysUsable) {
   // Drain is not shutdown: the Engine keeps serving afterwards.
   auto names = engine.workload_names();
   EXPECT_EQ(names.size(), 11u);
-  Job again = engine.submit(JobRequest::simulate(
-      "Hotspot", SimRequest{workloads::SimMode::kOriginal,
-                            workloads::Scale::kSample}));
+  SimRequest again_req;
+  again_req.mode = workloads::SimMode::kOriginal;
+  again_req.scale = workloads::Scale::kSample;
+  Job again = engine.submit(JobRequest::simulate("Hotspot", again_req));
   again.wait();
   EXPECT_EQ(again.state(), JobState::kDone) << again.status().to_string();
 }
@@ -471,7 +520,7 @@ TEST(Daemon, OverlongSocketPathIsInvalidArgumentOnBothEnds) {
   ASSERT_GE(too_long.size(), sizeof(sockaddr_un{}.sun_path));
 
   Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
-  api::Server server(engine, api::ServerOptions{too_long});
+  api::Server server(engine, unix_opts(too_long));
   const Status st = server.start();
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.to_string();

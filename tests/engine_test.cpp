@@ -240,6 +240,46 @@ entry:
   EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(Engine, VerifyRejectsUndefinedReadsUnlessWaived) {
+  // PR 9: verify_kernel folds the liveness pass in — a register read on
+  // some path before any definition is a FailedPrecondition naming the
+  // register, with an explicit opt-out for intentionally partial kernels.
+  Engine engine(EngineOptions().with_threads(1).with_disk_cache(false));
+  auto k = engine.parse_kernel(R"(
+.kernel undef
+.reg s32 %a
+.reg s32 %never
+entry:
+  add.s32 %a, %never, 1
+  st.global.s32 [%a], %a
+  ret
+)");
+  ASSERT_TRUE(k.ok()) << k.status().to_string();
+  const auto st = engine.verify_kernel(*k);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("never"), std::string::npos) << st.to_string();
+  EXPECT_TRUE(engine.verify_kernel(*k, /*allow_undefined_reads=*/true).ok());
+
+  // A clean kernel still verifies, and Engine::analyze agrees on both.
+  auto clean = engine.parse_kernel(
+      ".kernel ok\n.reg s32 %a\nentry:\n  mov.s32 %a, %tid.x\n"
+      "  st.global.s32 [%a], %a\n  ret\n");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(engine.verify_kernel(*clean).ok());
+  auto rep = engine.analyze(*clean);
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  EXPECT_TRUE(rep->clean());
+  EXPECT_GT(rep->alloc_pressure, 0u);
+  auto bad_rep = engine.analyze(*k);
+  ASSERT_TRUE(bad_rep.ok()) << bad_rep.status().to_string();
+  ASSERT_EQ(bad_rep->undefined_reads.size(), 1u);
+  EXPECT_EQ(bad_rep->reg_names[bad_rep->undefined_reads[0]], "never");
+
+  // The JSON snapshot of a report is well-formed.
+  EXPECT_TRUE(api::parse_json(api::to_json(*bad_rep)).ok());
+}
+
 // -------------------------------------------------------------- async API
 
 TEST(Engine, AsyncSubmissionsMatchSyncResults) {

@@ -21,6 +21,7 @@
 #include <bit>
 
 #include "alloc/slice_alloc.hpp"
+#include "analysis/dataflow.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/range_analysis.hpp"
 #include "common/rng.hpp"
@@ -229,7 +230,7 @@ struct RunOutput {
 RunOutput run_kernel_cfg(const ir::Kernel& k,
                          const analysis::RangeAnalysisResult* rc,
                          const ir::LaunchConfig& launch, bool use_soa,
-                         bool block_parallel) {
+                         bool block_parallel, bool elide_dead_writes = false) {
   exec::GlobalMemory gmem;
   const uint32_t out = gmem.alloc(64 * 32 + 1024);
   exec::ExecContext ctx;
@@ -240,6 +241,7 @@ RunOutput run_kernel_cfg(const ir::Kernel& k,
   ctx.range_check = rc;
   ctx.use_soa = use_soa;
   ctx.block_parallel = block_parallel;
+  ctx.elide_dead_writes = elide_dead_writes;
   RunOutput r;
   r.thread_insts = exec::run_functional(ctx);
   // Compare raw words (outputs are integers; float reinterpretation would
@@ -337,6 +339,21 @@ TEST_P(FuzzSoundness, BlockParallelMatchesSerial) {
   EXPECT_EQ(serial.thread_insts, parallel.thread_insts);
 }
 
+TEST_P(FuzzSoundness, DeadWriteElisionBitIdentical) {
+  // Elision consumes the static dead-dst flags (PR 9): replay with
+  // elide_dead_writes on must reproduce the off image bit-for-bit and
+  // execute the same thread-instruction count, in both dispatch modes.
+  ir::Kernel k = ir::parse_kernel(generate_kernel(GetParam()));
+  const ir::LaunchConfig lc{2, 1, 32, 1};
+  const auto off = run_kernel_cfg(k, nullptr, lc, true, false, false);
+  const auto on = run_kernel_cfg(k, nullptr, lc, true, false, true);
+  EXPECT_TRUE(off == on);
+  const auto scalar_off = run_kernel_cfg(k, nullptr, lc, false, false, false);
+  const auto scalar_on = run_kernel_cfg(k, nullptr, lc, false, false, true);
+  EXPECT_TRUE(scalar_off == scalar_on);
+  EXPECT_TRUE(off == scalar_on);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness,
                          ::testing::Range(1u, 26u));  // 25 random programs
 
@@ -374,8 +391,108 @@ TEST_P(FuzzDivergent, DeterministicExecution) {
               run_kernel_cfg(k, nullptr, lc, true, false));
 }
 
+TEST_P(FuzzDivergent, DeadWriteElisionBitIdentical) {
+  // Divergent diamonds + partially valid warps: the dead-dst flags are
+  // per instruction, not per lane, so elision must stay sound when the
+  // SIMT stack splits.  Serial and block-parallel schedules both pin it.
+  ir::Kernel k = ir::parse_kernel(generate_divergent_kernel(GetParam()));
+  const ir::LaunchConfig lc{3, 1, 48, 1};
+  const auto off = run_kernel_cfg(k, nullptr, lc, true, false, false);
+  const auto on = run_kernel_cfg(k, nullptr, lc, true, false, true);
+  EXPECT_TRUE(off == on);
+  PoolWidth width(4);
+  const auto par_on = run_kernel_cfg(k, nullptr, lc, true, true, true);
+  EXPECT_TRUE(off == par_on);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDivergent,
                          ::testing::Range(100u, 125u));  // 25 programs
+
+/// Like generate_kernel, but the loop body also writes a rotating set of
+/// scratch registers that are never read anywhere — every such write is
+/// statically dead (some guarded, exercising partial-def dead writes), so
+/// the dataflow pass must flag them and elision must skip real work.
+std::string generate_dead_write_kernel(uint32_t seed) {
+  Pcg32 rng(seed, 0xDEAD);
+  const int nregs = 3 + int(rng.next_below(4));
+  const int nscratch = 2 + int(rng.next_below(3));
+  std::string s = ".kernel dead" + std::to_string(seed) + "\n";
+  s += ".param s32 out_base\n";
+  for (int r = 0; r < nregs; ++r)
+    s += ".reg s32 %r" + std::to_string(r) + "\n";
+  for (int d = 0; d < nscratch; ++d)
+    s += ".reg s32 %dw" + std::to_string(d) + "\n";
+  s += ".reg s32 %i\n.reg pred %p\n.reg pred %q\nentry:\n";
+  auto reg = [&](int r) { return "%r" + std::to_string(r); };
+  for (int r = 0; r < nregs; ++r)
+    s += "  mov.s32 " + reg(r) + ", " +
+         (rng.next_below(2) ? "%tid.x" : "%ctaid.x") + "\n";
+  // Scratch regs must be initialized before any guarded (partial) write:
+  // a partial def merges the old value, so an uninitialized guarded dst
+  // would be a genuine undefined read.  These inits are dead writes too.
+  for (int d = 0; d < nscratch; ++d)
+    s += "  mov.s32 %dw" + std::to_string(d) + ", 0\n";
+  const int trip = 2 + int(rng.next_below(5));
+  s += "  mov.s32 %i, 0\nhead:\n";
+  s += "  setp.ge.s32 %p, %i, " + std::to_string(trip) + "\n";
+  s += "  @%p bra done\nbody:\n";
+  const int nops = 4 + int(rng.next_below(8));
+  for (int op = 0; op < nops; ++op) {
+    const int a = int(rng.next_below(nregs));
+    const int b = int(rng.next_below(nregs));
+    if (rng.next_below(2)) {
+      // Dead scratch write, sometimes guarded (a partial dead def).
+      const std::string dst = "%dw" + std::to_string(rng.next_below(
+                                          uint32_t(nscratch)));
+      std::string pre = "  ";
+      if (rng.next_below(3) == 0) {
+        s += "  setp.lt.s32 %q, " + reg(a) + ", 21\n";
+        pre = "  @%q ";
+      }
+      s += pre + "mad.s32 " + dst + ", " + reg(a) + ", 7, " + reg(b) + "\n";
+    } else {
+      const int d = int(rng.next_below(nregs));
+      s += "  add.s32 " + reg(d) + ", " + reg(a) + ", " + reg(b) + "\n";
+    }
+  }
+  s += "  add.s32 %i, %i, 1\n  bra head\ndone:\n";
+  s += "  mov.s32 %i, %tid.x\n";
+  for (int r = 0; r < nregs; ++r) {
+    s += "  mad.s32 %i, %i, 1, $out_base\n";
+    s += "  st.global.s32 [%i+" + std::to_string(r * 64) + "], " + reg(r) +
+         "\n";
+    s += "  mov.s32 %i, %tid.x\n";
+  }
+  s += "  ret\n";
+  return s;
+}
+
+class FuzzDeadWrites : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzDeadWrites, StaticallyDeadWritesAreUnobservable) {
+  const std::string text = generate_dead_write_kernel(GetParam());
+  ir::Kernel k = ir::parse_kernel(text);
+  ASSERT_NO_THROW(ir::verify(k)) << text;
+
+  // The pass must actually find the planted dead writes (every %dw write).
+  const auto cfg = analysis::build_cfg(k);
+  const auto df = analysis::compute_dataflow(k, cfg);
+  const auto rep = analysis::build_kernel_report(k, cfg, df);
+  EXPECT_FALSE(rep.dead_writes.empty()) << text;
+  EXPECT_TRUE(rep.clean());
+
+  // Skipping them is unobservable: the scalar reference replay with
+  // elision matches both non-elided replays bit-for-bit.
+  const ir::LaunchConfig lc{2, 1, 32, 1};
+  const auto scalar_off = run_kernel_cfg(k, nullptr, lc, false, false, false);
+  const auto scalar_on = run_kernel_cfg(k, nullptr, lc, false, false, true);
+  const auto soa_on = run_kernel_cfg(k, nullptr, lc, true, false, true);
+  EXPECT_TRUE(scalar_off == scalar_on) << text;
+  EXPECT_TRUE(scalar_off == soa_on) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDeadWrites,
+                         ::testing::Range(500u, 515u));  // 15 programs
 
 }  // namespace
 }  // namespace gpurf

@@ -384,7 +384,9 @@ TEST(ServeTcp, IdleConnectionsAreDropped) {
 
 TEST(Serve, HistogramsOpExportsAllStages) {
   Engine engine(test_engine_opts());
-  api::Server server(engine, api::ServerOptions{"./serve_hist_test.sock"});
+  api::ServerOptions sopts;
+  sopts.socket_path = "./serve_hist_test.sock";
+  api::Server server(engine, sopts);
   ASSERT_TRUE(server.start().ok());
   api::Client c(server.socket_path());
   ASSERT_TRUE(c.status().ok());

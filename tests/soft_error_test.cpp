@@ -194,6 +194,7 @@ TEST(SoftSim, ExposureTrackingDoesNotPerturbTheRun) {
   EXPECT_GT(e->soft.live_bit_cycles, 0u);
   sim::SimStats masked = e->stats;
   masked.soft_live_bit_cycles = 0;
+  masked.soft_static_live_bit_cycles = 0;
   expect_same_sim_stats(ref->stats, masked, "exposure tracking");
 
   // The exposure integral itself is shard-invariant.
@@ -223,6 +224,12 @@ TEST(SoftSim, SameSeedSameTraceAndStatsAtShards124) {
   EXPECT_EQ(ref->soft.flips_injected,
             ref->soft.flips_on_live + ref->soft.flips_masked_dead);
   EXPECT_LE(ref->soft.flips_visible, ref->soft.flips_on_live);
+  // Static classification (PR 9): provably-dead strikes are a subset of
+  // the dynamically masked ones, and the static exposure integral is an
+  // upper bound of the dynamic live-bit integral.
+  EXPECT_LE(ref->soft.flips_static_dead, ref->soft.flips_masked_dead);
+  EXPECT_GE(ref->soft.static_live_bit_cycles, ref->soft.live_bit_cycles);
+  EXPECT_GT(ref->soft.static_live_bit_cycles, 0u);
   EXPECT_EQ(ref->soft.seed, 3u);
 
   for (int shards : {2, 4}) {
@@ -233,6 +240,8 @@ TEST(SoftSim, SameSeedSameTraceAndStatsAtShards124) {
     expect_same_sim_stats(ref->stats, r->stats,
                           "soft T=" + std::to_string(shards));
     EXPECT_TRUE(ref->soft == r->soft) << "T=" << shards;
+    EXPECT_LE(r->soft.flips_static_dead, r->soft.flips_masked_dead)
+        << "T=" << shards;
   }
 
   // A different seed lands a different trace (counters almost surely
@@ -316,6 +325,11 @@ TEST(TransientCampaign, SweepCompletesDeterministicallyAndSerializes) {
     EXPECT_TRUE(pt.soft.active);
     EXPECT_EQ(pt.soft.flips_injected,
               pt.soft.flips_on_live + pt.soft.flips_masked_dead);
+    // Static classification (PR 9): a flip the dataflow pass proves dead
+    // is a subset of what the dynamic model masks, and the static
+    // exposure integral upper-bounds the dynamic one.
+    EXPECT_LE(pt.soft.flips_static_dead, pt.soft.flips_masked_dead);
+    EXPECT_GE(pt.soft.static_live_bit_cycles, pt.soft.live_bit_cycles);
     EXPECT_GT(pt.cycles, 0u);
   }
 
