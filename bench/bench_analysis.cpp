@@ -17,12 +17,22 @@
 // never-read scratch registers inside a hot loop — where elision must show
 // a real speedup.  BENCH_analysis.json records everything.
 //
+// PR 10 adds the static memory pass: per Table-4 workload the bench
+// reports memory-proof coverage (sites proven in bounds / total memory
+// sites, the disjointness verdicts and whether the workload carries an
+// assume_disjoint waiver) plus bounds-check-elision replay throughput
+// (checks on vs. proven checks elided, outputs verified bit-identical
+// first).  A "memory" summary object lands in BENCH_analysis.json.
+//
 // Usage: bench_analysis [--smoke] [--out PATH] [workload ...]
-//   --smoke: CI tripwire — exit nonzero if any elision run is not
-//            bit-identical, any workload has undefined reads, the
-//            live-interval pressure exceeds baseline, or the synthetic
-//            kernels fail to speed up under elision (generous margin so
-//            timer noise can't flake the build).
+//   --smoke: CI tripwire — exit nonzero if any elision run (dead-write or
+//            bounds-check) is not bit-identical, any workload has
+//            undefined reads, the live-interval pressure exceeds baseline,
+//            the synthetic kernels fail to speed up under elision
+//            (generous margin so timer noise can't flake the build), the
+//            fleet-wide memory-proof coverage drops below 85%, or any
+//            workload loses block-parallel eligibility (proofs + waivers
+//            must keep every bundled workload parallel-replayable).
 
 #include <chrono>
 #include <cstdint>
@@ -34,6 +44,7 @@
 #include "alloc/slice_alloc.hpp"
 #include "analysis/cfg.hpp"
 #include "analysis/dataflow.hpp"
+#include "analysis/memory_access.hpp"
 #include "common/thread_pool.hpp"
 #include "exec/interp.hpp"
 #include "ir/parser.hpp"
@@ -59,7 +70,8 @@ struct ReplayResult {
   std::vector<float> out;
 };
 
-ReplayResult run_workload(const wl::Workload& w, bool elide, int reps) {
+ReplayResult run_workload(const wl::Workload& w, bool elide_dead,
+                          bool elide_bounds, int reps) {
   ReplayResult r;
   r.secs = 1e30;
   for (int i = 0; i < reps; ++i) {
@@ -67,7 +79,8 @@ ReplayResult run_workload(const wl::Workload& w, bool elide, int reps) {
     wl::RunOptions o;
     o.use_soa = true;
     o.block_parallel = false;
-    o.elide_dead_writes = elide;
+    o.elide_dead_writes = elide_dead;
+    o.elide_bounds_checks = elide_bounds;
     const double t0 = now_secs();
     r.out = w.run(inst, nullptr, nullptr, o);
     r.secs = std::min(r.secs, now_secs() - t0);
@@ -163,6 +176,12 @@ int main(int argc, char** argv) {
               "analyze", "dead", "nread", "static", "alloc", "intvl",
               "off(ms)", "on(ms)", "speedup", "identical");
 
+  // Memory-proof coverage accumulators (PR 10), summarised after the
+  // per-workload table and gated in --smoke.
+  uint64_t mem_sites_total = 0, mem_sites_proven = 0;
+  int mem_workloads = 0, mem_fully_proven = 0, mem_waived = 0;
+  int mem_parallel_ok = 0, mem_shard_ok = 0;
+
   std::FILE* json = std::fopen(out_path, "w");
   if (json) std::fprintf(json, "{\n  \"workloads\": [");
 
@@ -170,7 +189,8 @@ int main(int argc, char** argv) {
   bool first_row = true;
   auto emit_row = [&](const std::string& name, double analyze_secs,
                       const analysis::KernelReport& rep, double off_secs,
-                      double on_secs, bool identical, bool synthetic) {
+                      double on_secs, bool identical, bool synthetic,
+                      const std::string& extra_json = {}) {
     const double speedup = on_secs > 0 ? off_secs / on_secs : 0.0;
     std::printf("%-12s %7.1fus %5zu %5zu  %6u %6u %6u  %9.3f %9.3f %6.2fx  %s\n",
                 name.c_str(), analyze_secs * 1e6, rep.dead_writes.size(),
@@ -185,12 +205,12 @@ int main(int argc, char** argv) {
           "\"undefined_reads\": %zu, \"static_pressure\": %u, "
           "\"alloc_pressure\": %u, \"live_interval_pressure\": %u, "
           "\"replay_off_ms\": %.4f, \"replay_on_ms\": %.4f, "
-          "\"elide_speedup\": %.3f, \"identical\": %s}",
+          "\"elide_speedup\": %.3f, \"identical\": %s%s}",
           first_row ? "" : ",", name.c_str(), synthetic ? "true" : "false",
           analyze_secs * 1e6, rep.dead_writes.size(), rep.never_read.size(),
           rep.undefined_reads.size(), rep.static_pressure, rep.alloc_pressure,
           rep.live_interval_pressure, off_secs * 1e3, on_secs * 1e3, speedup,
-          identical ? "true" : "false");
+          identical ? "true" : "false", extra_json.c_str());
       first_row = false;
     }
     if (!identical) ++failures;
@@ -217,10 +237,87 @@ int main(int argc, char** argv) {
     rep.alloc_pressure = alloc::baseline_pressure(k);
     rep.live_interval_pressure = alloc::live_interval_pressure(k);
 
-    const auto off = run_workload(*w, /*elide=*/false, reps);
-    const auto on = run_workload(*w, /*elide=*/true, reps);
+    const auto off = run_workload(*w, /*dead=*/false, /*bounds=*/false, reps);
+    const auto on = run_workload(*w, /*dead=*/true, /*bounds=*/false, reps);
+
+    // Static memory pass (PR 10): solve cost, proof coverage and the
+    // disjointness verdicts for the sample instance, then bounds-check
+    // elision throughput (dead-write elision held on in both runs so the
+    // delta isolates the checks).
+    auto inst = w->make_instance(wl::Scale::kSample, 0);
+    double mem_secs = 1e30;
+    for (int i = 0; i < reps; ++i) {
+      analysis::MemoryAccessOptions mo;
+      mo.param_values = &inst.params;
+      const double t0 = now_secs();
+      auto ma = analysis::analyze_memory_accesses(k, inst.launch, mo);
+      mem_secs = std::min(mem_secs, now_secs() - t0);
+    }
+    const auto proofs = w->mem_proofs(inst, /*footprints=*/true);
+    const uint32_t sites = static_cast<uint32_t>(proofs->mem.accesses.size());
+    const bool waived = w->spec().assume_disjoint;
+    mem_sites_total += sites;
+    mem_sites_proven += proofs->proven_sites;
+    ++mem_workloads;
+    if (proofs->proven_sites == sites) ++mem_fully_proven;
+    if (waived) ++mem_waived;
+    if (proofs->parallel_ok) ++mem_parallel_ok;
+    if (proofs->shard_ok) ++mem_shard_ok;
+    if (smoke && !proofs->parallel_ok) ++failures;
+
+    const auto boff = run_workload(*w, /*dead=*/true, /*bounds=*/false, reps);
+    const auto bon = run_workload(*w, /*dead=*/true, /*bounds=*/true, reps);
+    const bool bident = bits_equal(boff.out, bon.out);
+    if (!bident) ++failures;
+    const double bspeed = bon.secs > 0 ? boff.secs / bon.secs : 0.0;
+
+    char extra[512];
+    std::snprintf(
+        extra, sizeof(extra),
+        ", \"mem_analysis_us\": %.2f, \"mem_sites\": %u, "
+        "\"mem_proven\": %u, \"stores_disjoint\": %s, \"loads_local\": %s, "
+        "\"disjoint_waived\": %s, \"parallel_ok\": %s, \"shard_ok\": %s, "
+        "\"bounds_off_ms\": %.4f, \"bounds_on_ms\": %.4f, "
+        "\"bounds_elide_speedup\": %.3f, \"bounds_identical\": %s",
+        mem_secs * 1e6, sites, proofs->proven_sites,
+        proofs->mem.stores_disjoint ? "true" : "false",
+        proofs->mem.loads_local ? "true" : "false", waived ? "true" : "false",
+        proofs->parallel_ok ? "true" : "false",
+        proofs->shard_ok ? "true" : "false", boff.secs * 1e3, bon.secs * 1e3,
+        bspeed, bident ? "true" : "false");
+
     emit_row(w->spec().name, analyze_secs, rep, off.secs, on.secs,
-             bits_equal(off.out, on.out), /*synthetic=*/false);
+             bits_equal(off.out, on.out), /*synthetic=*/false, extra);
+    std::printf("%-12s   mem: %u/%u proven (%.1fus)  %s%s%s  "
+                "checks %7.3f  elided %7.3f  %5.2fx  %s\n",
+                "", proofs->proven_sites, sites, mem_secs * 1e6,
+                proofs->mem.stores_disjoint ? "stores-disjoint " : "",
+                proofs->mem.loads_local ? "loads-local " : "",
+                waived ? "[waived]" : "", boff.secs * 1e3, bon.secs * 1e3,
+                bspeed, bident ? "yes" : "NO <-- bug");
+  }
+
+  // Fleet-wide proof coverage: the smoke gate holds the floor at 85% so a
+  // solver regression (or a new workload with unproven accesses and no
+  // waiver) fails CI instead of silently serialising replays.
+  const double coverage =
+      mem_sites_total > 0
+          ? static_cast<double>(mem_sites_proven) /
+                static_cast<double>(mem_sites_total)
+          : 1.0;
+  if (mem_workloads > 0) {
+    std::printf(
+        "\nmemory proofs: %llu/%llu sites proven (%.1f%%), "
+        "%d/%d workloads fully proven, %d waived, "
+        "%d parallel-ok, %d shard-ok\n",
+        static_cast<unsigned long long>(mem_sites_proven),
+        static_cast<unsigned long long>(mem_sites_total), coverage * 100.0,
+        mem_fully_proven, mem_workloads, mem_waived, mem_parallel_ok,
+        mem_shard_ok);
+    if (smoke && coverage < 0.85) {
+      std::printf("memory-proof coverage below the 85%% floor\n");
+      ++failures;
+    }
   }
 
   // Synthetic dead-write-heavy family: here elision has real work to skip,
@@ -254,7 +351,15 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
-    std::fprintf(json, "\n  ]\n}\n");
+    std::fprintf(json,
+                 "\n  ],\n  \"memory\": {\"sites\": %llu, \"proven\": %llu, "
+                 "\"coverage\": %.4f, \"workloads\": %d, "
+                 "\"fully_proven\": %d, \"waived\": %d, "
+                 "\"parallel_ok\": %d, \"shard_ok\": %d}\n}\n",
+                 static_cast<unsigned long long>(mem_sites_total),
+                 static_cast<unsigned long long>(mem_sites_proven), coverage,
+                 mem_workloads, mem_fully_proven, mem_waived, mem_parallel_ok,
+                 mem_shard_ok);
     std::fclose(json);
   }
   if (failures) {

@@ -122,6 +122,25 @@ struct DeadWrite {
   bool operator==(const DeadWrite&) const = default;
 };
 
+/// One static out-of-bounds finding (ISSUE 10): a memory access whose
+/// statically derived address interval is not contained in its buffer.
+/// `definite` means the whole interval lies outside (the dynamic bounds
+/// check fires on every execution of the site); otherwise only part of
+/// the interval escapes — or the address is statically unknown
+/// (`addr_known` false) — and the finding is a warning.
+struct OobFinding {
+  uint32_t blk = 0;
+  uint32_t inst = 0;       ///< index within blocks[blk].insts
+  bool is_store = false;
+  bool shared = false;     ///< shared-memory access (else global)
+  bool definite = false;
+  bool addr_known = false; ///< static interval exact (lo/hi meaningful)
+  int64_t lo = 0;          ///< word-address interval, valid if addr_known
+  int64_t hi = 0;
+
+  bool operator==(const OobFinding&) const = default;
+};
+
 /// Kernel verifier/lint summary (gpurf-lint, {"op":"analyze"}).
 struct KernelReport {
   std::string kernel;
@@ -148,6 +167,27 @@ struct KernelReport {
   /// Registers that appear in the program but are never read.
   std::vector<uint32_t> never_read;
   std::vector<LiveInterval> intervals;
+
+  // --- Static memory-access analysis (ISSUE 10).  Filled by
+  // analysis::apply_memory_findings; mem_analyzed gates all of it.  The
+  // workload path supplies full instance context (launch geometry, params,
+  // global-memory size); a bare kernel is analysed at the default launch
+  // with gmem_words = 0, which disables global OOB classification.
+  bool mem_analyzed = false;
+  uint64_t gmem_words = 0;  ///< 0 = no instance context for global OOB
+  uint32_t mem_insts = 0;   ///< memory access sites in the kernel
+  uint32_t mem_proven = 0;  ///< sites statically proven in bounds
+  std::vector<OobFinding> oob_errors;    ///< definite OOB (always traps)
+  std::vector<OobFinding> oob_warnings;  ///< possible OOB (unproven)
+  /// Parallel-execution contract verdicts over per-block footprints.
+  bool footprints_computed = false;
+  bool stores_disjoint = false;  ///< no two blocks store to the same word
+  bool loads_local = false;      ///< no block reads another block's stores
+  bool disjoint_waived = false;  ///< WorkloadSpec::assume_disjoint
+  /// Per-block footprint as an affine function of block id (empty when the
+  /// footprint is not affine or was not computed), e.g. "[0+192b, 191+192b]".
+  std::string store_affine;
+  std::string load_affine;
 
   bool clean() const { return undefined_reads.empty(); }
 };

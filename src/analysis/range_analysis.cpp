@@ -97,12 +97,19 @@ Interval type_range(Type t) {
   return t == Type::U32 ? Interval::full_u32() : Interval::full_s32();
 }
 
+bool is_mem_op(Opcode op) {
+  return op == Opcode::LD_GLOBAL || op == Opcode::LD_SHARED ||
+         op == Opcode::ST_GLOBAL || op == Opcode::ST_SHARED;
+}
+
 class RangeAnalyzer {
  public:
-  RangeAnalyzer(const Kernel& k, const LaunchConfig& lc)
-      : k_(k), lc_(lc), cfg_(build_cfg(k)) {}
+  RangeAnalyzer(const Kernel& k, const LaunchConfig& lc,
+                const RangeAnalysisOptions& opts)
+      : k_(k), lc_(lc), opts_(opts), cfg_(build_cfg(k)) {}
 
   RangeAnalysisResult run() {
+    if (opts_.collect_mem) enumerate_mem_sites();
     idom_ = compute_idom(cfg_);
     build_dom_tree();
     place_phis();
@@ -148,8 +155,16 @@ class RangeAnalyzer {
     switch (s) {
       case ir::Special::TID_X: iv = Interval::make(0, lc_.block_x - 1); break;
       case ir::Special::TID_Y: iv = Interval::make(0, lc_.block_y - 1); break;
-      case ir::Special::CTAID_X: iv = Interval::make(0, lc_.grid_x - 1); break;
-      case ir::Special::CTAID_Y: iv = Interval::make(0, lc_.grid_y - 1); break;
+      case ir::Special::CTAID_X:
+        iv = opts_.ctaid_x
+                 ? iv_intersect(*opts_.ctaid_x, Interval::make(0, lc_.grid_x - 1))
+                 : Interval::make(0, lc_.grid_x - 1);
+        break;
+      case ir::Special::CTAID_Y:
+        iv = opts_.ctaid_y
+                 ? iv_intersect(*opts_.ctaid_y, Interval::make(0, lc_.grid_y - 1))
+                 : Interval::make(0, lc_.grid_y - 1);
+        break;
       case ir::Special::NTID_X: iv = Interval::point(lc_.block_x); break;
       case ir::Special::NTID_Y: iv = Interval::point(lc_.block_y); break;
       case ir::Special::NCTAID_X: iv = Interval::point(lc_.grid_x); break;
@@ -167,6 +182,16 @@ class RangeAnalyzer {
     Interval iv = info.range
                       ? Interval::make(info.range->lo, info.range->hi)
                       : type_range(info.type);
+    // Exact launch values beat the declared contract: the memory pass seeds
+    // buffer base addresses (plain s32/u32 params with no useful range)
+    // with the words the replay engine will actually pass.
+    if (opts_.param_values && p < opts_.param_values->size() &&
+        ir::is_int(info.type)) {
+      const uint32_t w = (*opts_.param_values)[p];
+      iv = info.type == Type::U32
+               ? Interval::point(static_cast<int64_t>(w))
+               : Interval::point(static_cast<int32_t>(w));
+    }
     const int id = const_node(iv, ir::is_int(info.type) ? info.type : Type::S32);
     param_cache_[p] = id;
     return id;
@@ -272,7 +297,10 @@ class RangeAnalyzer {
     }
 
     // 3. Straight-line instructions.
-    for (const auto& in : k_.blocks[b].insts) {
+    const auto& insts = k_.blocks[b].insts;
+    for (uint32_t ii = 0; ii < insts.size(); ++ii) {
+      const auto& in = insts[ii];
+      if (opts_.collect_mem && is_mem_op(in.op)) record_mem_site(b, ii, in);
       const uint32_t d = def_of(in);
       if (d == ir::kNoReg || !tracked(d)) continue;
       const int computed = translate(in);
@@ -306,6 +334,36 @@ class RangeAnalyzer {
     // 6. Pop.
     for (auto it = pushed.rbegin(); it != pushed.rend(); ++it)
       stacks_[*it].pop_back();
+  }
+
+  // ------------------------------------------------------------- mem sites
+  void enumerate_mem_sites() {
+    for (uint32_t b = 0; b < k_.blocks.size(); ++b) {
+      const auto& insts = k_.blocks[b].insts;
+      for (uint32_t ii = 0; ii < insts.size(); ++ii) {
+        if (!is_mem_op(insts[ii].op)) continue;
+        MemSiteRange s;
+        s.blk = b;
+        s.inst = ii;
+        mem_sites_.push_back(s);
+        mem_nodes_.push_back(kNoNode);
+        site_of_[(uint64_t(b) << 32) | ii] =
+            static_cast<int>(mem_sites_.size() - 1);
+      }
+    }
+  }
+
+  /// Bind the reaching version of the address operand (always srcs[0], a
+  /// register — the parser enforces that) to this site.  A non-integer
+  /// address register stays unbound: the site is reached but its range is
+  /// unknown (full u32 after the consumer's wrap rule).
+  void record_mem_site(uint32_t b, uint32_t ii, const ir::Instruction& in) {
+    const auto it = site_of_.find((uint64_t(b) << 32) | ii);
+    GPURF_ASSERT(it != site_of_.end(), "mem site not enumerated");
+    mem_sites_[it->second].reached = true;
+    const ir::Operand& a = in.srcs[0];
+    if (a.is_reg() && tracked(a.index))
+      mem_nodes_[it->second] = current_version(a.index);
   }
 
   void attach_sigmas(uint32_t b, uint32_t p, std::vector<uint32_t>& pushed) {
@@ -698,11 +756,35 @@ class RangeAnalyzer {
                                                static_cast<uint64_t>(u.hi));
       out.bits = std::clamp(out.bits, 1, 32);
     }
+
+    // Per-memory-site address ranges, with the same wrap-escape rule: a
+    // solved interval escaping the address register's machine type may wrap
+    // at run time, so it must widen to the full type range before use.
+    for (size_t i = 0; i < mem_sites_.size(); ++i) {
+      MemSiteRange s = mem_sites_[i];
+      if (s.reached) {
+        const int node = mem_nodes_[i];
+        if (node == kNoNode) {
+          // Untracked (non-integer) address register: the bits are still a
+          // u32, which is all the consumer can assume.
+          s.value = Interval::full_u32();
+        } else {
+          const RNode& n = nodes_[node];
+          const Interval machine = type_range(n.ty);
+          Interval d = n.range;
+          if (d.is_empty() || d.lo < machine.lo || d.hi > machine.hi)
+            d = machine;
+          s.value = d;
+        }
+      }
+      res.mem.push_back(s);
+    }
     return res;
   }
 
   const Kernel& k_;
   const LaunchConfig& lc_;
+  RangeAnalysisOptions opts_;
   Cfg cfg_;
   std::vector<uint32_t> idom_;
   std::vector<std::vector<uint32_t>> dom_children_;
@@ -713,6 +795,9 @@ class RangeAnalyzer {
   std::map<uint32_t, int> param_cache_;
   std::map<uint32_t, int> undef_cache_;
   std::vector<std::vector<int>> scc_members_;
+  std::vector<MemSiteRange> mem_sites_;  ///< block-major, parallel to...
+  std::vector<int> mem_nodes_;           ///< ...the bound address node (or kNoNode)
+  std::map<uint64_t, int> site_of_;      ///< (blk<<32|inst) -> mem_sites_ index
 };
 
 }  // namespace
@@ -722,7 +807,12 @@ int RangeAnalysisResult::slices_for_reg(uint32_t r) const {
 }
 
 RangeAnalysisResult analyze_ranges(const Kernel& k, const LaunchConfig& lc) {
-  return RangeAnalyzer(k, lc).run();
+  return RangeAnalyzer(k, lc, {}).run();
+}
+
+RangeAnalysisResult analyze_ranges(const Kernel& k, const LaunchConfig& lc,
+                                   const RangeAnalysisOptions& options) {
+  return RangeAnalyzer(k, lc, options).run();
 }
 
 }  // namespace gpurf::analysis

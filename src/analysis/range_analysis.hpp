@@ -17,7 +17,15 @@
 // Special registers (%tid, %ctaid, ...) are seeded from the launch
 // configuration; parameters use their declared range contract or the full
 // type range, as ptxas would.
+//
+// The memory-access pass (ISSUE 10) reuses the same solver with three
+// extensions, all opt-in via RangeAnalysisOptions: the %ctaid seeds can be
+// pinned to a single block (per-block footprints), parameters can be seeded
+// with the exact runtime values of one launch (buffer base addresses), and
+// the solved interval of every load/store address operand can be collected
+// per instruction site.
 
+#include <optional>
 #include <vector>
 
 #include "analysis/interval.hpp"
@@ -32,10 +40,38 @@ struct IntWidthInfo {
   bool analyzed = false;  ///< true only for integer data registers
 };
 
+/// Solved interval of the address operand of one memory instruction.
+/// `value` is the mathematical range of the register *before* the
+/// interpreter's u32 reinterpretation and mem_offset addition — consumers
+/// (memory_access.cpp) apply those themselves.
+struct MemSiteRange {
+  uint32_t blk = 0;
+  uint32_t inst = 0;              ///< index within blocks[blk].insts
+  Interval value = Interval::empty();
+  bool reached = false;  ///< site renamed (statically reachable from entry)
+};
+
+struct RangeAnalysisOptions {
+  /// Collect MemSiteRange for every LD/ST (global and shared) site.
+  bool collect_mem = false;
+  /// Pin %ctaid.x / %ctaid.y to a sub-range (typically a point) instead of
+  /// the full grid — per-block footprint solves.  %nctaid keeps the grid.
+  std::optional<Interval> ctaid_x;
+  std::optional<Interval> ctaid_y;
+  /// Exact runtime parameter words of one launch; when set, parameter i is
+  /// seeded with the point interval of its value (interpreted in the
+  /// parameter's declared type) instead of its declared range contract.
+  const std::vector<uint32_t>* param_values = nullptr;
+};
+
 struct RangeAnalysisResult {
   std::vector<IntWidthInfo> regs;  ///< indexed by kernel register id
   int num_nodes = 0;               ///< constraint-graph size (stats)
   int num_sccs = 0;
+  /// Per-memory-instruction address operand ranges, block-major, one entry
+  /// per LD_GLOBAL/LD_SHARED/ST_GLOBAL/ST_SHARED site (TEX2D is clamped by
+  /// construction and excluded).  Empty unless options.collect_mem.
+  std::vector<MemSiteRange> mem;
 
   /// Total 4-bit slices needed by an integer register under this analysis.
   int slices_for_reg(uint32_t r) const;
@@ -43,5 +79,8 @@ struct RangeAnalysisResult {
 
 RangeAnalysisResult analyze_ranges(const gpurf::ir::Kernel& k,
                                    const gpurf::ir::LaunchConfig& lc);
+RangeAnalysisResult analyze_ranges(const gpurf::ir::Kernel& k,
+                                   const gpurf::ir::LaunchConfig& lc,
+                                   const RangeAnalysisOptions& options);
 
 }  // namespace gpurf::analysis

@@ -6,6 +6,7 @@
 
 #include "alloc/slice_alloc.hpp"
 #include "analysis/dataflow.hpp"
+#include "analysis/memory_access.hpp"
 #include "api/json.hpp"
 #include "common/rng.hpp"
 #include "fp/format.hpp"
@@ -83,7 +84,7 @@ Engine::Engine(EngineOptions opts)
 
 Engine::~Engine() {
   {
-    std::lock_guard<std::mutex> lock(qmu_);
+    common::MutexLock lock(qmu_);
     stopping_ = true;
     qcv_.notify_all();
     slot_cv_.notify_all();
@@ -214,6 +215,15 @@ StatusOr<sim::SimResult> Engine::simulate_impl(const workloads::Workload& w,
                         : workloads::make_compression_config(req.mode);
     sim::SimOptions so;
     so.shards = req.sim_shards > 0 ? req.sim_shards : opts_.sim_shards;
+    // Static disjointness gate (ISSUE 10): multi-SM sharding executes all
+    // blocks against one shared GlobalMemory, so it requires the sharded
+    // memory contract (no cross-block reads, no overlapping stores).  The
+    // contract is now proven per launch by the memory-access prover — or
+    // waived by the workload spec — instead of assumed; unproven kernels
+    // fall back to the bit-identical serial schedule (SimStats are
+    // shard-count-invariant, so the clamp never changes results).
+    if (so.shards > 1 && !w.mem_proofs(inst, /*footprints=*/true)->shard_ok)
+      so.shards = 1;
 
     // Soft-error quality scoring (PR 7) needs the pristine inputs kept
     // aside: the timing sim executes functionally against inst.gmem, so
@@ -444,6 +454,15 @@ StatusOr<analysis::KernelReport> Engine::analyze(const ir::Kernel& k) {
         analysis::build_kernel_report(k, ka->cfg(), ka->dataflow());
     rep.alloc_pressure = alloc::baseline_pressure(k);
     rep.live_interval_pressure = alloc::live_interval_pressure(k);
+    // Static memory section without instance context: shared-memory OOB
+    // classification only (gmem_words = 0), no footprint solves — a bare
+    // kernel has no meaningful grid to prove disjointness over.
+    analysis::MemoryAccessOptions mo;
+    mo.footprints = false;
+    const auto ma = analysis::analyze_memory_accesses(k, ir::LaunchConfig{}, mo);
+    const uint64_t shw = analysis::shared_words(k);
+    analysis::apply_memory_findings(rep, ma, analysis::prove_in_bounds(ma, 0, shw),
+                                    0, shw, /*waived=*/false);
     return rep;
   } catch (const Error& e) {
     return Status::FailedPrecondition(std::string("analyze '") + k.name +
@@ -454,10 +473,32 @@ StatusOr<analysis::KernelReport> Engine::analyze(const ir::Kernel& k) {
   }
 }
 
+StatusOr<analysis::KernelReport> Engine::analyze(const workloads::Workload& w) {
+  auto rep = analyze(w.kernel());
+  if (!rep.ok()) return rep;
+  try {
+    // Re-classify with full instance context: the sample instance's launch
+    // geometry, parameter words and memory image are exactly what replay
+    // runs against, so the findings and verdicts describe real executions.
+    auto inst = w.make_instance(workloads::Scale::kSample, 0);
+    const auto proofs = w.mem_proofs(inst, /*footprints=*/true);
+    analysis::apply_memory_findings(
+        *rep, proofs->mem, proofs->proven, proofs->gmem_words,
+        analysis::shared_words(w.kernel()), w.spec().assume_disjoint);
+  } catch (const Error& e) {
+    return Status::FailedPrecondition(std::string("analyze '") +
+                                      w.spec().name + "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("analyze '") + w.spec().name +
+                            "': " + e.what());
+  }
+  return rep;
+}
+
 StatusOr<analysis::KernelReport> Engine::analyze(std::string_view name) {
   auto w = workload(name);
   if (!w.ok()) return w.status();
-  return analyze((*w)->kernel());
+  return analyze(**w);
 }
 
 StatusOr<tuning::TuneResult> Engine::tune(const ir::Kernel& k,
@@ -478,7 +519,7 @@ StatusOr<tuning::TuneResult> Engine::tune(const ir::Kernel& k,
 // ----------------------------------------------------------------- Job API
 
 void Engine::ensure_executor() {
-  std::lock_guard<std::mutex> lock(qmu_);
+  common::MutexLock lock(qmu_);
   if (executor_started_) return;
   executor_started_ = true;
   executors_.reserve(static_cast<size_t>(opts_.async_workers));
@@ -504,7 +545,7 @@ Job Engine::submit(JobRequest req) {
     // simulate jobs it submits (those children take normal slots, so a
     // large campaign self-throttles against max_inflight).  Running the
     // coordinator on an executor worker could deadlock a width-1 pool.
-    std::lock_guard<std::mutex> lock(qmu_);
+    common::MutexLock lock(qmu_);
     metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
     GPURF_CHECK(!stopping_, "submit on a stopping Engine");
     impl->id = next_job_id_;
@@ -522,20 +563,23 @@ Job Engine::submit(JobRequest req) {
 
   bool rejected = false;
   {
-    std::unique_lock<std::mutex> lock(qmu_);
+    common::MutexLock lock(qmu_);
     metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
     // Bounded in-flight set.  Without a deadline this is pure
     // backpressure (block until a slot frees, as before).  With one, the
     // wait gives up at the deadline — the request's time budget covers
     // queue admission too, so a saturated Engine sheds late work instead
     // of blocking its callers indefinitely (ISSUE 4 satellite).
-    auto has_slot = [&] {
+    // (The predicate runs with qmu_ held inside the wait; it is a separate
+    // function to the thread safety analysis, hence the opt-out.)
+    auto has_slot = [&]() GPURF_NO_THREAD_SAFETY_ANALYSIS {
       return stopping_ || inflight_ < opts_.max_inflight;
     };
     if (deadline) {
-      if (!slot_cv_.wait_until(lock, *deadline, has_slot)) rejected = true;
+      if (!slot_cv_.wait_until(lock.native(), *deadline, has_slot))
+        rejected = true;
     } else {
-      slot_cv_.wait(lock, has_slot);
+      slot_cv_.wait(lock.native(), has_slot);
     }
     GPURF_CHECK(!stopping_, "submit on a stopping Engine");
     impl->id = next_job_id_;
@@ -559,7 +603,7 @@ Job Engine::submit(JobRequest req) {
 }
 
 StatusOr<Job> Engine::find_job(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(qmu_);
+  common::MutexLock lock(qmu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end())
     return Status::NotFound("no job with id " + std::to_string(id));
@@ -585,7 +629,7 @@ void Engine::evict_terminal_jobs_locked() {
 }
 
 void Engine::release_slot() {
-  std::lock_guard<std::mutex> lock(qmu_);
+  common::MutexLock lock(qmu_);
   --inflight_;
   slot_cv_.notify_one();
 }
@@ -648,8 +692,10 @@ void Engine::executor_loop() {
     std::shared_ptr<detail::JobImpl> job;
     uint64_t seq = 0;
     {
-      std::unique_lock<std::mutex> lock(qmu_);
-      qcv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      common::MutexLock lock(qmu_);
+      qcv_.wait(lock.native(), [&]() GPURF_NO_THREAD_SAFETY_ANALYSIS {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping, queue drained
       // Highest priority first; FIFO (lowest id) within a level.  The
       // queue is short-lived and bounded by max_inflight, so a linear
@@ -692,7 +738,7 @@ void Engine::executor_loop() {
 bool Engine::start_campaign(detail::JobImpl& job) {
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(qmu_);
+    common::MutexLock lock(qmu_);
     seq = next_run_seq_++;
   }
   if (job.start_running(seq)) {
@@ -927,7 +973,7 @@ Status Engine::drain(int64_t budget_ms) {
       std::chrono::milliseconds(budget_ms > 0 ? budget_ms : 0);
   std::vector<std::shared_ptr<detail::JobImpl>> live;
   {
-    std::lock_guard<std::mutex> lock(qmu_);
+    common::MutexLock lock(qmu_);
     live.reserve(jobs_.size());
     for (const auto& [id, j] : jobs_) live.push_back(j);
   }
@@ -972,7 +1018,7 @@ Status Engine::drain(int64_t budget_ms) {
 }
 
 size_t Engine::inflight() const {
-  std::lock_guard<std::mutex> lock(qmu_);
+  common::MutexLock lock(qmu_);
   return inflight_;
 }
 
@@ -996,7 +1042,7 @@ MetricsSnapshot Engine::metrics_snapshot() const {
   m.analysis_cache_hits = analysis_cache_.hits();
   m.analysis_cache_misses = analysis_cache_.misses();
   {
-    std::lock_guard<std::mutex> lock(qmu_);
+    common::MutexLock lock(qmu_);
     m.queue_depth = queue_.size();
     m.inflight = inflight_;
     m.jobs_running = inflight_ - queue_.size();

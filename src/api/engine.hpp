@@ -63,6 +63,7 @@
 #include "api/job.hpp"
 #include "api/metrics.hpp"
 #include "api/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "exec/kernel_analysis.hpp"
 #include "sim/gpu.hpp"
@@ -224,7 +225,16 @@ class Engine {
   /// writes, never-read registers, static vs. allocator pressure, linear
   /// live intervals.  Never fails on ill-formed dataflow — that is what
   /// the report is *for* — only on malformed IR.
+  ///
+  /// Since ISSUE 10 the report also carries the static memory-access
+  /// section: in-bounds proof coverage, definite/possible OOB findings
+  /// and the per-block disjointness verdicts.  The workload overloads
+  /// analyse a sample instance, so global OOB classification sees the
+  /// real launch geometry, parameter words and memory image; the bare
+  /// kernel overload runs at the default launch with no global-memory
+  /// context (shared-memory findings only).
   StatusOr<analysis::KernelReport> analyze(const ir::Kernel& k);
+  StatusOr<analysis::KernelReport> analyze(const workloads::Workload& w);
   StatusOr<analysis::KernelReport> analyze(std::string_view workload_name);
 
   /// Precision-tune a custom kernel against a caller-supplied probe, using
@@ -317,7 +327,7 @@ class Engine {
   /// return false.
   bool start_campaign(detail::JobImpl& job);
   void release_slot();
-  void evict_terminal_jobs_locked();
+  void evict_terminal_jobs_locked() GPURF_REQUIRES(qmu_);
 
   EngineOptions opts_;
   common::ThreadPool pool_;
@@ -327,17 +337,22 @@ class Engine {
   std::vector<std::unique_ptr<workloads::Workload>> registry_;
   EngineMetrics metrics_;
 
-  // Async executor (threads spawned lazily on first submit).
-  mutable std::mutex qmu_;
+  // Async executor (threads spawned lazily on first submit).  The queue
+  // state is capability-annotated (ISSUE 10 satellite): the CI clang job
+  // builds with -Werror=thread-safety, so an access outside qmu_ is a
+  // compile error, not a review comment.
+  mutable common::Mutex qmu_;
   std::condition_variable qcv_;    ///< wakes executor threads
   std::condition_variable slot_cv_;  ///< wakes blocked submitters
-  std::vector<std::shared_ptr<detail::JobImpl>> queue_;  ///< pending jobs
-  std::unordered_map<uint64_t, std::shared_ptr<detail::JobImpl>> jobs_;
-  uint64_t next_job_id_ = 1;
-  uint64_t next_run_seq_ = 1;
-  size_t inflight_ = 0;  ///< queued + running
-  bool stopping_ = false;
-  bool executor_started_ = false;
+  std::vector<std::shared_ptr<detail::JobImpl>> queue_
+      GPURF_GUARDED_BY(qmu_);  ///< pending jobs
+  std::unordered_map<uint64_t, std::shared_ptr<detail::JobImpl>> jobs_
+      GPURF_GUARDED_BY(qmu_);
+  uint64_t next_job_id_ GPURF_GUARDED_BY(qmu_) = 1;
+  uint64_t next_run_seq_ GPURF_GUARDED_BY(qmu_) = 1;
+  size_t inflight_ GPURF_GUARDED_BY(qmu_) = 0;  ///< queued + running
+  bool stopping_ GPURF_GUARDED_BY(qmu_) = false;
+  bool executor_started_ GPURF_GUARDED_BY(qmu_) = false;
   std::vector<std::thread> executors_;
   /// Fault-campaign orchestrator threads (one per campaign job).  They
   /// bypass the executor queue — a campaign is a coordinator that mostly

@@ -481,6 +481,39 @@ std::string to_json(const analysis::KernelReport& r) {
     w.end_object();
   }
   w.end_array();
+  w.field("mem_analyzed", r.mem_analyzed);
+  if (r.mem_analyzed) {
+    w.field("gmem_words", r.gmem_words);
+    w.field("mem_insts", r.mem_insts);
+    w.field("mem_proven", r.mem_proven);
+    const auto write_oob = [&](const char* key,
+                               const std::vector<analysis::OobFinding>& fs) {
+      w.begin_array(key);
+      for (const auto& f : fs) {
+        w.begin_object();
+        w.field("blk", f.blk);
+        w.field("inst", f.inst);
+        w.field("store", f.is_store);
+        w.field("shared", f.shared);
+        w.field("definite", f.definite);
+        w.field("addr_known", f.addr_known);
+        if (f.addr_known) {
+          w.field("lo", f.lo);
+          w.field("hi", f.hi);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    };
+    write_oob("oob_errors", r.oob_errors);
+    write_oob("oob_warnings", r.oob_warnings);
+    w.field("footprints_computed", r.footprints_computed);
+    w.field("stores_disjoint", r.stores_disjoint);
+    w.field("loads_local", r.loads_local);
+    w.field("disjoint_waived", r.disjoint_waived);
+    w.field("store_affine", r.store_affine);
+    w.field("load_affine", r.load_affine);
+  }
   w.end_object();
   return w.str();
 }

@@ -363,7 +363,7 @@ void Server::reap_finished() {
   // handler has nothing left to run but its epilogue.
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     for (uint64_t id : finished_) {
       auto it = threads_.find(id);
       if (it == threads_.end()) continue;
@@ -397,7 +397,7 @@ void Server::stop() {
   // ISSUE 5 fix for the detached-thread shutdown race.
   std::map<uint64_t, std::thread> remaining;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
     remaining.swap(threads_);
     finished_.clear();
@@ -429,7 +429,7 @@ void Server::accept_loop(int listen_fd, bool tcp) {
       // Register the socket and the handle atomically: stop() joins this
       // accept thread before it swaps the registry out, so every spawned
       // handler is guaranteed to be visible to the final join pass.
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       const uint64_t id = next_conn_id_++;
       conns_.insert(fd);
       threads_.emplace(
@@ -507,7 +507,7 @@ void Server::serve_connection(int fd, uint64_t conn_id) {
   // Parking the id on finished_ hands the joinable handle to the next
   // reaper (a later handler exit or accept) or to stop(), whichever
   // comes first.
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   conns_.erase(fd);
   ::close(fd);
   finished_.push_back(conn_id);

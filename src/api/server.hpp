@@ -99,6 +99,7 @@
 
 #include "api/engine.hpp"
 #include "api/json.hpp"
+#include "common/thread_annotations.hpp"
 #include "serve/fleet.hpp"
 
 namespace gpurf::api {
@@ -206,12 +207,16 @@ class Server {
   // Joinable connection-thread registry (see the threading note above).
   // mu_ guards the registry shape and the live-socket set; joins happen
   // outside the lock so a handler's final deregistration never deadlocks
-  // against the reaper.
-  std::mutex mu_;
-  std::set<int> conns_;                       ///< live sockets (for stop())
-  std::map<uint64_t, std::thread> threads_;   ///< conn id -> handler thread
-  std::vector<uint64_t> finished_;            ///< ids ready to join
-  uint64_t next_conn_id_ = 0;
+  // against the reaper.  Capability-annotated (ISSUE 10 satellite): the
+  // CI clang job's -Werror=thread-safety catches unlocked access.
+  common::Mutex mu_;
+  std::set<int> conns_
+      GPURF_GUARDED_BY(mu_);  ///< live sockets (for stop())
+  std::map<uint64_t, std::thread> threads_
+      GPURF_GUARDED_BY(mu_);  ///< conn id -> handler thread
+  std::vector<uint64_t> finished_
+      GPURF_GUARDED_BY(mu_);  ///< ids ready to join
+  uint64_t next_conn_id_ GPURF_GUARDED_BY(mu_) = 0;
 };
 
 /// Structured back-off hint from an error envelope (ISSUE 8 satellite):

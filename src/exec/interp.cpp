@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "analysis/memory_access.hpp"
 #include "common/bitutil.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -69,7 +70,9 @@ BlockExec::BlockExec(ExecContext& ctx, uint32_t ctaid_x, uint32_t ctaid_y)
       if (first + l < tpb) valid |= (1u << l);
     warps_.emplace_back(k_.num_regs(), w, valid);
   }
-  shared_.assign((k_.shared_bytes + 3) / 4 + 1, 0);
+  // Sized via the shared helper so the interpreter and the static memory
+  // pass agree exactly on what "in bounds" means for shared accesses.
+  shared_.assign(analysis::shared_words(k_), 0);
 }
 
 bool BlockExec::all_done() const {
@@ -244,16 +247,18 @@ uint32_t BlockExec::exec_lane(const WarpState& ws, const Instruction& in,
     }
     case Opcode::LD_GLOBAL: {
       const int64_t addr = static_cast<int64_t>(S(0)) + in.mem_offset;
-      GPURF_CHECK(addr >= 0, "negative global address");
       res.addr[lane] = static_cast<uint32_t>(addr);
+      if (step_mem_proven_) return ctx_.gmem->read_unchecked(res.addr[lane]);
+      GPURF_CHECK(addr >= 0, "negative global address");
       return ctx_.gmem->read(static_cast<uint32_t>(addr));
     }
     case Opcode::LD_SHARED: {
       const int64_t addr = static_cast<int64_t>(S(0)) + in.mem_offset;
+      res.addr[lane] = static_cast<uint32_t>(addr);
+      if (step_mem_proven_) return shared_[res.addr[lane]];
       GPURF_CHECK(addr >= 0 &&
                       addr < static_cast<int64_t>(shared_.size()),
                   "shared load out of bounds @" << addr);
-      res.addr[lane] = static_cast<uint32_t>(addr);
       return shared_[static_cast<size_t>(addr)];
     }
     case Opcode::TEX2D: {
@@ -581,6 +586,16 @@ void BlockExec::exec_warp(WarpState& ws, const DecodedInst& dec,
     // Memory reads stay masked per lane: an inactive lane's address may be
     // garbage, and the memory models assert on out-of-bounds access.
     case LaneOp::kLdGlobal:
+      if (step_mem_proven_) {
+        // Statically proven in bounds for every lane of every block: skip
+        // the per-lane checks (bit-identical — they could never fire).
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+          if (!((exec_mask >> l) & 1u)) continue;
+          res.addr[l] = a[l] + static_cast<uint32_t>(in.mem_offset);
+          out[l] = ctx_.gmem->read_unchecked(res.addr[l]);
+        }
+        break;
+      }
       for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!((exec_mask >> l) & 1u)) continue;
         const int64_t addr = static_cast<int64_t>(a[l]) + in.mem_offset;
@@ -590,6 +605,14 @@ void BlockExec::exec_warp(WarpState& ws, const DecodedInst& dec,
       }
       break;
     case LaneOp::kLdShared:
+      if (step_mem_proven_) {
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+          if (!((exec_mask >> l) & 1u)) continue;
+          res.addr[l] = a[l] + static_cast<uint32_t>(in.mem_offset);
+          out[l] = shared_[res.addr[l]];
+        }
+        break;
+      }
       for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!((exec_mask >> l) & 1u)) continue;
         const int64_t addr = static_cast<int64_t>(a[l]) + in.mem_offset;
@@ -699,23 +722,42 @@ StepResult BlockExec::step(uint32_t w) {
   // drop the writeback; thread_insts was already counted above, so stats
   // are unchanged too.
   const bool elide = ctx_.elide_dead_writes && dec.dead_dst;
+  // Bounds-check elision (ISSUE 10): when the static memory-access pass
+  // proved every dynamic address of this site inside its target space for
+  // this launch, the checks below can never fire and are skipped.
+  step_mem_proven_ = ctx_.elide_bounds_checks && ctx_.mem_proven &&
+                     ctx_.mem_proven[dec.flat];
   if (!dec.is_control && exec_mask != 0 && !(elide && !dec.is_mem_read)) {
     const bool has_dst = dec.has_dst && !elide;
     if (dec.is_store) {
-      for (uint32_t l = 0; l < kWarpSize; ++l) {
-        if (!((exec_mask >> l) & 1u)) continue;
-        const int64_t addr =
-            static_cast<int64_t>(read_operand(ws, in.srcs[0], l)) +
-            in.mem_offset;
-        GPURF_CHECK(addr >= 0, "negative store address");
-        res.addr[l] = static_cast<uint32_t>(addr);
-        const uint32_t v = read_operand(ws, in.srcs[1], l);
-        if (in.op == Opcode::ST_GLOBAL) {
-          ctx_.gmem->write(static_cast<uint32_t>(addr), v);
-        } else {
-          GPURF_CHECK(addr < static_cast<int64_t>(shared_.size()),
-                      "shared store out of bounds @" << addr);
-          shared_[static_cast<size_t>(addr)] = v;
+      if (step_mem_proven_) {
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+          if (!((exec_mask >> l) & 1u)) continue;
+          const uint32_t addr = read_operand(ws, in.srcs[0], l) +
+                                static_cast<uint32_t>(in.mem_offset);
+          res.addr[l] = addr;
+          const uint32_t v = read_operand(ws, in.srcs[1], l);
+          if (in.op == Opcode::ST_GLOBAL)
+            ctx_.gmem->write_unchecked(addr, v);
+          else
+            shared_[addr] = v;
+        }
+      } else {
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+          if (!((exec_mask >> l) & 1u)) continue;
+          const int64_t addr =
+              static_cast<int64_t>(read_operand(ws, in.srcs[0], l)) +
+              in.mem_offset;
+          GPURF_CHECK(addr >= 0, "negative store address");
+          res.addr[l] = static_cast<uint32_t>(addr);
+          const uint32_t v = read_operand(ws, in.srcs[1], l);
+          if (in.op == Opcode::ST_GLOBAL) {
+            ctx_.gmem->write(static_cast<uint32_t>(addr), v);
+          } else {
+            GPURF_CHECK(addr < static_cast<int64_t>(shared_.size()),
+                        "shared store out of bounds @" << addr);
+            shared_[static_cast<size_t>(addr)] = v;
+          }
         }
       }
     } else if (ctx_.use_soa) {

@@ -151,6 +151,10 @@ class BlockExec {
   uint32_t ctaid_x_, ctaid_y_;
   std::vector<WarpState> warps_;
   std::vector<uint32_t> shared_;
+  /// Set by step() for the instruction in flight: the static memory pass
+  /// proved every dynamic address of this site in bounds and elision is on
+  /// (ISSUE 10) — the load paths skip their GPURF_CHECKs.
+  bool step_mem_proven_ = false;
 };
 
 /// Run the entire grid functionally (block by block).  Returns the total

@@ -100,6 +100,7 @@ KernelAnalysis::KernelAnalysis(const ir::Kernel& k)
                       d.lane_op == LaneOp::kLdShared ||
                       d.lane_op == LaneOp::kTex2d;
       d.dead_dst = d.has_dst && dataflow_.dst_dead(blk, i);
+      d.flat = static_cast<uint32_t>(decoded_.size());
       decoded_.push_back(d);
     }
   }

@@ -70,6 +70,10 @@ struct DecodedInst {
   /// interpreter may skip quantize/range-check/writeback — and for pure
   /// ALU ops the whole data path — without observable effect.
   bool dead_dst = false;
+  /// Block-major flattened instruction index (position in the decoded
+  /// stream).  Indexes launch-dependent side tables such as
+  /// ExecContext::mem_proven (ISSUE 10).
+  uint32_t flat = 0;
 };
 
 class KernelAnalysis {

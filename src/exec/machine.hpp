@@ -62,6 +62,17 @@ class GlobalMemory {
     if (!dirty_.empty()) dirty_[addr >> 6] |= uint64_t{1} << (addr & 63);
   }
 
+  // Unchecked variants for accesses the static memory pass proved in
+  // bounds (ExecContext::elide_bounds_checks): the proof guarantees the
+  // elided check could never have fired, so behaviour is bit-identical by
+  // construction.  write_unchecked still feeds the write-log bitmap —
+  // elision must never change what block-parallel merge copies.
+  uint32_t read_unchecked(uint32_t addr) const { return words_[addr]; }
+  void write_unchecked(uint32_t addr, uint32_t v) {
+    words_[addr] = v;
+    if (!dirty_.empty()) dirty_[addr >> 6] |= uint64_t{1} << (addr & 63);
+  }
+
   /// Write-combine support for block-parallel functional execution: a shard
   /// runs its blocks against a private copy of the memory image with dirty
   /// tracking enabled, and the owner merges each shard's written words in
@@ -87,6 +98,23 @@ class GlobalMemory {
         words_[addr] = shard.words_[addr];
       }
     }
+  }
+
+  /// Word addresses written since begin_write_log(), ascending.  The fuzz
+  /// soundness oracle diffs these per-block dynamic store sets against the
+  /// static footprint hulls and disjointness verdicts (ISSUE 10); also
+  /// handy as a diagnostic.
+  std::vector<uint32_t> written_words() const {
+    std::vector<uint32_t> out;
+    for (size_t w = 0; w < dirty_.size(); ++w) {
+      uint64_t bits = dirty_[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        out.push_back(static_cast<uint32_t>(w * 64 + static_cast<size_t>(b)));
+      }
+    }
+    return out;
   }
 
   std::span<const uint32_t> view(uint32_t base, size_t n) const {
@@ -170,10 +198,15 @@ struct ExecContext {
   /// run_functional shard independent grid blocks across the thread pool
   /// (automatically serial inside pool workers); it reproduces the serial
   /// schedule exactly for kernels whose blocks never *read* gmem written by
-  /// a lower-numbered block in the same launch — the CUDA contract (blocks
-  /// are unordered; such reads are races on real hardware too), pinned per
-  /// workload by the determinism tests.  A kernel that does rely on serial
-  /// block order must run with block_parallel = false.
+  /// another block in the same launch — the CUDA contract (blocks are
+  /// unordered; such reads are races on real hardware too).  Since ISSUE 10
+  /// this is no longer an unchecked precondition: Workload::run consults
+  /// the static memory-access analysis (analysis/memory_access.hpp) and
+  /// only keeps block_parallel when the no-cross-block-reads property is
+  /// *proven* for the launch (or the workload carries a documented
+  /// assume_disjoint waiver); unproven kernels silently take the
+  /// bit-identical serial path.  Callers driving ExecContext directly
+  /// still own the contract themselves.
   bool use_soa = true;
   bool block_parallel = true;
 
@@ -187,6 +220,19 @@ struct ExecContext {
   /// machinery (and the soft-error model's register images) see every
   /// write exactly as before.
   bool elide_dead_writes = false;
+
+  /// Skip the dynamic bounds check (and the addr >= 0 guard) for memory
+  /// instructions the static memory-access pass proved in bounds against
+  /// this launch (ISSUE 10).  `mem_proven` is a caller-owned per-
+  /// flattened-instruction flag array (DecodedInst::flat indexes it; 1 =
+  /// every dynamic address of that site is statically inside the target
+  /// space).  Bit-identical by construction — a proven check can never
+  /// fire.  Off by default: the timing simulator's soft-error model
+  /// *relies* on checks firing for flipped address registers (DUE
+  /// detection), so only functional replay turns this on
+  /// (workloads::RunOptions::elide_bounds_checks).
+  bool elide_bounds_checks = false;
+  const uint8_t* mem_proven = nullptr;
 
   // Statistics accumulated during execution.  Under block-parallel runs
   // thread_insts is a per-shard reduction folded in grid order, never a

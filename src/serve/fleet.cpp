@@ -42,6 +42,7 @@ EngineFleet::EngineFleet(Engine& engine) {
 }
 
 void EngineFleet::build_ring() {
+  common::MutexLock lock(mu_);
   // Ring points are a deterministic splitmix64 stream per shard, so every
   // process with the same shard count computes the same ring — routing is
   // stable across daemon restarts (what makes the shared disk cache land
@@ -63,6 +64,7 @@ void EngineFleet::build_ring() {
 
 int EngineFleet::shard_for_workload(std::string_view name) const {
   if (shards_.size() == 1) return 0;
+  common::MutexLock lock(mu_);
   uint64_t key;
   auto it = fingerprints_.find(std::string(name));
   key = it != fingerprints_.end() ? it->second : fnv1a(name);

@@ -36,6 +36,7 @@
 
 #include "api/engine.hpp"
 #include "api/metrics.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gpurf::serve {
 
@@ -81,11 +82,17 @@ class EngineFleet {
 
   std::vector<std::unique_ptr<Engine>> owned_;
   std::vector<Engine*> shards_;
+  /// Guards the routing table.  Today the table is built once (from the
+  /// constructors) and only read afterwards, but the capability annotation
+  /// keeps the invariant checkable: any future runtime rebalance path must
+  /// take mu_ or the CI clang job's -Werror=thread-safety rejects it.
+  mutable common::Mutex mu_;
   /// Sorted ring of (point, shard) pairs.
-  std::vector<std::pair<uint64_t, int>> ring_;
+  std::vector<std::pair<uint64_t, int>> ring_ GPURF_GUARDED_BY(mu_);
   /// Workload name -> kernel fingerprint, from shard 0's registry (all
   /// shards carry identical registries).
-  std::unordered_map<std::string, uint64_t> fingerprints_;
+  std::unordered_map<std::string, uint64_t> fingerprints_
+      GPURF_GUARDED_BY(mu_);
 };
 
 }  // namespace gpurf::serve

@@ -43,12 +43,17 @@
 // neither read another block's global-memory writes NOR store to a word
 // another block stores to — SMs execute functionally against the one
 // shared GlobalMemory during the parallel tick, so overlapping stores
-// from different SMs would be an unsynchronized data race.  Every
-// bundled workload writes disjoint per-block outputs (the CUDA
-// contract; pinned by the determinism tests).  A custom kernel that
-// violates this must run with shards = 1 — the default for direct
-// sim::simulate calls; only the Engine (bundled workloads) shards by
-// default.
+// from different SMs would be an unsynchronized data race.  Since
+// ISSUE 10 this contract is statically verified, not assumed: the
+// memory-access analysis (analysis/memory_access.hpp) proves per-block
+// store/load footprint disjointness from the launch's concrete
+// parameters, and Engine::simulate only shards when the proof holds.
+// Workloads the interval domain cannot prove (2-D tiled footprints,
+// data-dependent addressing) carry an explicit, per-workload documented
+// assume_disjoint waiver in their WorkloadSpec; unproven, unwaived
+// kernels fall back to shards = 1 with bit-identical results (SimStats
+// are shard-count-invariant, see above).  Direct sim::simulate calls
+// default to shards = 1 and take no verdict.
 
 #include <memory>
 #include <vector>

@@ -368,7 +368,7 @@ const PipelineResult& PipelineCache::get(const Workload& w,
   // each workload's pipeline still runs exactly once per cache instance.
   Entry* e;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    gpurf::common::MutexLock lock(mu_);
     e = &cache_[w.spec().name];
   }
   // Win the computing latch or wait out the current winner.  If the
@@ -376,7 +376,7 @@ const PipelineResult& PipelineCache::get(const Workload& w,
   // unwinds (cancelled / deadline / core error), nothing partial is
   // memoized and exactly one waiter is woken to recompute with its own
   // token — see the header for why this is not a std::once_flag.
-  std::unique_lock<std::mutex> lk(e->mu);
+  gpurf::common::MutexLock lk(e->mu);
   while (true) {
     if (e->result) {
       if (opt_.stats)
@@ -384,7 +384,7 @@ const PipelineResult& PipelineCache::get(const Workload& w,
       return *e->result;
     }
     if (!e->computing) break;
-    e->cv.wait(lk);
+    e->cv.wait(lk.native());
   }
   e->computing = true;
   lk.unlock();

@@ -27,6 +27,7 @@
 #include "alloc/slice_alloc.hpp"
 #include "analysis/range_analysis.hpp"
 #include "api/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/gpu.hpp"
 #include "tuning/tuner.hpp"
 #include "workloads/workload.hpp"
@@ -142,15 +143,19 @@ class PipelineCache {
 
  private:
   struct Entry {
-    std::mutex mu;
+    gpurf::common::Mutex mu;
     std::condition_variable cv;
-    bool computing = false;  ///< a caller is inside compute_pipeline
-    std::unique_ptr<PipelineResult> result;  ///< set once, then immutable
+    /// A caller is inside compute_pipeline.
+    bool computing GPURF_GUARDED_BY(mu) = false;
+    /// Set once, then immutable (published under mu before any waiter
+    /// can observe it).
+    std::unique_ptr<PipelineResult> result GPURF_GUARDED_BY(mu);
   };
 
   PipelineOptions opt_;
-  std::mutex mu_;                       ///< guards the map shape only
-  std::map<std::string, Entry> cache_;  ///< node-stable addresses
+  gpurf::common::Mutex mu_;  ///< guards the map shape only
+  std::map<std::string, Entry> cache_
+      GPURF_GUARDED_BY(mu_);  ///< node-stable addresses
 };
 
 /// Legacy shim: run (or fetch the memoized) pipeline on the process-default

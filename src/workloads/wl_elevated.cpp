@@ -256,8 +256,11 @@ march_done:
 class ElevatedWorkload final : public Workload {
  public:
   ElevatedWorkload()
+      // Waiver: 2D row-interleaved tiles (see wl_ssao.cpp) — store hulls
+      // of adjacent tiles overlap as intervals though the word sets are
+      // disjoint.  loads_local is proven; only sharding needs the waiver.
       : Workload(WorkloadSpec{"Elevated", gpurf::quality::MetricKind::kSsim,
-                              1, 46, 8},
+                              1, 46, 8, /*assume_disjoint=*/true},
                  kAsm) {}
 
   Instance make_instance(Scale scale, uint32_t variant) const override {

@@ -185,8 +185,11 @@ step_done:
 class HotspotWorkload final : public Workload {
  public:
   HotspotWorkload()
+      // Waiver: 2D row-interleaved tiles (see wl_ssao.cpp) — store hulls
+      // of adjacent tiles overlap as intervals though the word sets are
+      // disjoint.  loads_local is proven; only sharding needs the waiver.
       : Workload(WorkloadSpec{"Hotspot", gpurf::quality::MetricKind::kDeviation,
-                              2, 31, 8},
+                              2, 31, 8, /*assume_disjoint=*/true},
                  kAsm) {}
 
   Instance make_instance(Scale scale, uint32_t variant) const override {

@@ -209,9 +209,12 @@ z_done:
 class Hotspot3DWorkload final : public Workload {
  public:
   Hotspot3DWorkload()
+      // Waiver: 2D row-interleaved tiles (see wl_ssao.cpp) — store hulls
+      // of adjacent tiles overlap as intervals though the word sets are
+      // disjoint.  loads_local is proven; only sharding needs the waiver.
       : Workload(WorkloadSpec{"Hotspot3D",
                               gpurf::quality::MetricKind::kDeviation, 2, 42,
-                              8},
+                              8, /*assume_disjoint=*/true},
                  kAsm) {}
 
   Instance make_instance(Scale scale, uint32_t variant) const override {

@@ -336,8 +336,11 @@ bounce_done:
 class PathtracerWorkload final : public Workload {
  public:
   PathtracerWorkload()
+      // Waiver: 2D row-interleaved tiles (see wl_ssao.cpp) — store hulls
+      // of adjacent tiles overlap as intervals though the word sets are
+      // disjoint.  loads_local is proven; only sharding needs the waiver.
       : Workload(WorkloadSpec{"Pathtracer", gpurf::quality::MetricKind::kSsim,
-                              1, 50, 8},
+                              1, 50, 8, /*assume_disjoint=*/true},
                  kAsm) {}
 
   Instance make_instance(Scale scale, uint32_t /*variant*/) const override {

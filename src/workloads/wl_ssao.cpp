@@ -169,8 +169,12 @@ ring_done:
 class SsaoWorkload final : public Workload {
  public:
   SsaoWorkload()
+      // Waiver: 2D row-interleaved tiles — a block's store interval spans
+      // whole image rows, so adjacent tiles' interval hulls overlap even
+      // though the actual word sets are disjoint (loads_local *is* proven;
+      // only sharded simulation needs the waiver).
       : Workload(WorkloadSpec{"SSAO", gpurf::quality::MetricKind::kSsim, 1,
-                              28, 8},
+                              28, 8, /*assume_disjoint=*/true},
                  kAsm) {}
 
   Instance make_instance(Scale scale, uint32_t variant) const override {

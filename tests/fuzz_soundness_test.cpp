@@ -14,15 +14,23 @@
 //      flow, guards, and partially valid warps (ISSUE 2);
 //   6. block-parallel determinism — sharding grid blocks across the thread
 //      pool with write-combine buffers reproduces the serial schedule's
-//      image exactly.
+//      image exactly;
+//   7. static memory-proof soundness (ISSUE 10) — per-block dynamic store
+//      sets (captured through the write log) always lie inside the static
+//      footprint hulls, the overlap prover never calls dynamically
+//      overlapping kernels stores-disjoint, and bounds-check elision on
+//      proven sites is bit-identical (no elided check could have fired).
 
 #include <gtest/gtest.h>
 
 #include <bit>
 
+#include <algorithm>
+
 #include "alloc/slice_alloc.hpp"
 #include "analysis/dataflow.hpp"
 #include "analysis/liveness.hpp"
+#include "analysis/memory_access.hpp"
 #include "analysis/range_analysis.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -493,6 +501,186 @@ TEST_P(FuzzDeadWrites, StaticallyDeadWritesAreUnobservable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDeadWrites,
                          ::testing::Range(500u, 515u));  // 15 programs
+
+// -------------------------------------------------- memory-proof oracles
+
+constexpr uint32_t kMemGrid = 4;       ///< blocks per fuzz launch
+constexpr uint32_t kMemWords = 8192;   ///< global image, covers every seed
+
+/// Memory-pattern generator (ISSUE 10): each thread computes
+/// gid = ctaid.x * span + tid.x and stores through affine chains of gid —
+/// seed-dependent span/stride make some launches truly block-disjoint
+/// (span >= 32 keeps gid ranges apart) and others genuinely colliding
+/// (span < 32 repeats gid across blocks), so the overlap prover sees both
+/// verdicts.  Some seeds add a masked data-dependent store (bounded but
+/// block-overlapping by construction) and a load from the thread's own
+/// slot, exercising unproven-overlap and loads_local paths.
+std::string generate_mem_kernel(uint32_t seed) {
+  Pcg32 rng(seed, 0x3E3);
+  const int span = int(8u << rng.next_below(4));   // 8,16,32,64
+  const int stride = 1 + int(rng.next_below(2));   // 1,2
+  const int off = int(rng.next_below(16));
+  const bool masked_store = rng.next_below(3) == 0;
+  const bool self_load = rng.next_below(2) == 0;
+  std::string s = ".kernel mem" + std::to_string(seed) + "\n";
+  s += ".param s32 out_base\n";
+  s += ".reg s32 %gid\n.reg s32 %a\n.reg s32 %t\nentry:\n";
+  s += "  mov.s32 %gid, %ctaid.x\n";
+  s += "  mad.s32 %gid, %gid, " + std::to_string(span) + ", %tid.x\n";
+  s += "  mad.s32 %a, %gid, " + std::to_string(stride) + ", $out_base\n";
+  s += "  st.global.s32 [%a+" + std::to_string(off) + "], %gid\n";
+  if (self_load) {
+    s += "  ld.global.s32 %t, [%a+" + std::to_string(off) + "]\n";
+    s += "  st.global.s32 [%a+" + std::to_string(off) + "], %t\n";
+  }
+  if (masked_store) {
+    // Bounded by the mask but identical across blocks: hulls overlap, so
+    // the prover must refuse stores_disjoint for this seed.
+    s += "  and.s32 %t, %gid, 255\n";
+    s += "  mad.s32 %t, %t, 1, $out_base\n";
+    s += "  st.global.s32 [%t+4096], %gid\n";
+  }
+  s += "  ret\n";
+  return s;
+}
+
+/// Dynamic per-block store sets: run each block alone (every %ctaid.x
+/// occurrence substituted with the concrete block id, grid = 1) against a
+/// fresh image with the write log armed.  The same alloc sequence as the
+/// static side keeps addresses comparable.
+std::vector<std::vector<uint32_t>> per_block_store_sets(
+    const std::string& text) {
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t b = 0; b < kMemGrid; ++b) {
+    std::string spec = text;
+    const std::string needle = "%ctaid.x";
+    for (size_t pos; (pos = spec.find(needle)) != std::string::npos;)
+      spec.replace(pos, needle.size(), std::to_string(b));
+    ir::Kernel k = ir::parse_kernel(spec);
+    exec::GlobalMemory gmem;
+    const uint32_t out = gmem.alloc(kMemWords);
+    gmem.begin_write_log();
+    exec::ExecContext ctx;
+    ctx.kernel = &k;
+    ctx.launch = ir::LaunchConfig{1, 1, 32, 1};
+    ctx.gmem = &gmem;
+    ctx.params = {out};
+    ctx.use_soa = true;
+    ctx.block_parallel = false;
+    exec::run_functional(ctx);
+    sets.push_back(gmem.written_words());
+  }
+  return sets;
+}
+
+class FuzzMemProofs : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzMemProofs, StaticFootprintsCoverDynamicStores) {
+  // Trace oracle: every dynamically executed store address must lie inside
+  // the block's static store hull — an address the solver missed would be
+  // an unsound footprint (and could unsoundly prove disjointness).
+  const std::string text = generate_mem_kernel(GetParam());
+  ir::Kernel k = ir::parse_kernel(text);
+  ASSERT_NO_THROW(ir::verify(k)) << text;
+  const ir::LaunchConfig lc{kMemGrid, 1, 32, 1};
+  exec::GlobalMemory ref;
+  const uint32_t out = ref.alloc(kMemWords);
+  const std::vector<uint32_t> params{out};
+  analysis::MemoryAccessOptions mo;
+  mo.param_values = &params;
+  const auto ma = analysis::analyze_memory_accesses(k, lc, mo);
+  ASSERT_TRUE(ma.footprints_computed) << text;
+  ASSERT_EQ(ma.store_hull.size(), kMemGrid);
+
+  const auto dyn = per_block_store_sets(text);
+  for (uint32_t b = 0; b < kMemGrid; ++b) {
+    for (const uint32_t addr : dyn[b]) {
+      EXPECT_TRUE(ma.store_hull[b].contains(int64_t(addr)))
+          << text << "block " << b << " stored @" << addr << " outside hull "
+          << ma.store_hull[b].str();
+    }
+  }
+}
+
+TEST_P(FuzzMemProofs, OverlapProverSoundVsWriteLog) {
+  // The prover may be incomplete (call a disjoint kernel overlapping) but
+  // never unsound: a stores_disjoint verdict with dynamically intersecting
+  // per-block write logs would let the sharded simulator reorder real
+  // cross-block write conflicts.
+  const std::string text = generate_mem_kernel(GetParam());
+  ir::Kernel k = ir::parse_kernel(text);
+  const ir::LaunchConfig lc{kMemGrid, 1, 32, 1};
+  exec::GlobalMemory ref;
+  const uint32_t out = ref.alloc(kMemWords);
+  const std::vector<uint32_t> params{out};
+  analysis::MemoryAccessOptions mo;
+  mo.param_values = &params;
+  const auto ma = analysis::analyze_memory_accesses(k, lc, mo);
+  if (!ma.stores_disjoint) return;  // overlap claimed: nothing to refute
+
+  const auto dyn = per_block_store_sets(text);  // each set is ascending
+  for (uint32_t a = 0; a < kMemGrid; ++a) {
+    for (uint32_t b = a + 1; b < kMemGrid; ++b) {
+      std::vector<uint32_t> common;
+      std::set_intersection(dyn[a].begin(), dyn[a].end(), dyn[b].begin(),
+                            dyn[b].end(), std::back_inserter(common));
+      EXPECT_TRUE(common.empty())
+          << text << "blocks " << a << " and " << b << " both stored @"
+          << (common.empty() ? 0 : common[0])
+          << " yet the prover claimed stores_disjoint";
+    }
+  }
+}
+
+TEST_P(FuzzMemProofs, ElidedBoundsChecksNeverObservable) {
+  // Proven sites skip GPURF_CHECK entirely; if a proof were wrong the
+  // elided replay would touch memory the checked replay faulted on.  Both
+  // replays completing bit-identically (words and instruction count, SoA
+  // and scalar) pins that no elided check would ever have fired.
+  const std::string text = generate_mem_kernel(GetParam());
+  ir::Kernel k = ir::parse_kernel(text);
+  const ir::LaunchConfig lc{kMemGrid, 1, 32, 1};
+  exec::GlobalMemory ref;
+  const uint32_t out = ref.alloc(kMemWords);
+  const std::vector<uint32_t> params{out};
+  analysis::MemoryAccessOptions mo;
+  mo.param_values = &params;
+  const auto ma = analysis::analyze_memory_accesses(k, lc, mo);
+  const auto proven =
+      analysis::prove_in_bounds(ma, kMemWords, analysis::shared_words(k));
+  // Every seed's straight-line affine stores must be provable — coverage
+  // collapsing to zero would silently devolve this family into a no-op.
+  uint32_t nproven = 0;
+  for (const auto& a : ma.accesses) nproven += proven[a.flat] ? 1 : 0;
+  EXPECT_GT(nproven, 0u) << text;
+
+  auto run = [&](bool elide, bool soa) {
+    exec::GlobalMemory gmem;
+    const uint32_t o = gmem.alloc(kMemWords);
+    exec::ExecContext ctx;
+    ctx.kernel = &k;
+    ctx.launch = lc;
+    ctx.gmem = &gmem;
+    ctx.params = {o};
+    ctx.use_soa = soa;
+    ctx.block_parallel = false;
+    ctx.elide_bounds_checks = elide;
+    ctx.mem_proven = elide ? proven.data() : nullptr;
+    RunOutput r;
+    r.thread_insts = exec::run_functional(ctx);
+    const auto view = gmem.view(o, kMemWords);
+    r.words = {view.begin(), view.end()};
+    return r;
+  };
+  const auto off = run(false, true);
+  const auto on = run(true, true);
+  EXPECT_TRUE(off == on) << text;
+  const auto scalar_on = run(true, false);
+  EXPECT_TRUE(off == scalar_on) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMemProofs,
+                         ::testing::Range(900u, 925u));  // 25 programs
 
 }  // namespace
 }  // namespace gpurf
